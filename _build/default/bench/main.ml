@@ -1,0 +1,155 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Regeneration of every table and figure in the paper's evaluation
+      (Tables 1-4, Figures 1-3), from fresh deterministic simulation runs
+      at the default (scaled) inputs on 8 simulated processors.  Pass a
+      subset of artifact names (e.g. `table3 fig2`) to restrict; pass
+      `--tiny` for a fast smoke run.
+
+   2. Bechamel microbenchmarks of the protocol primitives that the cost
+      model charges for (twin creation, diff creation/application, vector
+      timestamps, the event heap), reported in nanoseconds per operation.
+      Enabled with `micro` (included in the default full run).
+*)
+
+module Config = Adsm_dsm.Config
+module Vc = Adsm_dsm.Vc
+module Diff = Adsm_dsm.Diff
+module Page = Adsm_mem.Page
+module Eheap = Adsm_sim.Eheap
+module Rng = Adsm_sim.Rng
+module Registry = Adsm_apps.Registry
+module Experiments = Adsm_harness.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let page_pair ~modified =
+  let twin = Page.create () in
+  let rng = Rng.create 7L in
+  for i = 0 to (Page.size / 8) - 1 do
+    Page.set_f64 twin (8 * i) (Rng.float rng)
+  done;
+  let current = Page.copy twin in
+  if modified > 0 then begin
+    let slots = Page.size / 8 in
+    let step = max 1 (slots / modified) in
+    let k = ref 0 in
+    while !k < slots do
+      Page.set_f64 current (8 * !k) (float_of_int !k +. 0.5);
+      k := !k + step
+    done
+  end;
+  (twin, current)
+
+let micro_tests () =
+  let open Bechamel in
+  let twin_full, current_full = page_pair ~modified:512 in
+  let twin_sparse, current_sparse = page_pair ~modified:8 in
+  let full_diff = Diff.create ~twin:twin_full ~current:current_full in
+  let sparse_diff = Diff.create ~twin:twin_sparse ~current:current_sparse in
+  let target = Page.create () in
+  let vc_a = Vc.zero ~nprocs:8 and vc_b = Vc.zero ~nprocs:8 in
+  for i = 0 to 7 do
+    Vc.set vc_a i (i * 3);
+    Vc.set vc_b i (23 - i)
+  done;
+  [
+    Test.make ~name:"twin (page copy, 4KB)"
+      (Staged.stage (fun () -> ignore (Page.copy twin_full)));
+    Test.make ~name:"diff create (full page)"
+      (Staged.stage (fun () ->
+           ignore (Diff.create ~twin:twin_full ~current:current_full)));
+    Test.make ~name:"diff create (sparse)"
+      (Staged.stage (fun () ->
+           ignore (Diff.create ~twin:twin_sparse ~current:current_sparse)));
+    Test.make ~name:"diff apply (full page)"
+      (Staged.stage (fun () -> Diff.apply full_diff target));
+    Test.make ~name:"diff apply (sparse)"
+      (Staged.stage (fun () -> Diff.apply sparse_diff target));
+    Test.make ~name:"vc merge+compare (8p)"
+      (Staged.stage (fun () ->
+           let c = Vc.copy vc_a in
+           Vc.merge_into c vc_b;
+           ignore (Vc.leq vc_a c && Vc.concurrent vc_a vc_b)));
+    Test.make ~name:"event heap push+pop x64"
+      (Staged.stage (fun () ->
+           let h = Eheap.create () in
+           for i = 0 to 63 do
+             Eheap.push h ~time:((i * 37) mod 101) ~seq:i i
+           done;
+           let rec drain () =
+             match Eheap.pop_min h with Some _ -> drain () | None -> ()
+           in
+           drain ()));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "Microbenchmarks: protocol primitives (wall-clock, host CPU)";
+  print_endline
+    "(the simulation charges these at 1997 SPARC-20 prices instead: twin\n\
+     104 us, full-page diff 179 us)\n";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~kde:None ()
+  in
+  let tests = Test.make_grouped ~name:"primitives" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+      instance raw
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        Printf.printf "  %-28s %12.1f ns/op\n"
+          (match String.index_opt name '/' with
+          | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+          | None -> name)
+          est
+      | _ -> ())
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifact regeneration                                        *)
+(* ------------------------------------------------------------------ *)
+
+let artifacts suite =
+  [
+    ("table1", fun () -> Experiments.table1 suite);
+    ("table2", fun () -> Experiments.table2 suite);
+    ("fig1", fun () -> Experiments.figure1 ());
+    ("fig2", fun () -> Experiments.figure2 suite);
+    ("table3", fun () -> Experiments.table3 suite);
+    ("table4", fun () -> Experiments.table4 suite);
+    ("fig3", fun () -> Experiments.figure3 suite);
+    ("breakdown", fun () -> Experiments.breakdown suite);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let tiny = List.mem "--tiny" args in
+  let selected = List.filter (fun a -> a <> "--tiny" && a <> "micro") args in
+  let want_micro = args = [] || tiny && selected = [] || List.mem "micro" args in
+  let scale = if tiny then Registry.Tiny else Registry.Default in
+  Printf.printf
+    "Reproduction benchmarks: Amza et al., \"Software DSM Protocols that \
+     Adapt\nbetween Single Writer and Multiple Writer\" (HPCA 1997)\n\
+     Inputs: %s scale, 8 simulated processors, SPARC/ATM cost model.\n\n"
+    (if tiny then "tiny" else "default (scaled-down paper)");
+  let suite = Experiments.collect ~scale ~nprocs:8 () in
+  List.iter
+    (fun (name, render) ->
+      if selected = [] || List.mem name selected then begin
+        print_endline (render ());
+        print_newline ()
+      end)
+    (artifacts suite);
+  if want_micro then run_micro ()

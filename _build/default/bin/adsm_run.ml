@@ -1,0 +1,234 @@
+(* Command-line driver: run applications under the DSM protocols and
+   regenerate the paper's tables and figures.
+
+     adsm_run run --app SOR --protocol WFS --procs 8
+     adsm_run experiments [--tiny] [--procs 8] [--app SOR --app IS ...]
+     adsm_run list
+*)
+
+open Cmdliner
+module Config = Adsm_dsm.Config
+module Registry = Adsm_apps.Registry
+module Runner = Adsm_harness.Runner
+module Experiments = Adsm_harness.Experiments
+
+let scale_of_tiny tiny = if tiny then Registry.Tiny else Registry.Default
+
+(* --- run one configuration --- *)
+
+let run_one app_name protocol_name nprocs tiny seed trace =
+  match Registry.find app_name with
+  | None ->
+    Printf.eprintf "unknown application %S; try `adsm_run list'\n" app_name;
+    1
+  | Some app -> (
+    match Config.protocol_of_string protocol_name with
+    | None ->
+      Printf.eprintf
+        "unknown protocol %S (MW, SW, WFS, WFS+WG, HLRC)\n"
+        protocol_name;
+      1
+    | Some protocol ->
+      let scale = scale_of_tiny tiny in
+      let trace_hook =
+        if trace then
+          Some (fun node msg -> Printf.eprintf "[%d] %s\n" node msg)
+        else None
+      in
+      let m =
+        Runner.run ?trace:trace_hook ~seed:(Int64.of_int seed) ~app ~protocol
+          ~nprocs ~scale ()
+      in
+      let speedup = Runner.speedup m in
+      Printf.printf "%s under %s on %d processor(s) [%s scale]\n"
+        m.Runner.app
+        (Config.protocol_name protocol)
+        nprocs
+        (match scale with Registry.Tiny -> "tiny" | Registry.Default -> "default");
+      Printf.printf "  simulated time   %.3f ms\n"
+        (float_of_int m.Runner.time_ns /. 1e6);
+      Printf.printf "  speedup          %.2f\n" speedup;
+      Printf.printf "  messages         %d\n" m.Runner.messages;
+      Printf.printf "  data             %.2f MB\n"
+        (float_of_int m.Runner.data_bytes /. 1_048_576.);
+      Printf.printf "  ownership reqs   %d (refused %d)\n" m.Runner.own_requests
+        m.Runner.own_refusals;
+      Printf.printf "  twins/diffs      %d / %d (%.2f MB)\n"
+        m.Runner.twins_created m.Runner.diffs_created
+        (float_of_int (m.Runner.twin_bytes + m.Runner.diff_bytes)
+        /. 1_048_576.);
+      Printf.printf "  faults           %d read, %d write\n"
+        m.Runner.read_faults m.Runner.write_faults;
+      Printf.printf "  GC runs          %d\n" m.Runner.gc_runs;
+      Printf.printf "  checksum         %.6f\n" m.Runner.checksum;
+      0)
+
+(* --- the full experiment suite --- *)
+
+let run_experiments tiny nprocs apps out =
+  let apps = match apps with [] -> None | l -> Some l in
+  match out with
+  | None ->
+    print_string
+      (Experiments.run_all ?apps ~scale:(scale_of_tiny tiny) ~nprocs ());
+    0
+  | Some dir ->
+    let suite =
+      Experiments.collect ?apps ~scale:(scale_of_tiny tiny) ~nprocs ()
+    in
+    let written = Experiments.export_csv suite ~dir in
+    List.iter (Printf.printf "wrote %s\n") written;
+    0
+
+let list_apps () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      Printf.printf "%-8s sync=%-4s default=%s\n" e.Registry.name
+        e.Registry.sync
+        (e.Registry.data_desc Registry.Default))
+    Registry.all;
+  0
+
+(* --- cmdliner wiring --- *)
+
+let app_arg =
+  Arg.(value & opt string "SOR" & info [ "app"; "a" ] ~doc:"Application name.")
+
+let protocol_arg =
+  Arg.(
+    value & opt string "WFS"
+    & info [ "protocol"; "p" ] ~doc:"Protocol: MW, SW, WFS or WFS+WG.")
+
+let procs_arg =
+  Arg.(value & opt int 8 & info [ "procs"; "n" ] ~doc:"Simulated processors.")
+
+let tiny_arg =
+  Arg.(value & flag & info [ "tiny" ] ~doc:"Use tiny (test-size) inputs.")
+
+let seed_arg =
+  Arg.(value & opt int 0x5EED & info [ "seed" ] ~doc:"Simulation seed.")
+
+let apps_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "app"; "a" ] ~doc:"Restrict to this application (repeatable).")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the protocol event trace (diffs, notices, ownership, \
+              validation) to stderr.")
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Run one application under one protocol")
+    Term.(
+      const run_one $ app_arg $ protocol_arg $ procs_arg $ tiny_arg $ seed_arg
+      $ trace_arg)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"DIR"
+        ~doc:"Write machine-readable CSV files into $(docv) instead of \
+              printing tables.")
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate every table and figure of the paper")
+    Term.(const run_experiments $ tiny_arg $ procs_arg $ apps_arg $ out_arg)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the available applications")
+    Term.(const list_apps $ const ())
+
+let run_ablations studies =
+  let module Ablations = Adsm_harness.Ablations in
+  match studies with
+  | [] ->
+    print_string (Ablations.run_all ());
+    0
+  | names ->
+    List.fold_left
+      (fun code name ->
+        match Ablations.run name with
+        | Some table ->
+          print_string table;
+          print_newline ();
+          code
+        | None ->
+          Printf.eprintf "unknown study %S (available: %s)\n" name
+            (String.concat ", " Ablations.names);
+          1)
+      0 names
+
+let studies_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"STUDY"
+        ~doc:"Studies to run: quantum, threshold, network, migratory, \
+              hlrc, scaling.  Default: all.")
+
+let ablations_cmd =
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:
+         "Sensitivity studies for the paper's fixed design choices \
+          (ownership quantum, WG threshold, network model, processor \
+          scaling) and the migratory-detection extension")
+    Term.(const run_ablations $ studies_arg)
+
+(* --- cross-protocol verification --- *)
+
+let run_verify app_name tiny nprocs =
+  match Registry.find app_name with
+  | None ->
+    Printf.eprintf "unknown application %S; try `adsm_run list'\n" app_name;
+    1
+  | Some app ->
+    let scale = scale_of_tiny tiny in
+    let checksum protocol nprocs =
+      (Runner.run ~app ~protocol ~nprocs ~scale ()).Runner.checksum
+    in
+    let reference = checksum Config.Sw 1 in
+    Printf.printf "%s: sequential checksum %h\n" app.Registry.name reference;
+    let failures = ref 0 in
+    List.iter
+      (fun protocol ->
+        let value = checksum protocol nprocs in
+        let ok = value = reference in
+        if not ok then incr failures;
+        Printf.printf "  %-8s %dp  %s\n"
+          (Config.protocol_name protocol)
+          nprocs
+          (if ok then "ok" else Printf.sprintf "MISMATCH (%h)" value))
+      Config.extended_protocols;
+    if !failures = 0 then begin
+      Printf.printf "all protocols agree bit-for-bit\n";
+      0
+    end
+    else begin
+      Printf.printf "%d protocol(s) diverged\n" !failures;
+      1
+    end
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check that every protocol (including HLRC) produces a \
+          bit-identical result for an application — the first thing to \
+          run after porting a new application to the DSM API")
+    Term.(const run_verify $ app_arg $ tiny_arg $ procs_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "adsm_run" ~version:"1.0"
+       ~doc:
+         "Adaptive software DSM (WFS / WFS+WG) protocol simulator - \
+          reproduction of Amza et al., HPCA 1997")
+    [ run_cmd; experiments_cmd; ablations_cmd; verify_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/access_patterns.ml: Adsm_dsm List Printf

@@ -1,0 +1,1 @@
+examples/adaptive_sor.ml: Adsm_apps Adsm_dsm Adsm_harness List Option Printf

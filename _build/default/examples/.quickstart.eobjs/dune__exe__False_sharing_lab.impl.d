@@ -1,0 +1,1 @@
+examples/false_sharing_lab.ml: Adsm_dsm List Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adsm_dsm List Printf

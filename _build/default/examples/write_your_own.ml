@@ -1,0 +1,105 @@
+(* Tutorial: writing your own application against the DSM API.
+
+   A blocked parallel matrix multiply (C = A x B) built step by step, then
+   run under every protocol.  The access pattern is instructive:
+
+   - A and B are written once by their owners and then only read
+     (producer-consumer: the adaptive protocols keep them in SW mode,
+     whole-page transfers, no twins);
+   - C is written in row bands; with a row a multiple of the page size
+     there is no false sharing, so even MW's twins buy nothing.
+
+     dune exec examples/write_your_own.exe
+*)
+
+module Config = Adsm_dsm.Config
+module Dsm = Adsm_dsm.Dsm
+module Stats = Adsm_dsm.Stats
+
+let n = 128 (* matrices are n x n; a 128-column f64 row is 1 KB *)
+
+let block = 32
+
+let ns_per_flop = 500 (* 1997-class multiply-add cost *)
+
+(* Step 1: the program every simulated processor runs. *)
+let program a b c ctx =
+  let me = Dsm.me ctx and nprocs = Dsm.nprocs ctx in
+  let rows_per_proc = n / nprocs in
+  let lo = me * rows_per_proc and hi = (me + 1) * rows_per_proc in
+  let idx i j = (i * n) + j in
+
+  (* Step 2: initialize the bands we own.  Writes fault into the
+     protocol; the first write to each page acquires ownership (or makes
+     a twin, depending on the protocol). *)
+  for i = lo to hi - 1 do
+    for j = 0 to n - 1 do
+      Dsm.f64_set ctx a (idx i j) (float_of_int (((i * 13) + j) mod 7));
+      Dsm.f64_set ctx b (idx i j) (float_of_int (((i * 7) + (j * 3)) mod 5))
+    done
+  done;
+
+  (* Step 3: a barrier publishes the writes (release consistency: nothing
+     is guaranteed visible before synchronization). *)
+  Dsm.barrier ctx;
+
+  (* Step 4: compute our band of C, reading remote pages of A and B on
+     demand.  [Dsm.compute] charges the arithmetic to the simulated
+     clock; blocking improves page reuse exactly as it improves cache
+     reuse on real hardware. *)
+  let kb = ref 0 in
+  while !kb < n do
+    for i = lo to hi - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref (if !kb = 0 then 0. else Dsm.f64_get ctx c (idx i j)) in
+        for k = !kb to min (!kb + block) n - 1 do
+          acc := !acc +. (Dsm.f64_get ctx a (idx i k) *. Dsm.f64_get ctx b (idx k j))
+        done;
+        Dsm.f64_set ctx c (idx i j) !acc
+      done;
+      Dsm.compute ctx (ns_per_flop * 2 * n * block / n)
+    done;
+    kb := !kb + block
+  done;
+  Dsm.compute ctx (ns_per_flop * 2 * n * n * rows_per_proc / 4);
+  Dsm.barrier ctx;
+
+  (* Step 5: processor 0 verifies a spot value. *)
+  if me = 0 then begin
+    let i = 3 and j = 5 in
+    let expect = ref 0. in
+    for k = 0 to n - 1 do
+      expect :=
+        !expect
+        +. (float_of_int (((i * 13) + k) mod 7)
+           *. float_of_int (((k * 7) + (j * 3)) mod 5))
+    done;
+    let got = Dsm.f64_get ctx c (idx i j) in
+    Printf.printf "spot check C[%d,%d] = %.1f (expected %.1f) %s\n" i j got
+      !expect
+      (if got = !expect then "ok" else "WRONG")
+  end
+
+let () =
+  Printf.printf "%dx%d blocked matrix multiply on 8 simulated processors\n\n"
+    n n;
+  Printf.printf "%-8s %9s %8s %8s %8s %8s\n" "protocol" "time(ms)" "msgs"
+    "twins" "diffs" "own-req";
+  List.iter
+    (fun protocol ->
+      (* Step 0: configure and allocate.  Allocation happens before [run];
+         regions are page-aligned and zero-filled on every node. *)
+      let cfg = Config.make ~protocol ~nprocs:8 () in
+      let t = Dsm.create cfg in
+      let a = Dsm.alloc_f64 t ~name:"A" ~len:(n * n) in
+      let b = Dsm.alloc_f64 t ~name:"B" ~len:(n * n) in
+      let c = Dsm.alloc_f64 t ~name:"C" ~len:(n * n) in
+      let report = Dsm.run t (program a b c) in
+      Printf.printf "%-8s %9.1f %8d %8d %8d %8d\n"
+        (Config.protocol_name protocol)
+        (float_of_int report.Dsm.time_ns /. 1e6)
+        report.Dsm.messages
+        (Stats.twins_created_total report.Dsm.stats)
+        (Stats.diffs_created_total report.Dsm.stats)
+        (Stats.ownership_requests report.Dsm.stats))
+    Config.extended_protocols

@@ -1,0 +1,1 @@
+lib/apps/barnes.ml: Adsm_dsm Adsm_sim Array Common Int64 Printf

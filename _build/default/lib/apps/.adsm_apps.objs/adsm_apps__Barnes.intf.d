@@ -1,0 +1,1 @@
+lib/apps/barnes.mli: Adsm_dsm

@@ -1,0 +1,1 @@
+lib/apps/fft3d.ml: Adsm_dsm Array Common Fft_core Printf

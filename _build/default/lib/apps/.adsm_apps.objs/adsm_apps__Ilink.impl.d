@@ -1,0 +1,1 @@
+lib/apps/ilink.ml: Adsm_dsm Adsm_sim Array Common List Printf

@@ -1,0 +1,1 @@
+lib/apps/ilink.mli: Adsm_dsm

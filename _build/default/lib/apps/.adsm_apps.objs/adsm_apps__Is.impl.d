@@ -1,0 +1,1 @@
+lib/apps/is.ml: Adsm_dsm Adsm_sim Array Common Int32 Int64 Printf

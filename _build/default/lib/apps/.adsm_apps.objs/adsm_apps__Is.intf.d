@@ -1,0 +1,1 @@
+lib/apps/is.mli: Adsm_dsm

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Adsm_dsm Barnes Fft3d Ilink Is List Shallow Sor String Tsp Water

@@ -1,0 +1,1 @@
+lib/apps/shallow.ml: Adsm_dsm Common List Printf

@@ -1,0 +1,1 @@
+lib/apps/sor.ml: Adsm_dsm Common Printf

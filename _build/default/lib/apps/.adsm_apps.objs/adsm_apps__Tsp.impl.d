@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: Adsm_dsm Adsm_sim Array Common Int32 List Printf

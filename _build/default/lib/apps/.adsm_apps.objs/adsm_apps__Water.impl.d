@@ -1,0 +1,1 @@
+lib/apps/water.ml: Adsm_dsm Adsm_sim Array Common Float Hashtbl Int64 Option Printf

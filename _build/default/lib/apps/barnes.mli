@@ -1,0 +1,20 @@
+(** Barnes-Hut hierarchical N-body simulation (paper Section 5).
+
+    The body array is shared; tree cells are private, as in the paper's
+    version.  Bodies are partitioned in small interleaved chunks, so both
+    reads and writes to the body array are fine-grained and most body
+    pages are write-write falsely shared — the pattern on which MW (and
+    the adaptive protocols in MW mode) decisively beat SW. *)
+
+type params = { bodies : int; steps : int; theta : float }
+
+(** Scaled-down stand-in for the paper's 32K-body input. *)
+val default : params
+
+val tiny : params
+
+val data_desc : params -> string
+
+val sync_desc : string
+
+val make : Adsm_dsm.Dsm.t -> params -> (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float)

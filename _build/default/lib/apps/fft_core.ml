@@ -1,0 +1,58 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let fft ~invert re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft_core.fft: length mismatch";
+  if not (is_power_of_two n) then
+    invalid_arg "Fft_core.fft: length must be a power of two";
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 1 to n - 1 do
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit;
+    if i < !j then begin
+      let tr = re.(i) and ti = im.(i) in
+      re.(i) <- re.(!j);
+      im.(i) <- im.(!j);
+      re.(!j) <- tr;
+      im.(!j) <- ti
+    end
+  done;
+  (* Butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let ang =
+      (if invert then 2.0 else -2.0) *. Float.pi /. float_of_int !len
+    in
+    let wr = cos ang and wi = sin ang in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = 0 to (!len / 2) - 1 do
+        let a = !i + k and b = !i + k + (!len / 2) in
+        let ur = re.(a) and ui = im.(a) in
+        let vr = (re.(b) *. !cr) -. (im.(b) *. !ci)
+        and vi = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+        re.(a) <- ur +. vr;
+        im.(a) <- ui +. vi;
+        re.(b) <- ur -. vr;
+        im.(b) <- ui -. vi;
+        let nr = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := nr
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  if invert then begin
+    let scale = 1.0 /. float_of_int n in
+    for i = 0 to n - 1 do
+      re.(i) <- re.(i) *. scale;
+      im.(i) <- im.(i) *. scale
+    done
+  end

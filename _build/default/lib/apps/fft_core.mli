@@ -1,0 +1,9 @@
+(** In-place radix-2 complex FFT on private buffers (the numerical core of
+    the 3D-FFT application). *)
+
+(** [fft ~invert re im] transforms the complex sequence in place.
+    Length must be a power of two.  The inverse includes the 1/n scaling,
+    so [fft ~invert:true] after [fft ~invert:false] restores the input. *)
+val fft : invert:bool -> float array -> float array -> unit
+
+val is_power_of_two : int -> bool

@@ -1,0 +1,77 @@
+module Dsm = Adsm_dsm.Dsm
+module Rng = Adsm_sim.Rng
+
+type params = {
+  genarrays : int;
+  elements : int;
+  density : float;
+  iters : int;
+}
+
+let default = { genarrays = 8; elements = 4096; density = 0.3; iters = 8 }
+
+let tiny = { genarrays = 2; elements = 1024; density = 0.3; iters = 2 }
+
+let data_desc p =
+  Printf.sprintf "%d genarrays x %d (%.0f%% dense)" p.genarrays p.elements
+    (100. *. p.density)
+
+let sync_desc = "b"
+
+let ns_per_nonzero = 600_000
+
+let ns_per_element = 2_000
+
+let make t p =
+  let size = p.genarrays * p.elements in
+  let pool = Dsm.alloc_f64 t ~name:"ilink-genarrays" ~len:size in
+  let result = Dsm.alloc_f64 t ~name:"ilink-result" ~len:8 in
+  let checksum = Common.new_checksum () in
+  let run ctx =
+    let me = Dsm.me ctx and nprocs = Dsm.nprocs ctx in
+    (* The nonzero structure is deterministic, so every processor computes
+       the same round-robin assignment without communication (the master's
+       assignment step in the real code). *)
+    let rng = Rng.create 20260705L in
+    let nonzeros = ref [] in
+    for g = 0 to p.genarrays - 1 do
+      for e = 0 to p.elements - 1 do
+        if Rng.float rng < p.density then
+          nonzeros := ((g * p.elements) + e) :: !nonzeros
+      done
+    done;
+    let nonzeros = Array.of_list (List.rev !nonzeros) in
+    (* Master initializes the sparse pool. *)
+    if me = 0 then
+      Array.iteri
+        (fun k idx ->
+          Dsm.f64_set ctx pool idx (1.0 +. (float_of_int (k mod 97) /. 97.)))
+        nonzeros;
+    Dsm.barrier ctx;
+    for _iter = 1 to p.iters do
+      (* Each processor updates its round-robin share of the nonzeros:
+         scattered concurrent writes — heavy write-write false sharing. *)
+      let work = ref 0 in
+      Array.iteri
+        (fun k idx ->
+          if k mod nprocs = me then begin
+            incr work;
+            let v = Dsm.f64_get ctx pool idx in
+            Dsm.f64_set ctx pool idx (v *. 0.99 +. 0.013)
+          end)
+        nonzeros;
+      Dsm.compute ctx (ns_per_nonzero * !work);
+      Dsm.barrier ctx;
+      (* The master sums the contributions. *)
+      if me = 0 then begin
+        let acc = ref 0. in
+        Array.iter (fun idx -> acc := !acc +. Dsm.f64_get ctx pool idx) nonzeros;
+        Dsm.f64_set ctx result 0 !acc;
+        Dsm.compute ctx (ns_per_element * Array.length nonzeros)
+      end;
+      Dsm.barrier ctx
+    done;
+    if me = 0 then Common.set_checksum checksum (Dsm.f64_get ctx result 0);
+    Dsm.barrier ctx
+  in
+  (run, fun () -> Common.get_checksum checksum)

@@ -1,0 +1,29 @@
+(** ILINK-style genetic linkage analysis kernel (paper Section 5).
+
+    The production ILINK inputs are proprietary pedigree data, so this is
+    a synthetic kernel with the paper's documented sharing structure: a
+    pool of sparse "genarrays" in shared memory whose nonzero elements a
+    master processor assigns to all processors round-robin.  Round-robin
+    assignment of scattered nonzeros makes the dominant pattern
+    write-write false sharing (the paper reports 58% of pages), while
+    pages whose nonzeros happen to belong to one processor stay
+    single-writer but sparse (so SW-mode whole-page transfers move more
+    data than the diffs would — visible in the WFS data volume, as the
+    paper notes). *)
+
+type params = {
+  genarrays : int;
+  elements : int;  (** per genarray *)
+  density : float;  (** fraction of nonzero elements *)
+  iters : int;
+}
+
+val default : params
+
+val tiny : params
+
+val data_desc : params -> string
+
+val sync_desc : string
+
+val make : Adsm_dsm.Dsm.t -> params -> (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float)

@@ -1,0 +1,70 @@
+module Dsm = Adsm_dsm.Dsm
+module Rng = Adsm_sim.Rng
+
+type params = { total_keys : int; buckets : int; iters : int }
+
+let default = { total_keys = 131072; buckets = 2048; iters = 5 }
+
+let tiny = { total_keys = 2048; buckets = 512; iters = 2 }
+
+let data_desc p = Printf.sprintf "%d keys, %d buckets" p.total_keys p.buckets
+
+let sync_desc = "l,b"
+
+let ns_per_key = 780
+
+let ns_per_bucket = 500
+
+let make t p =
+  let buckets = Dsm.alloc_i32 t ~name:"is-buckets" ~len:p.buckets in
+  let ranks = Dsm.alloc_i32 t ~name:"is-ranks" ~len:p.buckets in
+  let l = Dsm.fresh_lock t in
+  let checksum = Common.new_checksum () in
+  let run ctx =
+    let me = Dsm.me ctx and nprocs = Dsm.nprocs ctx in
+    (* Private keys: a band of the fixed global key sequence, so the
+       workload is independent of the processor count. *)
+    let lo, hi = Common.band ~n:p.total_keys ~nprocs ~me in
+    let keys =
+      Array.init (hi - lo) (fun k ->
+          let rng = Rng.create (Int64.of_int (((lo + k) * 1_000_003) + 17)) in
+          Rng.int rng p.buckets)
+    in
+    let private_counts = Array.make p.buckets 0 in
+    for _iter = 1 to p.iters do
+      (* Count private keys into private buckets. *)
+      Array.fill private_counts 0 p.buckets 0;
+      Array.iter
+        (fun k -> private_counts.(k) <- private_counts.(k) + 1)
+        keys;
+      Dsm.compute ctx (ns_per_key * (hi - lo));
+      (* Add them into the shared buckets: migratory pages under a lock,
+         every page completely overwritten by every processor. *)
+      Dsm.lock ctx l;
+      for b = 0 to p.buckets - 1 do
+        Dsm.i32_add ctx buckets b (Int32.of_int private_counts.(b))
+      done;
+      Dsm.compute ctx (ns_per_bucket * p.buckets);
+      Dsm.unlock ctx l;
+      Dsm.barrier ctx;
+      (* Processor 0 turns counts into ranks (prefix sums). *)
+      if me = 0 then begin
+        let acc = ref 0l in
+        for b = 0 to p.buckets - 1 do
+          acc := Int32.add !acc (Dsm.i32_get ctx buckets b);
+          Dsm.i32_set ctx ranks b !acc
+        done;
+        Dsm.compute ctx (ns_per_bucket * p.buckets)
+      end;
+      Dsm.barrier ctx
+    done;
+    if me = 0 then begin
+      let acc = ref 0. in
+      for b = 0 to p.buckets - 1 do
+        acc := Common.mix !acc (Int32.to_float (Dsm.i32_get ctx ranks b))
+      done;
+      Common.set_checksum checksum !acc
+    end;
+    Dsm.barrier ctx
+  in
+  (run, fun () -> Common.get_checksum checksum)

@@ -1,0 +1,20 @@
+(** NAS IS kernel: parallel bucket-sort ranking (paper Section 5).
+
+    Each processor counts its private keys into private buckets, then adds
+    them into the shared bucket array under a lock.  The shared bucket
+    pages are therefore migratory — passed from processor to processor and
+    completely overwritten by each — the pattern on which SW beats MW and
+    WFS keeps every page in SW mode. *)
+
+type params = { total_keys : int; buckets : int; iters : int }
+
+(** Scaled-down stand-in for the paper's 2^20-key class-A-style input. *)
+val default : params
+
+val tiny : params
+
+val data_desc : params -> string
+
+val sync_desc : string
+
+val make : Adsm_dsm.Dsm.t -> params -> (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float)

@@ -1,0 +1,126 @@
+type scale = Default | Tiny
+
+type entry = {
+  name : string;
+  sync : string;
+  data_desc : scale -> string;
+  instantiate :
+    scale ->
+    Adsm_dsm.Dsm.t ->
+    (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float);
+  paper_seq_s : float;
+  paper_wg : string;
+  paper_fs_pct : float;
+}
+
+let pick scale ~default ~tiny =
+  match scale with Default -> default | Tiny -> tiny
+
+let all =
+  [
+    {
+      name = "IS";
+      sync = Is.sync_desc;
+      data_desc =
+        (fun s -> Is.data_desc (pick s ~default:Is.default ~tiny:Is.tiny));
+      instantiate =
+        (fun s t -> Is.make t (pick s ~default:Is.default ~tiny:Is.tiny));
+      paper_seq_s = 7.8;
+      paper_wg = "large";
+      paper_fs_pct = 0.0;
+    };
+    {
+      name = "3D-FFT";
+      sync = Fft3d.sync_desc;
+      data_desc =
+        (fun s ->
+          Fft3d.data_desc (pick s ~default:Fft3d.default ~tiny:Fft3d.tiny));
+      instantiate =
+        (fun s t ->
+          Fft3d.make t (pick s ~default:Fft3d.default ~tiny:Fft3d.tiny));
+      paper_seq_s = 40.8;
+      paper_wg = "large";
+      paper_fs_pct = 0.03;
+    };
+    {
+      name = "SOR";
+      sync = Sor.sync_desc;
+      data_desc =
+        (fun s -> Sor.data_desc (pick s ~default:Sor.default ~tiny:Sor.tiny));
+      instantiate =
+        (fun s t -> Sor.make t (pick s ~default:Sor.default ~tiny:Sor.tiny));
+      paper_seq_s = 820.1;
+      paper_wg = "variable";
+      paper_fs_pct = 0.0;
+    };
+    {
+      name = "TSP";
+      sync = Tsp.sync_desc;
+      data_desc =
+        (fun s -> Tsp.data_desc (pick s ~default:Tsp.default ~tiny:Tsp.tiny));
+      instantiate =
+        (fun s t -> Tsp.make t (pick s ~default:Tsp.default ~tiny:Tsp.tiny));
+      paper_seq_s = 48.7;
+      paper_wg = "small";
+      paper_fs_pct = 2.5;
+    };
+    {
+      name = "Water";
+      sync = Water.sync_desc;
+      data_desc =
+        (fun s ->
+          Water.data_desc (pick s ~default:Water.default ~tiny:Water.tiny));
+      instantiate =
+        (fun s t ->
+          Water.make t (pick s ~default:Water.default ~tiny:Water.tiny));
+      paper_seq_s = 118.3;
+      paper_wg = "medium";
+      paper_fs_pct = 3.5;
+    };
+    {
+      name = "Shallow";
+      sync = Shallow.sync_desc;
+      data_desc =
+        (fun s ->
+          Shallow.data_desc
+            (pick s ~default:Shallow.default ~tiny:Shallow.tiny));
+      instantiate =
+        (fun s t ->
+          Shallow.make t (pick s ~default:Shallow.default ~tiny:Shallow.tiny));
+      paper_seq_s = 86.5;
+      paper_wg = "med-large";
+      paper_fs_pct = 13.9;
+    };
+    {
+      name = "Barnes";
+      sync = Barnes.sync_desc;
+      data_desc =
+        (fun s ->
+          Barnes.data_desc (pick s ~default:Barnes.default ~tiny:Barnes.tiny));
+      instantiate =
+        (fun s t ->
+          Barnes.make t (pick s ~default:Barnes.default ~tiny:Barnes.tiny));
+      paper_seq_s = 242.0;
+      paper_wg = "small";
+      paper_fs_pct = 61.9;
+    };
+    {
+      name = "ILINK";
+      sync = Ilink.sync_desc;
+      data_desc =
+        (fun s ->
+          Ilink.data_desc (pick s ~default:Ilink.default ~tiny:Ilink.tiny));
+      instantiate =
+        (fun s t ->
+          Ilink.make t (pick s ~default:Ilink.default ~tiny:Ilink.tiny));
+      paper_seq_s = 1388.3;
+      paper_wg = "small";
+      paper_fs_pct = 58.3;
+    };
+  ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = target) all
+
+let names = List.map (fun e -> e.name) all

@@ -1,0 +1,27 @@
+(** Uniform access to the eight applications, plus the paper's reported
+    characteristics for side-by-side comparison in the harness. *)
+
+type scale = Default | Tiny
+
+type entry = {
+  name : string;
+  sync : string;  (** "l", "b" or "l,b" as in the paper's Table 1 *)
+  data_desc : scale -> string;
+  instantiate :
+    scale ->
+    Adsm_dsm.Dsm.t ->
+    (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float);
+      (** allocate shared data; returns the per-processor program and the
+          checksum extractor *)
+  paper_seq_s : float;  (** Table 1 sequential time (seconds) *)
+  paper_wg : string;  (** Table 2 write granularity class *)
+  paper_fs_pct : float;  (** Table 2 %% write-write falsely shared pages *)
+}
+
+val all : entry list
+(** In the paper's presentation order: IS, 3D-FFT, SOR, TSP, Water,
+    Shallow, Barnes, ILINK. *)
+
+val find : string -> entry option
+
+val names : string list

@@ -1,0 +1,20 @@
+(** NCAR shallow-water benchmark (paper Section 5).
+
+    Finite differences on 2D grids, parallelized in bands of rows with
+    sharing across band edges.  With the default geometry a grid row is a
+    quarter page, so band boundaries fall mid-page and a measurable
+    fraction of pages is write-write falsely shared — the paper's clear
+    case for per-page adaptation (WFS beats both MW and SW). *)
+
+type params = { rows : int; cols : int; iters : int }
+
+(** Scaled-down stand-in for the paper's 1024x256 input. *)
+val default : params
+
+val tiny : params
+
+val data_desc : params -> string
+
+val sync_desc : string
+
+val make : Adsm_dsm.Dsm.t -> params -> (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float)

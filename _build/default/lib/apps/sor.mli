@@ -1,0 +1,24 @@
+(** Red-Black successive over-relaxation (paper Section 5).
+
+    The shared matrix is divided into bands of rows, one band per
+    processor; communication happens across band boundaries.  With the
+    default geometry one row fills exactly one page, so there is no
+    write-write false sharing (as in the paper's input).  Boundary
+    elements start at 1 and interior elements at 0, so the set of elements
+    that change — and hence the write granularity — grows with every
+    iteration, which is what drives WFS+WG's delayed switch to SW. *)
+
+type params = { rows : int; cols : int; iters : int }
+
+(** Scaled-down stand-in for the paper's 1000x2000 input. *)
+val default : params
+
+val tiny : params
+
+val data_desc : params -> string
+
+val sync_desc : string
+
+(** Allocate the shared data and return the per-processor program plus a
+    checksum extractor (set by processor 0 after the final barrier). *)
+val make : Adsm_dsm.Dsm.t -> params -> (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float)

@@ -1,0 +1,186 @@
+module Dsm = Adsm_dsm.Dsm
+module Rng = Adsm_sim.Rng
+
+type params = { cities : int; queue_depth : int }
+
+let default = { cities = 13; queue_depth = 2 }
+
+let tiny = { cities = 8; queue_depth = 2 }
+
+let data_desc p = Printf.sprintf "%d cities" p.cities
+
+let sync_desc = "l"
+
+let ns_per_node = 12_000 (* cost of expanding one search node *)
+
+(* Queue record layout: [depth; cost; city_0 .. city_{depth-1}] *)
+let record_size p = p.cities + 2
+
+let queue_capacity = 32_768
+
+let make t p =
+  let n = p.cities in
+  let dist = Dsm.alloc_i32 t ~name:"tsp-dist" ~len:(n * n) in
+  let queue =
+    Dsm.alloc_i32 t ~name:"tsp-queue" ~len:(queue_capacity * record_size p)
+  in
+  (* control[0] = head, control[1] = tail, control[2] = in-flight count,
+     control[3] = best tour cost *)
+  let control = Dsm.alloc_i32 t ~name:"tsp-control" ~len:16 in
+  let l = Dsm.fresh_lock t in
+  let checksum = Common.new_checksum () in
+  let run ctx =
+    let me = Dsm.me ctx in
+    let get_d i j = Int32.to_int (Dsm.i32_get ctx dist ((i * n) + j)) in
+    (* Processor 0 generates the distance matrix and seeds the queue. *)
+    if me = 0 then begin
+      let rng = Rng.create 424243L in
+      for i = 0 to n - 1 do
+        for j = 0 to i - 1 do
+          let d = 1 + Rng.int rng 99 in
+          Dsm.i32_set ctx dist ((i * n) + j) (Int32.of_int d);
+          Dsm.i32_set ctx dist ((j * n) + i) (Int32.of_int d)
+        done;
+        Dsm.i32_set ctx dist ((i * n) + i) 0l
+      done;
+      (* Root record: tour starting (and implicitly ending) at city 0. *)
+      Dsm.i32_set ctx queue 0 1l;
+      Dsm.i32_set ctx queue 1 0l;
+      Dsm.i32_set ctx queue 2 0l;
+      Dsm.i32_set ctx control 0 0l;
+      Dsm.i32_set ctx control 1 1l;
+      Dsm.i32_set ctx control 2 0l;
+      Dsm.i32_set ctx control 3 Int32.max_int
+    end;
+    Dsm.barrier ctx;
+    (* Private copy of the distance matrix for the inner loops (read-only
+       shared data; the copy models the apps' local caching). *)
+    let d = Array.init n (fun i -> Array.init n (fun j -> get_d i j)) in
+    let min_edge =
+      Array.init n (fun i ->
+          Common.fold_range 0 n ~init:max_int ~f:(fun acc j ->
+              if i <> j && d.(i).(j) < acc then d.(i).(j) else acc))
+    in
+    let best = ref max_int in
+    let improved = ref false in
+    let expanded = ref 0 in
+    (* Depth-first solve below the queue cutoff; improved bounds are
+       collected locally and published at the next queue operation (small
+       lock-protected writes, as in the paper's TSP). *)
+    let rec dfs path cost visited depth =
+      incr expanded;
+      if depth = n then begin
+        let total = cost + d.(List.hd path).(0) in
+        if total < !best then begin
+          best := total;
+          improved := true
+        end
+      end
+      else begin
+        let last = List.hd path in
+        let bound_rest = (n - depth) * min_edge.(last) in
+        for next = 1 to n - 1 do
+          if (visited lsr next) land 1 = 0 then begin
+            let cost' = cost + d.(last).(next) in
+            if cost' + bound_rest < !best then
+              dfs (next :: path) cost' (visited lor (1 lsl next)) (depth + 1)
+          end
+        done
+      end
+    in
+    (* Work loop: one critical section per dequeue (folding in the bound
+       publication and the previous record's completion), and one per
+       batch of child pushes. *)
+    let inflight_held = ref 0 in
+    let publish_best () =
+      if !improved then begin
+        let published = Int32.to_int (Dsm.i32_get ctx control 3) in
+        if !best < published then
+          Dsm.i32_set ctx control 3 (Int32.of_int !best);
+        best := min !best published;
+        improved := false
+      end
+      else best := min !best (Int32.to_int (Dsm.i32_get ctx control 3))
+    in
+    let continue = ref true in
+    let backoff = ref 1_000_000 in
+    let record = Array.make (record_size p) 0 in
+    while !continue do
+      Dsm.lock ctx l;
+      publish_best ();
+      if !inflight_held > 0 then begin
+        let inflight = Int32.to_int (Dsm.i32_get ctx control 2) in
+        Dsm.i32_set ctx control 2 (Int32.of_int (inflight - !inflight_held));
+        inflight_held := 0
+      end;
+      let head = Int32.to_int (Dsm.i32_get ctx control 0)
+      and tail = Int32.to_int (Dsm.i32_get ctx control 1)
+      and inflight = Int32.to_int (Dsm.i32_get ctx control 2) in
+      if head < tail then begin
+        Dsm.i32_set ctx control 0 (Int32.of_int (head + 1));
+        Dsm.i32_set ctx control 2 (Int32.of_int (inflight + 1));
+        inflight_held := 1;
+        let base = head mod queue_capacity * record_size p in
+        for f = 0 to record_size p - 1 do
+          record.(f) <- Int32.to_int (Dsm.i32_get ctx queue (base + f))
+        done;
+        Dsm.unlock ctx l;
+        backoff := 1_000_000;
+        let depth = record.(0) and cost = record.(1) in
+        let path = List.rev (List.init depth (fun k -> record.(2 + k))) in
+        let visited =
+          List.fold_left (fun acc c -> acc lor (1 lsl c)) 0 path
+        in
+        expanded := 0;
+        if depth > p.queue_depth then dfs path cost visited depth
+        else begin
+          (* Expand one level; push all surviving children in one critical
+             section. *)
+          incr expanded;
+          let last = List.hd path in
+          let children = ref [] in
+          for next = 1 to n - 1 do
+            if (visited lsr next) land 1 = 0 then begin
+              let cost' = cost + d.(last).(next) in
+              if cost' + ((n - depth) * min_edge.(last)) < !best then
+                children := (next, cost') :: !children
+            end
+          done;
+          if !children <> [] then begin
+            Dsm.lock ctx l;
+            publish_best ();
+            List.iter
+              (fun (next, cost') ->
+                let tail = Int32.to_int (Dsm.i32_get ctx control 1) in
+                let base = tail mod queue_capacity * record_size p in
+                Dsm.i32_set ctx queue base (Int32.of_int (depth + 1));
+                Dsm.i32_set ctx queue (base + 1) (Int32.of_int cost');
+                List.iteri
+                  (fun k c ->
+                    Dsm.i32_set ctx queue (base + 2 + k) (Int32.of_int c))
+                  (List.rev path);
+                Dsm.i32_set ctx queue (base + 2 + depth) (Int32.of_int next);
+                Dsm.i32_set ctx control 1 (Int32.of_int (tail + 1)))
+              (List.rev !children);
+            Dsm.unlock ctx l
+          end
+        end;
+        Dsm.compute ctx (ns_per_node * !expanded)
+      end
+      else if inflight = 0 then begin
+        Dsm.unlock ctx l;
+        continue := false
+      end
+      else begin
+        Dsm.unlock ctx l;
+        (* Someone is still expanding; back off before polling again. *)
+        Dsm.compute ctx !backoff;
+        backoff := min (!backoff * 2) 8_000_000
+      end
+    done;
+    Dsm.barrier ctx;
+    if me = 0 then
+      Common.set_checksum checksum (Int32.to_float (Dsm.i32_get ctx control 3));
+    Dsm.barrier ctx
+  in
+  (run, fun () -> Common.get_checksum checksum)

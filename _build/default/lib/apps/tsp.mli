@@ -1,0 +1,20 @@
+(** Branch-and-bound travelling salesman (paper Section 5).
+
+    A shared queue holds tour prefixes up to a fixed depth; deeper
+    subtrees are solved by local depth-first search.  Queue pushes, pops
+    and bound updates modify only a few words under a lock, so the write
+    granularity is small and there is little write-write false sharing —
+    the pattern on which MW (cheap small diffs) beats whole-page SW. *)
+
+type params = { cities : int; queue_depth : int }
+
+(** Scaled-down stand-in for the paper's 19-city input. *)
+val default : params
+
+val tiny : params
+
+val data_desc : params -> string
+
+val sync_desc : string
+
+val make : Adsm_dsm.Dsm.t -> params -> (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float)

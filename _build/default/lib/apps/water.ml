@@ -1,0 +1,160 @@
+module Dsm = Adsm_dsm.Dsm
+module Rng = Adsm_sim.Rng
+
+type params = { molecules : int; steps : int; cutoff : float }
+
+let default = { molecules = 512; steps = 5; cutoff = 0.28 }
+
+let tiny = { molecules = 48; steps = 2; cutoff = 0.9 }
+
+let data_desc p = Printf.sprintf "%d molecules" p.molecules
+
+let sync_desc = "l,b"
+
+(* 76 doubles per molecule = 608 bytes: ~6.7 molecules per page, matching
+   the paper's "on average 6 molecule data-structures per page".  608 does
+   not divide the page size, so band boundaries fall mid-page and adjacent
+   processors falsely share the boundary pages, as in the paper. *)
+let mol_size = 76
+
+let pos_off = 0 (* 3 doubles *)
+
+let vel_off = 3 (* 3 doubles *)
+
+let force_off = 6 (* 3 doubles *)
+
+let ns_per_pair = 18_000
+
+let ns_per_mol = 3_000
+
+(* Quantize to multiples of 2^-20: fixed-point values of bounded magnitude
+   add exactly in float64, so cross-processor accumulation order (which
+   depends on lock arrival order, hence on the protocol) cannot change the
+   result.  This keeps checksums bit-identical across all four protocols. *)
+let quantum = 1048576.0
+
+let quantize v = Float.round (v *. quantum) /. quantum
+
+let make t p =
+  let mols = Dsm.alloc_f64 t ~name:"water-molecules" ~len:(p.molecules * mol_size) in
+  let energy = Dsm.alloc_f64 t ~name:"water-energy" ~len:8 in
+  let checksum = Common.new_checksum () in
+  (* One lock per owner region plus the energy lock. *)
+  let max_regions = 16 in
+  let region_lock =
+    Array.init max_regions (fun _ -> Dsm.fresh_lock t)
+  in
+  let energy_lock = Dsm.fresh_lock t in
+  let run ctx =
+    let me = Dsm.me ctx and nprocs = Dsm.nprocs ctx in
+    let lo, hi = Common.band ~n:p.molecules ~nprocs ~me in
+    let fidx m field = (m * mol_size) + field in
+    (* Initialize own molecules deterministically; per-molecule seeds keep
+       the workload independent of the processor count. *)
+    for m = lo to hi - 1 do
+      let rng = Rng.create (Int64.of_int ((m * 7_919) + 101)) in
+      for k = 0 to 2 do
+        Dsm.f64_set ctx mols (fidx m (pos_off + k)) (Rng.float rng);
+        Dsm.f64_set ctx mols (fidx m (vel_off + k)) ((Rng.float rng -. 0.5) *. 0.01)
+      done
+    done;
+    Dsm.barrier ctx;
+    for _step = 1 to p.steps do
+      (* Clear own forces (unsynchronized writes: boundary pages falsely
+         shared between adjacent bands). *)
+      for m = lo to hi - 1 do
+        for k = 0 to 2 do
+          Dsm.f64_set ctx mols (fidx m (force_off + k)) 0.0
+        done
+      done;
+      Dsm.compute ctx (ns_per_mol * (hi - lo));
+      Dsm.barrier ctx;
+      (* Pairwise forces with cutoff.  Own half of the i<j pair matrix;
+         contributions to other processors' molecules are accumulated
+         privately and added under the owner region's lock. *)
+      let contrib = Hashtbl.create 64 in
+      let add_contrib m k v =
+        let key = (m, k) in
+        Hashtbl.replace contrib key
+          (v +. Option.value ~default:0. (Hashtbl.find_opt contrib key))
+      in
+      let pairs = ref 0 in
+      for i = lo to hi - 1 do
+        let xi = Dsm.f64_get ctx mols (fidx i (pos_off + 0))
+        and yi = Dsm.f64_get ctx mols (fidx i (pos_off + 1))
+        and zi = Dsm.f64_get ctx mols (fidx i (pos_off + 2)) in
+        for j = i + 1 to p.molecules - 1 do
+          incr pairs;
+          let dx = xi -. Dsm.f64_get ctx mols (fidx j (pos_off + 0))
+          and dy = yi -. Dsm.f64_get ctx mols (fidx j (pos_off + 1))
+          and dz = zi -. Dsm.f64_get ctx mols (fidx j (pos_off + 2)) in
+          let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+          if r2 < p.cutoff *. p.cutoff && r2 > 1e-12 then begin
+            let f = 1e-4 /. (r2 +. 0.01) in
+            add_contrib i 0 (quantize (f *. dx));
+            add_contrib i 1 (quantize (f *. dy));
+            add_contrib i 2 (quantize (f *. dz));
+            add_contrib j 0 (quantize (-.f *. dx));
+            add_contrib j 1 (quantize (-.f *. dy));
+            add_contrib j 2 (quantize (-.f *. dz))
+          end
+        done
+      done;
+      Dsm.compute ctx (ns_per_pair * !pairs);
+      (* Write the contributions back, one owner region at a time, each
+         under that region's lock (ordered writes: migratory pages). *)
+      for q = 0 to nprocs - 1 do
+        let qlo, qhi = Common.band ~n:p.molecules ~nprocs ~me:q in
+        let any =
+          Hashtbl.fold
+            (fun (m, _) _ acc -> acc || (m >= qlo && m < qhi))
+            contrib false
+        in
+        if any then begin
+          Dsm.lock ctx region_lock.(q mod Array.length region_lock);
+          Hashtbl.iter
+            (fun (m, k) v ->
+              if m >= qlo && m < qhi then begin
+                let idx = fidx m (force_off + k) in
+                Dsm.f64_set ctx mols idx (Dsm.f64_get ctx mols idx +. v)
+              end)
+            contrib;
+          Dsm.unlock ctx region_lock.(q mod Array.length region_lock)
+        end
+      done;
+      Dsm.barrier ctx;
+      (* Integrate own molecules and accumulate the potential-energy
+         partial sum under a lock (small migratory writes). *)
+      let partial = ref 0. in
+      for m = lo to hi - 1 do
+        for k = 0 to 2 do
+          let v =
+            Dsm.f64_get ctx mols (fidx m (vel_off + k))
+            +. Dsm.f64_get ctx mols (fidx m (force_off + k))
+          in
+          Dsm.f64_set ctx mols (fidx m (vel_off + k)) v;
+          let x = Dsm.f64_get ctx mols (fidx m (pos_off + k)) +. (0.01 *. v) in
+          (* keep molecules in the unit box *)
+          let x = x -. Float.of_int (int_of_float x) in
+          let x = if x < 0. then x +. 1. else x in
+          Dsm.f64_set ctx mols (fidx m (pos_off + k)) x;
+          partial := !partial +. (v *. v)
+        done
+      done;
+      Dsm.compute ctx (ns_per_mol * (hi - lo));
+      Dsm.lock ctx energy_lock;
+      Dsm.f64_set ctx energy 0
+        (Dsm.f64_get ctx energy 0 +. quantize !partial);
+      Dsm.unlock ctx energy_lock;
+      Dsm.barrier ctx
+    done;
+    if me = 0 then begin
+      let acc = ref (Dsm.f64_get ctx energy 0) in
+      for m = 0 to p.molecules - 1 do
+        acc := Common.mix !acc (Dsm.f64_get ctx mols (fidx m pos_off))
+      done;
+      Common.set_checksum checksum !acc
+    end;
+    Dsm.barrier ctx
+  in
+  (run, fun () -> Common.get_checksum checksum)

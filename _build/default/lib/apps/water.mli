@@ -1,0 +1,23 @@
+(** SPLASH Water-style molecular dynamics (paper Section 5).
+
+    Molecules are stored contiguously (about six records per page) and
+    block-partitioned, so band boundaries fall mid-page: the position
+    updates of adjacent processors falsely share a small fraction of
+    pages, as in the paper.  Inter-molecular force contributions are
+    accumulated into other processors' molecules under per-region locks,
+    which orders those writes (no false sharing from them, but plenty of
+    migratory lock traffic). *)
+
+type params = { molecules : int; steps : int; cutoff : float }
+
+(** Scaled-down stand-in for the paper's 512-molecule input (same
+    molecule count, fewer steps, lighter per-pair cost model). *)
+val default : params
+
+val tiny : params
+
+val data_desc : params -> string
+
+val sync_desc : string
+
+val make : Adsm_dsm.Dsm.t -> params -> (Adsm_dsm.Dsm.ctx -> unit) * (unit -> float)

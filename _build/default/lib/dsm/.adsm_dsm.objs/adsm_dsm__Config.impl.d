@@ -1,0 +1,1 @@
+lib/dsm/config.ml: Adsm_net String

@@ -1,0 +1,1 @@
+lib/dsm/diff.ml: Adsm_mem Bytes Format List

@@ -1,0 +1,1 @@
+lib/dsm/diff.mli: Adsm_mem Format

@@ -1,0 +1,1 @@
+lib/dsm/dsm.ml: Adsm_mem Adsm_net Adsm_sim Array Buffer Config Hashtbl Int32 Printf Proto State Stats String

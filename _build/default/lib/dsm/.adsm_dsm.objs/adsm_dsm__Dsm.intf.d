@@ -1,0 +1,1 @@
+lib/dsm/dsm.mli: Adsm_sim Config Stats

@@ -1,0 +1,1 @@
+lib/dsm/msg.ml: Adsm_mem Array Diff Format Interval List Printf Vc

@@ -1,0 +1,1 @@
+lib/dsm/msg.mli: Adsm_mem Diff Format Interval Vc

@@ -1,0 +1,1 @@
+lib/dsm/notice.ml: Format Printf Vc

@@ -1,0 +1,1 @@
+lib/dsm/notice.mli: Format Vc

@@ -1,0 +1,1 @@
+lib/dsm/proto.ml: Adsm_mem Adsm_net Adsm_sim Array Config Diff Hashtbl Interval List Msg Notice Option Printf State Stats Vc

@@ -1,0 +1,1 @@
+lib/dsm/proto.mli: Adsm_net Msg State

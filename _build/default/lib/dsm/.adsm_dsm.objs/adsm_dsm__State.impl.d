@@ -1,0 +1,1 @@
+lib/dsm/state.ml: Adsm_mem Adsm_net Adsm_sim Array Config Diff Hashtbl Int64 Interval Msg Notice Stats Vc

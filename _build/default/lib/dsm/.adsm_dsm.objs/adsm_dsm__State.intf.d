@@ -1,0 +1,1 @@
+lib/dsm/state.mli: Adsm_mem Adsm_net Adsm_sim Config Diff Hashtbl Interval Msg Notice Stats Vc

@@ -1,0 +1,1 @@
+lib/dsm/stats.ml: Adsm_mem Adsm_sim Array Hashtbl List

@@ -1,0 +1,65 @@
+type protocol = Mw | Sw | Wfs | Wfs_wg | Hlrc
+
+let protocol_name = function
+  | Mw -> "MW"
+  | Sw -> "SW"
+  | Wfs -> "WFS"
+  | Wfs_wg -> "WFS+WG"
+  | Hlrc -> "HLRC"
+
+let protocol_of_string s =
+  match String.uppercase_ascii s with
+  | "MW" -> Some Mw
+  | "SW" -> Some Sw
+  | "WFS" -> Some Wfs
+  | "WFS+WG" | "WFSWG" | "WFS_WG" -> Some Wfs_wg
+  | "HLRC" -> Some Hlrc
+  | _ -> None
+
+let all_protocols = [ Mw; Wfs_wg; Wfs; Sw ]
+
+let extended_protocols = [ Mw; Wfs_wg; Wfs; Sw; Hlrc ]
+
+type t = {
+  protocol : protocol;
+  nprocs : int;
+  net : Adsm_net.Netcfg.t;
+  twin_ns : int;
+  diff_create_ns : int;
+  diff_apply_base_ns : int;
+  diff_apply_byte_ns : int;
+  page_install_ns : int;
+  fault_ns : int;
+  wg_threshold_bytes : int;
+  ownership_quantum_ns : int;
+  gc_threshold_bytes : int;
+  migratory_detection : bool;
+  write_ranges : bool;
+  write_log_ns : int;
+  lazy_diffing : bool;
+  schedule_fuzz : int option;
+  seed : int64;
+}
+
+let make ?(seed = 0x5EEDL) ~protocol ~nprocs () =
+  if nprocs <= 0 then invalid_arg "Config.make: nprocs must be positive";
+  {
+    protocol;
+    nprocs;
+    net = Adsm_net.Netcfg.atm_155;
+    twin_ns = 104_000;
+    diff_create_ns = 179_000;
+    diff_apply_base_ns = 20_000;
+    diff_apply_byte_ns = 40;
+    page_install_ns = 30_000;
+    fault_ns = 20_000;
+    wg_threshold_bytes = 3_072;
+    ownership_quantum_ns = 1_000_000;
+    gc_threshold_bytes = 1_048_576;
+    migratory_detection = false;
+    write_ranges = false;
+    write_log_ns = 250;
+    lazy_diffing = false;
+    schedule_fuzz = None;
+    seed;
+  }

@@ -1,0 +1,72 @@
+(** DSM runtime configuration: protocol selection and cost/threshold knobs.
+
+    Default values reproduce the paper's Section 4 environment. *)
+
+type protocol =
+  | Mw  (** non-adaptive multiple writer (TreadMarks) *)
+  | Sw  (** non-adaptive single writer (CVM-like) *)
+  | Wfs  (** adaptive: write-write false sharing only *)
+  | Wfs_wg  (** adaptive: false sharing + write granularity *)
+  | Hlrc
+      (** extension: home-based LRC (Zhou et al., OSDI'96, cited in the
+          paper's related work) — diffs are flushed eagerly to each page's
+          static home at release and discarded; faults fetch the whole
+          current page from the home.  No diff storage, no garbage
+          collection, but traffic concentrates at (possibly poorly chosen)
+          homes. *)
+
+val protocol_name : protocol -> string
+
+val protocol_of_string : string -> protocol option
+
+val all_protocols : protocol list
+(** The paper's four protocols, in its presentation order. *)
+
+val extended_protocols : protocol list
+(** The paper's four plus the HLRC extension. *)
+
+type t = {
+  protocol : protocol;
+  nprocs : int;
+  net : Adsm_net.Netcfg.t;
+  twin_ns : int;  (** cost of making a twin (paper: 104 us) *)
+  diff_create_ns : int;  (** cost of diffing a full page (paper: 179 us) *)
+  diff_apply_base_ns : int;  (** fixed cost of applying one diff *)
+  diff_apply_byte_ns : int;  (** per-byte cost of applying a diff *)
+  page_install_ns : int;  (** cost of installing a received page copy *)
+  fault_ns : int;  (** trap + handler dispatch cost per page fault *)
+  wg_threshold_bytes : int;  (** diff size above which WFS+WG prefers SW
+                                 (paper: 3 KB) *)
+  ownership_quantum_ns : int;  (** minimum ownership tenure (paper: 1 ms) *)
+  gc_threshold_bytes : int;  (** per-node live diff space that triggers
+                                 garbage collection (paper: 1 MB) *)
+  migratory_detection : bool;
+      (** extension sketched in the paper's related-work section: detect
+          read-then-write (migratory) pages and migrate ownership on the
+          read miss, saving the write fault's ownership exchange.
+          Off by default (not part of the paper's evaluation). *)
+  write_ranges : bool;
+      (** software write detection (the paper cites write ranges / Midway
+          as cheaper alternatives to diffing): every shared write is
+          logged, and diffs are built from the logged ranges at release —
+          no twins, no page scans, but a per-write logging cost
+          ([write_log_ns]).  Off by default. *)
+  write_log_ns : int;  (** per-write logging cost when [write_ranges] *)
+  lazy_diffing : bool;
+      (** TreadMarks's actual scheme: keep the twin at release and create
+          the diff only when first requested (or when the page is
+          re-written).  Diffs whose notices are garbage-collected before
+          anyone asks are never created at all.  Off by default — the
+          baseline reproduction documents eager diffing as a
+          simplification; the `lazydiff` ablation quantifies the gap. *)
+  schedule_fuzz : int option;
+      (** schedule fuzzing: permute the firing order of same-instant
+          simulation events deterministically from this seed.  Correct
+          protocols must produce bit-identical application results under
+          every seed (property-tested); costs and message counts may
+          legitimately vary. *)
+  seed : int64;  (** root seed for all application randomness *)
+}
+
+(** Paper defaults with the given protocol and processor count. *)
+val make : ?seed:int64 -> protocol:protocol -> nprocs:int -> unit -> t

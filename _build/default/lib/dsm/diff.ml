@@ -1,0 +1,84 @@
+module Page = Adsm_mem.Page
+
+type run = { off : int; data : Bytes.t }
+
+type t = run list
+(* Runs are kept in increasing offset order. *)
+
+let run_header_bytes = 4 (* 2-byte offset + 2-byte length *)
+
+(* Modifications are detected at 32-bit word granularity, as in TreadMarks:
+   a word with any differing byte contributes all four bytes to the diff.
+   This is what makes a page of small counter updates diff at nearly the
+   full page size (the paper's IS behaviour). *)
+let word = 4
+
+let create ~twin ~current =
+  let a = Page.raw twin and b = Page.raw current in
+  let n = Page.size / word in
+  let differs w = Bytes.get_int32_le a (w * word) <> Bytes.get_int32_le b (w * word) in
+  let runs = ref [] in
+  let w = ref 0 in
+  while !w < n do
+    if differs !w then begin
+      let start = !w in
+      while !w < n && differs !w do
+        incr w
+      done;
+      let off = start * word in
+      let len = (!w - start) * word in
+      runs := { off; data = Bytes.sub b off len } :: !runs
+    end
+    else incr w
+  done;
+  List.rev !runs
+
+let apply t page =
+  let raw = Page.raw page in
+  List.iter
+    (fun { off; data } -> Bytes.blit data 0 raw off (Bytes.length data))
+    t
+
+let size_bytes t =
+  List.fold_left
+    (fun acc { data; _ } -> acc + run_header_bytes + Bytes.length data)
+    0 t
+
+let is_empty t = t = []
+
+let run_count = List.length
+
+let modified_bytes t =
+  List.fold_left (fun acc { data; _ } -> acc + Bytes.length data) 0 t
+
+let ranges t = List.map (fun { off; data } -> (off, Bytes.length data)) t
+
+let pp ppf t =
+  Format.fprintf ppf "diff[%d runs, %d bytes]" (run_count t) (modified_bytes t)
+
+let of_ranges ranges page =
+  (* Build a diff directly from logged write ranges (software write
+     detection): coalesce and word-align the ranges, then capture the
+     current contents.  No twin or page scan is needed. *)
+  let aligned =
+    List.map
+      (fun (off, len) ->
+        let start = off / word * word in
+        let stop = (off + len + word - 1) / word * word in
+        (start, min Page.size stop))
+      ranges
+  in
+  let sorted = List.sort compare aligned in
+  let merged =
+    List.fold_left
+      (fun acc (start, stop) ->
+        match acc with
+        | (pstart, pstop) :: rest when start <= pstop ->
+          (pstart, max pstop stop) :: rest
+        | _ -> (start, stop) :: acc)
+      [] sorted
+  in
+  let raw = Page.raw page in
+  List.rev_map
+    (fun (start, stop) -> { off = start; data = Bytes.sub raw start (stop - start) })
+    merged

@@ -1,0 +1,243 @@
+module Engine = Adsm_sim.Engine
+module Proc = Adsm_sim.Proc
+module Rng = Adsm_sim.Rng
+module Rpc = Adsm_net.Rpc
+module Network = Adsm_net.Network
+module Page = Adsm_mem.Page
+module Perm = Adsm_mem.Perm
+module Layout = Adsm_mem.Layout
+
+type t = {
+  cfg : Config.t;
+  layout : Layout.t;
+  mutable next_lock : int;
+  mutable cluster : State.cluster option;  (** set once [run] starts *)
+}
+
+type ctx = { cluster : State.cluster; node : State.node }
+
+type f64s = { f_region : Layout.region; f_len : int }
+
+type i32s = { i_region : Layout.region; i_len : int }
+
+type report = {
+  time_ns : int;
+  messages : int;
+  payload_bytes : int;
+  wire_bytes : int;
+  by_kind : (string * (int * int)) list;
+  stats : Stats.t;
+  shared_pages : int;
+  events : int;
+}
+
+let create cfg = { cfg; layout = Layout.create (); next_lock = 0; cluster = None }
+
+let config t = t.cfg
+
+let alloc_f64 t ~name ~len =
+  if len <= 0 then invalid_arg "Dsm.alloc_f64: len must be positive";
+  { f_region = Layout.alloc t.layout ~name ~bytes:(8 * len); f_len = len }
+
+let alloc_i32 t ~name ~len =
+  if len <= 0 then invalid_arg "Dsm.alloc_i32: len must be positive";
+  { i_region = Layout.alloc t.layout ~name ~bytes:(4 * len); i_len = len }
+
+let f64_len a = a.f_len
+
+let i32_len a = a.i_len
+
+let fresh_lock t =
+  let l = t.next_lock in
+  t.next_lock <- l + 1;
+  l
+
+let run ?trace t app =
+  let cfg = t.cfg in
+  let engine = Engine.create ?schedule_seed:cfg.Config.schedule_fuzz () in
+  let rpc = Rpc.create engine cfg.Config.net ~nodes:cfg.Config.nprocs in
+  let total_pages = Layout.total_pages t.layout in
+  let nodes =
+    Array.init cfg.Config.nprocs (fun id ->
+        State.make_node ~cfg ~id ~total_pages)
+  in
+  let cluster =
+    {
+      State.cfg;
+      engine;
+      rpc;
+      layout = t.layout;
+      nodes;
+      stats = Stats.create ~nprocs:cfg.Config.nprocs ();
+      barrier_mgr =
+        {
+          State.epoch = 0;
+          arrived = 0;
+          arrivals = [];
+          gc_requested = false;
+          gc_done_count = 0;
+        };
+      next_lock = t.next_lock;
+      running = cfg.Config.nprocs;
+      trace;
+    }
+  in
+  t.cluster <- Some cluster;
+  for node = 0 to cfg.Config.nprocs - 1 do
+    Rpc.set_handler rpc ~node (fun ~src msg respond ->
+        Proto.handle_message cluster ~node ~src msg respond)
+  done;
+  for id = 0 to cfg.Config.nprocs - 1 do
+    Proc.spawn engine (fun () ->
+        app { cluster; node = nodes.(id) };
+        cluster.State.running <- cluster.State.running - 1)
+  done;
+  let time_ns = Engine.run engine in
+  if cluster.State.running > 0 then begin
+    let describe (n : State.node) =
+      let waits = Buffer.create 64 in
+      if n.State.barrier_wait <> None then Buffer.add_string waits " barrier";
+      if n.State.gc_wait <> None then Buffer.add_string waits " gc";
+      Hashtbl.iter
+        (fun l _ -> Buffer.add_string waits (Printf.sprintf " lock:%d" l))
+        n.State.lock_waits;
+      Hashtbl.iter
+        (fun p _ -> Buffer.add_string waits (Printf.sprintf " own:%d" p))
+        n.State.own_waits;
+      Printf.sprintf "node %d:%s" n.State.id
+        (if Buffer.length waits = 0 then " (running/none)"
+         else Buffer.contents waits)
+    in
+    let detail =
+      String.concat "; " (Array.to_list (Array.map describe nodes))
+    in
+    failwith
+      (Printf.sprintf
+         "Dsm.run: deadlock — %d process(es) still blocked at simulated time \
+          %d ns [%s]"
+         cluster.State.running time_ns detail)
+  end;
+  (* Post-run protocol invariants: a completed run must leave no blocked
+     continuation, queued ownership request or deferred reply behind — any
+     of those means a protocol message was dropped. *)
+  Array.iter
+    (fun (n : State.node) ->
+      let fail what =
+        failwith
+          (Printf.sprintf "Dsm.run: node %d finished with %s" n.State.id what)
+      in
+      if Hashtbl.length n.State.lock_waits > 0 then fail "a blocked lock wait";
+      if Hashtbl.length n.State.own_waits > 0 then
+        fail "a blocked ownership wait";
+      if n.State.barrier_wait <> None then fail "a blocked barrier wait";
+      if n.State.gc_wait <> None then fail "a blocked GC wait";
+      if n.State.hlrc_waiting <> [] then fail "an unanswered HLRC fetch";
+      Hashtbl.iter
+        (fun lock (ls : State.lock_state) ->
+          if ls.State.held then
+            fail (Printf.sprintf "lock %d still held" lock))
+        n.State.locks;
+      Array.iter
+        (fun (e : State.entry) ->
+          if e.State.pending_own <> [] then
+            fail
+              (Printf.sprintf "queued ownership requests on page %d"
+                 e.State.page))
+        n.State.pages)
+    nodes;
+  let net = Rpc.network rpc in
+  {
+    time_ns;
+    messages = Network.total_messages net;
+    payload_bytes = Network.total_payload_bytes net;
+    wire_bytes = Network.total_wire_bytes net;
+    by_kind = Network.by_kind net;
+    stats = cluster.State.stats;
+    shared_pages = total_pages;
+    events = Engine.events_executed engine;
+  }
+
+(* --- in-context operations --- *)
+
+let me ctx = ctx.node.State.id
+
+let nprocs ctx = ctx.cluster.State.cfg.Config.nprocs
+
+let compute ctx ns =
+  Stats.add_time ctx.cluster.State.stats ~node:ctx.node.State.id
+    ~category:Stats.Compute ~ns;
+  Proc.sleep ctx.cluster.State.engine ns
+
+let now ctx = Engine.now ctx.cluster.State.engine
+
+let rng ctx = ctx.node.State.rng
+
+let lock ctx l = Proto.lock ctx.cluster ctx.node l
+
+let unlock ctx l = Proto.unlock ctx.cluster ctx.node l
+
+let barrier ctx = Proto.barrier ctx.cluster ctx.node
+
+(* --- shared-array accessors --- *)
+
+let locate_f64 a i =
+  if i < 0 || i >= a.f_len then
+    invalid_arg
+      (Printf.sprintf "Dsm: f64 index %d out of bounds [0,%d)" i a.f_len);
+  let byte = 8 * i in
+  (a.f_region.Layout.first_page + (byte / Page.size), byte mod Page.size)
+
+let locate_i32 a i =
+  if i < 0 || i >= a.i_len then
+    invalid_arg
+      (Printf.sprintf "Dsm: i32 index %d out of bounds [0,%d)" i a.i_len);
+  let byte = 4 * i in
+  (a.i_region.Layout.first_page + (byte / Page.size), byte mod Page.size)
+
+let rec read_page ctx page off ~get =
+  let e = ctx.node.State.pages.(page) in
+  if Perm.allows_read e.State.perm then get (State.frame e) off
+  else begin
+    Proto.read_fault ctx.cluster ctx.node e;
+    read_page ctx page off ~get
+  end
+
+let rec write_page ctx page off ~len ~set =
+  let e = ctx.node.State.pages.(page) in
+  if Perm.allows_write e.State.perm then begin
+    set (State.frame e) off;
+    if e.State.log_writes then begin
+      (* software write detection (Config.write_ranges) *)
+      e.State.logged_ranges <- (off, len) :: e.State.logged_ranges;
+      e.State.logged_count <- e.State.logged_count + 1
+    end
+  end
+  else begin
+    Proto.write_fault ctx.cluster ctx.node e;
+    write_page ctx page off ~len ~set
+  end
+
+let f64_get ctx a i =
+  let page, off = locate_f64 a i in
+  read_page ctx page off ~get:Page.get_f64
+
+let f64_set ctx a i v =
+  let page, off = locate_f64 a i in
+  write_page ctx page off ~len:8 ~set:(fun p o -> Page.set_f64 p o v)
+
+let i32_get ctx a i =
+  let page, off = locate_i32 a i in
+  read_page ctx page off ~get:Page.get_i32
+
+let i32_set ctx a i v =
+  let page, off = locate_i32 a i in
+  write_page ctx page off ~len:4 ~set:(fun p o -> Page.set_i32 p o v)
+
+let i32_add ctx a i v =
+  let current = i32_get ctx a i in
+  i32_set ctx a i (Int32.add current v)
+
+let f64_pages _t a ~lo ~hi =
+  if lo >= hi then []
+  else
+    Layout.pages_of_range a.f_region ~offset:(8 * lo) ~len:(8 * (hi - lo))

@@ -1,0 +1,101 @@
+(** Public DSM API.
+
+    Usage:
+    {[
+      let cfg = Config.make ~protocol:Config.Wfs ~nprocs:8 () in
+      let t = Dsm.create cfg in
+      let data = Dsm.alloc_f64 t ~name:"grid" ~len:100_000 in
+      let report =
+        Dsm.run t (fun ctx ->
+            let me = Dsm.me ctx in
+            Dsm.f64_set ctx data me 1.0;
+            Dsm.barrier ctx;
+            ...)
+      in
+      Fmt.pr "took %d ns, %d messages@." report.time_ns report.messages
+    ]}
+
+    The callback runs once per simulated processor, as a cooperative
+    process inside the simulation.  All shared-memory accesses go through
+    the typed accessors, which enforce the simulated page protection and
+    fault into the configured protocol (MW, SW, WFS or WFS+WG). *)
+
+type t
+(** A cluster under construction (allocate regions, then [run]). *)
+
+type ctx
+(** Per-processor execution context, passed to the application function. *)
+
+(** Typed shared arrays. *)
+type f64s
+
+type i32s
+
+type report = {
+  time_ns : int;  (** simulated execution time *)
+  messages : int;
+  payload_bytes : int;  (** paper's "data" metric: payload excluding headers *)
+  wire_bytes : int;
+  by_kind : (string * (int * int)) list;  (** kind -> (messages, bytes) *)
+  stats : Stats.t;
+  shared_pages : int;
+  events : int;  (** simulation events executed *)
+}
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+
+(** Allocate a page-aligned shared array of [len] float64s. *)
+val alloc_f64 : t -> name:string -> len:int -> f64s
+
+(** Allocate a page-aligned shared array of [len] int32s. *)
+val alloc_i32 : t -> name:string -> len:int -> i32s
+
+val f64_len : f64s -> int
+
+val i32_len : i32s -> int
+
+(** A fresh lock identifier. *)
+val fresh_lock : t -> int
+
+(** Run the application on every simulated processor and drain the
+    simulation.  @raise Failure if the run deadlocks (processes blocked
+    when the event queue empties). *)
+val run : ?trace:(int -> string -> unit) -> t -> (ctx -> unit) -> report
+
+(* --- operations available inside the application function --- *)
+
+val me : ctx -> int
+
+val nprocs : ctx -> int
+
+(** Charge [ns] nanoseconds of local computation to the simulated clock. *)
+val compute : ctx -> int -> unit
+
+(** Current simulated time. *)
+val now : ctx -> int
+
+(** Deterministic per-processor random stream. *)
+val rng : ctx -> Adsm_sim.Rng.t
+
+val lock : ctx -> int -> unit
+
+val unlock : ctx -> int -> unit
+
+val barrier : ctx -> unit
+
+(** Shared-array accessors (bounds-checked; fault into the protocol). *)
+val f64_get : ctx -> f64s -> int -> float
+
+val f64_set : ctx -> f64s -> int -> float -> unit
+
+val i32_get : ctx -> i32s -> int -> int32
+
+val i32_set : ctx -> i32s -> int -> int32 -> unit
+
+(** [i32_add ctx a i v] adds [v] to element [i] (read-modify-write). *)
+val i32_add : ctx -> i32s -> int -> int32 -> unit
+
+(** Pages spanned by elements [\[lo, hi)] of the array (for diagnostics). *)
+val f64_pages : t -> f64s -> lo:int -> hi:int -> int list

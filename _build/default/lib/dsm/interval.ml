@@ -1,0 +1,16 @@
+type t = { proc : int; seq : int; vc : Vc.t; notices : Notice.t list }
+
+let make ~proc ~vc ~notices =
+  { proc; seq = Vc.get vc proc; vc = Vc.copy vc; notices }
+
+let size_bytes t =
+  8 + Vc.size_bytes t.vc
+  + List.fold_left (fun acc n -> acc + Notice.size_bytes n) 0 t.notices
+
+let size_bytes_list ts = List.fold_left (fun acc t -> acc + size_bytes t) 0 ts
+
+let unseen_by vc ts = List.filter (fun t -> t.seq > Vc.get vc t.proc) ts
+
+let pp ppf t =
+  Format.fprintf ppf "ival(p%d #%d %a [%d notices])" t.proc t.seq Vc.pp t.vc
+    (List.length t.notices)

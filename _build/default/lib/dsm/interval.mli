@@ -1,0 +1,25 @@
+(** Completed intervals of a processor.
+
+    An interval groups the write notices created at one release.  Intervals
+    are what synchronization messages carry: a lock grant or barrier release
+    piggybacks every interval the receiver has not yet seen. *)
+
+type t = {
+  proc : int;
+  seq : int;  (** [Vc.get vc proc] — this interval's own index *)
+  vc : Vc.t;
+  notices : Notice.t list;
+}
+
+val make : proc:int -> vc:Vc.t -> notices:Notice.t list -> t
+
+(** Wire size: 8-byte header + timestamp + notices. *)
+val size_bytes : t -> int
+
+val size_bytes_list : t list -> int
+
+(** Intervals of [intervals] not yet covered by [vc] (i.e. with
+    [seq > Vc.get vc proc]). *)
+val unseen_by : Vc.t -> t list -> t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+(** Protocol message vocabulary.
+
+    Locks, barriers and the SW protocol's forwarded ownership transfers use
+    one-way messages with explicit continuations (the reply can come from a
+    third node); page, diff and adaptive ownership traffic uses
+    request/reply.  Each constructor documents its sender and receiver.
+    [size_bytes] gives the payload size charged to the network. *)
+
+type own_result =
+  | Granted  (** requester becomes owner *)
+  | Refused_fs  (** write-write false sharing detected (version mismatch or
+                    target believes the page is falsely shared) *)
+  | Refused_measure  (** WFS+WG only: first sharing event on the page; the
+                         requester must use MW so the write granularity can
+                         be measured *)
+
+type t =
+  (* Locks (one-way). *)
+  | Lock_acquire of { lock : int; vc : Vc.t }  (** requester -> home *)
+  | Lock_forward of { lock : int; requester : int; vc : Vc.t }
+      (** home -> last queued requester *)
+  | Lock_grant of { lock : int; intervals : Interval.t list }
+      (** previous holder -> requester *)
+  (* Barriers (one-way, manager = node 0). *)
+  | Barrier_arrive of {
+      epoch : int;
+      vc : Vc.t;
+      intervals : Interval.t list;
+      gc_wanted : bool;
+    }
+  | Barrier_release of {
+      epoch : int;
+      intervals : Interval.t list;
+      gc_round : bool;
+    }
+  | Gc_done of { epoch : int }  (** node -> manager: validation finished *)
+  | Gc_complete of { epoch : int }  (** manager -> all: purge diff stores *)
+  (* Paging (request/reply). *)
+  | Page_req of { page : int }
+  | Page_reply of {
+      page : int;
+      data : Adsm_mem.Page.t;
+      version : int;  (** server's highest known version *)
+      committed : int;  (** version fully contained in [data] *)
+      reflected : int array;
+    }
+  | Diff_req of { page : int; seqs : int list; sees_sw : bool }
+      (** [seqs]: the target's interval numbers whose diffs are wanted.
+          [sees_sw] piggybacks the requester's false-sharing view (WFS). *)
+  | Diff_reply of { page : int; diffs : (int * Vc.t * Diff.t) list }
+  (* Ownership. *)
+  | Own_req of { page : int; version : int; want_data : bool }
+      (** adaptive protocols: requester -> last perceived owner *)
+  | Own_reply of {
+      page : int;
+      result : own_result;
+      version : int;
+      committed : int;  (** version fully contained in [data] *)
+      data : Adsm_mem.Page.t option;
+      reflected : int array;
+    }
+  | Sw_own_req of { page : int; version : int }
+      (** SW protocol: requester -> home (one-way) *)
+  | Sw_own_forward of { page : int; requester : int; version : int }
+      (** home -> current owner (one-way) *)
+  | Sw_own_transfer of { page : int; data : Adsm_mem.Page.t; version : int; committed : int }
+      (** previous owner -> requester (one-way) *)
+  (* HLRC extension. *)
+  | Hlrc_diff of { page : int; seq : int; vc : Vc.t; diff : Diff.t }
+      (** writer -> home at release (one-way); the home applies and
+          discards it *)
+  | Hlrc_fetch of { page : int; need : (int * int) list }
+      (** faulting node -> home; [need] lists (proc, seq) modifications the
+          reply must already contain — the home defers the reply until its
+          copy covers them *)
+
+(** Payload size in bytes for the network cost model. *)
+val size_bytes : t -> int
+
+(** Statistics label ("lock", "barrier", "page", "diff", "own", "gc"). *)
+val kind : t -> string
+
+val pp : Format.formatter -> t -> unit

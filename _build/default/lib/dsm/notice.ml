@@ -1,0 +1,19 @@
+type t = {
+  page : int;
+  proc : int;
+  seq : int;
+  vc : Vc.t;
+  version : int option;
+}
+
+let is_owner t = t.version <> None
+
+let covers ~by t = Vc.leq t.vc by.vc
+
+let same_write a b = a.proc = b.proc && a.seq = b.seq && a.page = b.page
+
+let size_bytes t = match t.version with None -> 8 | Some _ -> 12
+
+let pp ppf t =
+  Format.fprintf ppf "wn(p%d i%d pg%d%s)" t.proc t.seq t.page
+    (match t.version with None -> "" | Some v -> Printf.sprintf " v%d" v)

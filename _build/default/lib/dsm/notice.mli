@@ -1,0 +1,30 @@
+(** Write notices.
+
+    A write notice announces that a page was modified during some interval.
+    The multiple-writer protocol sends plain (non-owner) notices; the
+    single-writer and adaptive protocols send owner write notices that also
+    carry the page's version number, which lets receivers discard dominated
+    notices on the fly. *)
+
+type t = {
+  page : int;  (** global page number *)
+  proc : int;  (** writing processor *)
+  seq : int;  (** sequence number of the writing interval *)
+  vc : Vc.t;  (** timestamp of the writing interval *)
+  version : int option;  (** [Some v]: owner write notice at version [v] *)
+}
+
+val is_owner : t -> bool
+
+(** [covers ~by n]: [n]'s modifications are reflected in the page copy
+    described by owner notice [by] (i.e. [n.vc <= by.vc]). *)
+val covers : by:t -> t -> bool
+
+(** Same (proc, seq, page): the same modification record. *)
+val same_write : t -> t -> bool
+
+(** Wire size, excluding the interval timestamp (carried once per
+    interval): 8 bytes, plus 4 for the version of an owner notice. *)
+val size_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

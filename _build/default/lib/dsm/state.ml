@@ -1,0 +1,192 @@
+module Page = Adsm_mem.Page
+module Perm = Adsm_mem.Perm
+module Layout = Adsm_mem.Layout
+module Proc = Adsm_sim.Proc
+module Rng = Adsm_sim.Rng
+module Engine = Adsm_sim.Engine
+
+type entry = {
+  page : int;
+  mutable data : Page.t option;
+  mutable has_base : bool;
+  mutable perm : Perm.t;
+  mutable twin : Page.t option;
+  mutable version : int;
+  mutable content_version : int;
+  mutable committed_version : int;
+  mutable owner : int;
+  mutable is_owner : bool;
+  mutable owned_at : int;
+  mutable fs_active : bool;
+  mutable wg_large : bool;
+  mutable measured : bool;
+  mutable drop_at_release : bool;
+  mutable dirty : bool;
+  mutable notices : Notice.t list;
+  mutable reflected : int array;
+  mutable last_notice_vc : Vc.t option array;
+  fs_view : bool array;
+  copyset : bool array;
+  mutable own_diff_seqs : int list;
+  mutable sw_home_hint : int;
+  mutable pending_own : (int * int) list;
+  mutable migratory_score : int;
+  mutable read_fault_seq : int;
+  mutable pending_diff : (int * Vc.t) option;
+  mutable log_writes : bool;
+  mutable logged_ranges : (int * int) list;
+  mutable logged_count : int;
+}
+
+type lock_state = {
+  mutable have_token : bool;
+  mutable held : bool;
+  mutable next : (int * Vc.t) option;
+  mutable home_tail : int;
+}
+
+type node = {
+  id : int;
+  vc : Vc.t;
+  pages : entry array;
+  intervals : Interval.t list array;
+  mutable dirty_pages : int list;
+  diffs : (int * int * int, Vc.t * Diff.t) Hashtbl.t;
+  locks : (int, lock_state) Hashtbl.t;
+  lock_waits : (int, Interval.t list Proc.Ivar.t) Hashtbl.t;
+  own_waits : (int, Msg.t Proc.Ivar.t) Hashtbl.t;
+  mutable barrier_wait : Msg.t Proc.Ivar.t option;
+  mutable gc_wait : unit Proc.Ivar.t option;
+  mutable last_barrier_vc : Vc.t;
+  mutable barrier_epoch : int;
+  mutable hlrc_waiting :
+    (int * (int * int) list * (bytes:int -> kind:string -> Msg.t -> unit))
+    list;
+  rng : Rng.t;
+}
+
+type barrier_manager = {
+  mutable epoch : int;
+  mutable arrived : int;
+  mutable arrivals : (int * Vc.t * Interval.t list * bool) list;
+      (** buffered (src, vc, intervals, gc_wanted); processed only once all
+          nodes have arrived, so notices never land on a dirty page *)
+  mutable gc_requested : bool;
+  mutable gc_done_count : int;
+}
+
+type cluster = {
+  cfg : Config.t;
+  engine : Engine.t;
+  rpc : Msg.t Adsm_net.Rpc.t;
+  layout : Layout.t;
+  nodes : node array;
+  stats : Stats.t;
+  barrier_mgr : barrier_manager;
+  mutable next_lock : int;
+  mutable running : int;
+  trace : (int -> string -> unit) option;
+}
+
+let make_entry ~nprocs ~page ~home =
+  {
+    page;
+    (* Every node starts with a zero-filled valid read-only copy, as if the
+       shared segment had just been mapped.  The frame itself is allocated
+       lazily on first touch. *)
+    data = None;
+    has_base = true;
+    perm = Perm.Read_only;
+    twin = None;
+    version = 0;
+    content_version = 0;
+    committed_version = 0;
+    owner = home;
+    is_owner = false;
+    owned_at = 0;
+    fs_active = false;
+    wg_large = false;
+    measured = false;
+    drop_at_release = false;
+    dirty = false;
+    notices = [];
+    reflected = Array.make nprocs 0;
+    last_notice_vc = Array.make nprocs None;
+    fs_view = Array.make nprocs true;
+    copyset = Array.make nprocs false;
+    own_diff_seqs = [];
+    sw_home_hint = home;
+    pending_own = [];
+    migratory_score = 0;
+    read_fault_seq = -1;
+    pending_diff = None;
+    log_writes = false;
+    logged_ranges = [];
+    logged_count = 0;
+  }
+
+let make_node ~cfg ~id ~total_pages =
+  let nprocs = cfg.Config.nprocs in
+  {
+    id;
+    vc = Vc.zero ~nprocs;
+    pages =
+      Array.init total_pages (fun page ->
+          let home = page mod nprocs in
+          let e = make_entry ~nprocs ~page ~home in
+          if home = id then e.is_owner <- true;
+          e);
+    intervals = Array.make nprocs [];
+    dirty_pages = [];
+    diffs = Hashtbl.create 256;
+    locks = Hashtbl.create 16;
+    lock_waits = Hashtbl.create 16;
+    own_waits = Hashtbl.create 16;
+    barrier_wait = None;
+    gc_wait = None;
+    last_barrier_vc = Vc.zero ~nprocs;
+    barrier_epoch = 0;
+    hlrc_waiting = [];
+    rng = Rng.create (Int64.add cfg.Config.seed (Int64.of_int (id * 7919)));
+  }
+
+let frame entry =
+  match entry.data with
+  | Some p -> p
+  | None ->
+    let p = Page.create () in
+    entry.data <- Some p;
+    p
+
+let committed_copy entry =
+  match entry.twin with
+  | Some t when entry.dirty -> Some t
+  | Some _ | None -> (
+    (* A twin held for a lazily-pending diff is the PREVIOUS interval's
+       state; once the interval is closed the committed content is the
+       frame itself. *)
+    match entry.data with
+    | Some _ as d -> d
+    | None ->
+      (* An entry with no frame yet still holds the initial zero page as a
+         valid (possibly stale) base, unless it was dropped at a garbage
+         collection. *)
+      if entry.has_base then Some (frame entry) else None)
+
+let lock_state node ~home lock =
+  match Hashtbl.find_opt node.locks lock with
+  | Some s -> s
+  | None ->
+    (* The token initially rests, free, at the lock's home node. *)
+    let s =
+      { have_token = home = node.id; held = false; next = None; home_tail = -1 }
+    in
+    Hashtbl.replace node.locks lock s;
+    s
+
+let home_of_page cluster page = page mod cluster.cfg.Config.nprocs
+
+let home_of_lock cluster lock = lock mod cluster.cfg.Config.nprocs
+
+let trace cluster ~node msg =
+  match cluster.trace with None -> () | Some f -> f node msg

@@ -1,0 +1,153 @@
+(** Per-node and per-cluster runtime state (internal to the DSM runtime).
+
+    Types are exposed transparently: the protocol, runtime and shared-memory
+    modules cooperate on this mutable state.  Application code never sees
+    them — it goes through {!Dsm}. *)
+
+module Page = Adsm_mem.Page
+module Perm = Adsm_mem.Perm
+module Layout = Adsm_mem.Layout
+
+(** Per-page protocol state at one node. *)
+type entry = {
+  page : int;
+  mutable data : Page.t option;  (** local frame; [None] = not materialized *)
+  mutable has_base : bool;
+      (** the node holds a usable (possibly stale) base for the page — the
+          initial zero page counts; false only after a GC dropped the copy *)
+  mutable perm : Perm.t;
+  mutable twin : Page.t option;
+  mutable version : int;  (** highest version known here *)
+  mutable content_version : int;
+      (** version whose contents the local frame reflects; owner write
+          notices at or below it are dominated and discarded on the fly *)
+  mutable committed_version : int;
+      (** highest version whose interval is fully contained in the local
+          frame — what we may claim when serving copies (a dirty owner's
+          frame holds a partial newer interval that must NOT be claimed) *)
+  mutable owner : int;  (** last perceived owner / copy-fetch hint *)
+  mutable is_owner : bool;
+  mutable owned_at : int;  (** sim time ownership was (re)acquired *)
+  mutable fs_active : bool;  (** believes the page is write-write falsely
+                                 shared (adaptive mode variable: true = MW) *)
+  mutable wg_large : bool;  (** WFS+WG: last measured diff above threshold *)
+  mutable measured : bool;  (** WFS+WG: granularity has been measured *)
+  mutable drop_at_release : bool;
+      (** owner must emit a final owner notice at next release, then drop
+          ownership and switch the page to MW mode *)
+  mutable dirty : bool;  (** written during the current interval *)
+  mutable notices : Notice.t list;  (** pending (unapplied) write notices *)
+  mutable reflected : int array;
+      (** per processor: highest interval seq whose modifications are
+          reflected in the committed local copy *)
+  mutable last_notice_vc : Vc.t option array;
+      (** per processor: timestamp of the latest notice seen (for
+          write-write false-sharing detection) *)
+  fs_view : bool array;  (** per processor: piggybacked "I see this page as
+                             SW" flags (WFS rule 1) *)
+  copyset : bool array;  (** approximate copyset: processors that requested
+                             this page or its diffs from us *)
+  mutable own_diff_seqs : int list;
+      (** interval seqs of live diffs this node created for the page (for
+          re-merging own modifications over a fetched base copy, and the MW
+          GC validator test) *)
+  mutable sw_home_hint : int;
+      (** SW protocol: at the page's home, the last known/queued owner *)
+  mutable pending_own : (int * int) list;
+      (** SW protocol: (requester, version) ownership requests queued while
+          a transfer involving this page is in flight *)
+  mutable migratory_score : int;
+      (** migratory-detection extension: confidence that this page follows
+          a read-then-write pattern at this node *)
+  mutable read_fault_seq : int;
+      (** interval index of the last local read fault on this page *)
+  mutable pending_diff : (int * Vc.t) option;
+      (** lazy diffing: a closed interval whose diff has not been
+          materialized yet (the twin is retained until it is) *)
+  mutable log_writes : bool;
+      (** software write detection: the accessors log this interval's
+          write ranges instead of relying on a twin *)
+  mutable logged_ranges : (int * int) list;  (** (offset, length) log *)
+  mutable logged_count : int;  (** writes logged (for cost accounting) *)
+}
+
+(** Distributed lock state. *)
+type lock_state = {
+  mutable have_token : bool;  (** the lock token rests here, free *)
+  mutable held : bool;  (** this node is inside the critical section *)
+  mutable next : (int * Vc.t) option;
+      (** requester to hand the lock to at release *)
+  mutable home_tail : int;  (** at the home node: last requester in the
+                                distributed queue *)
+}
+
+type node = {
+  id : int;
+  vc : Vc.t;
+  pages : entry array;  (** indexed by global page number *)
+  intervals : Interval.t list array;  (** per processor, newest first *)
+  mutable dirty_pages : int list;  (** pages written this interval *)
+  diffs : (int * int * int, Vc.t * Diff.t) Hashtbl.t;
+      (** (page, proc, seq) -> (interval timestamp, diff) *)
+  locks : (int, lock_state) Hashtbl.t;
+  lock_waits : (int, Interval.t list Adsm_sim.Proc.Ivar.t) Hashtbl.t;
+      (** lock id -> continuation of a blocked acquire *)
+  own_waits : (int, Msg.t Adsm_sim.Proc.Ivar.t) Hashtbl.t;
+      (** page -> continuation of a blocked SW ownership transfer *)
+  mutable barrier_wait : Msg.t Adsm_sim.Proc.Ivar.t option;
+  mutable gc_wait : unit Adsm_sim.Proc.Ivar.t option;
+  mutable last_barrier_vc : Vc.t;
+      (** manager knowledge at the last barrier (bounds what we resend) *)
+  mutable barrier_epoch : int;
+  mutable hlrc_waiting :
+    (int * (int * int) list * (bytes:int -> kind:string -> Msg.t -> unit))
+    list;
+      (** HLRC: deferred fetch replies (page, needed (proc,seq) pairs,
+          respond closure) waiting for in-flight diffs to reach this home *)
+  rng : Adsm_sim.Rng.t;
+}
+
+(** Barrier manager bookkeeping (lives at node 0). *)
+type barrier_manager = {
+  mutable epoch : int;
+  mutable arrived : int;
+  mutable arrivals : (int * Vc.t * Interval.t list * bool) list;
+      (** buffered (src, vc, intervals, gc_wanted); processed only once all
+          nodes have arrived, so notices never land on a dirty page *)
+  mutable gc_requested : bool;
+  mutable gc_done_count : int;
+}
+
+type cluster = {
+  cfg : Config.t;
+  engine : Adsm_sim.Engine.t;
+  rpc : Msg.t Adsm_net.Rpc.t;
+  layout : Layout.t;
+  nodes : node array;
+  stats : Stats.t;
+  barrier_mgr : barrier_manager;
+  mutable next_lock : int;
+  mutable running : int;  (** application processes still active *)
+  trace : (int -> string -> unit) option;  (** debug/trace hook: node, event *)
+}
+
+val make_entry : nprocs:int -> page:int -> home:int -> entry
+
+val make_node : cfg:Config.t -> id:int -> total_pages:int -> node
+
+(** Committed contents of a page at this node: the twin while the page is
+    dirty, the current data otherwise.  [None] when the node has no copy. *)
+val committed_copy : entry -> Page.t option
+
+(** The node's frame for the page, allocating it on first use. *)
+val frame : entry -> Page.t
+
+(** The node's state for a lock, created on first use; the token initially
+    rests at the [home] node. *)
+val lock_state : node -> home:int -> int -> lock_state
+
+val home_of_page : cluster -> int -> int
+
+val home_of_lock : cluster -> int -> int
+
+val trace : cluster -> node:int -> string -> unit

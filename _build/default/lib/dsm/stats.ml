@@ -1,0 +1,172 @@
+module Series = Adsm_sim.Series
+module Page = Adsm_mem.Page
+
+type t = {
+  procs : int;
+  mutable twins_created : int;
+  mutable twins_live : int;
+  mutable diffs_created : int;
+  mutable diff_bytes_created : int;
+  diff_store : int array;  (** live bytes per node *)
+  mutable diffs_live : int;  (** live diff count, all nodes *)
+  series : Series.t;
+  mutable own_requests : int;
+  mutable own_refusals : int;
+  mutable gcs : int;
+  mutable rfaults : int;
+  mutable wfaults : int;
+  writers : (int, unit) Hashtbl.t;  (** pages with a recorded writer *)
+  page_writer : (int * int, unit) Hashtbl.t;
+  false_shared : (int, unit) Hashtbl.t;
+  mutable sizes : int list;  (** modified bytes per created diff *)
+  mutable switches : int;
+  mutable migratory_upgrades : int;
+  compute_ns : int array;
+  fault_ns : int array;
+  lock_ns : int array;
+  barrier_ns : int array;
+}
+
+let create ~nprocs () =
+  {
+    procs = nprocs;
+    twins_created = 0;
+    twins_live = 0;
+    diffs_created = 0;
+    diff_bytes_created = 0;
+    diff_store = Array.make nprocs 0;
+    diffs_live = 0;
+    series = Series.create ~name:"live diffs";
+    own_requests = 0;
+    own_refusals = 0;
+    gcs = 0;
+    rfaults = 0;
+    wfaults = 0;
+    writers = Hashtbl.create 256;
+    page_writer = Hashtbl.create 256;
+    false_shared = Hashtbl.create 64;
+    sizes = [];
+    switches = 0;
+    migratory_upgrades = 0;
+    compute_ns = Array.make nprocs 0;
+    fault_ns = Array.make nprocs 0;
+    lock_ns = Array.make nprocs 0;
+    barrier_ns = Array.make nprocs 0;
+  }
+
+let nprocs t = t.procs
+
+let twin_created t ~node:_ =
+  t.twins_created <- t.twins_created + 1;
+  t.twins_live <- t.twins_live + 1
+
+let twin_freed t ~node:_ = t.twins_live <- t.twins_live - 1
+
+let twins_created_total t = t.twins_created
+
+let twin_bytes_total t = t.twins_created * Page.size
+
+let record_live t ~time =
+  Series.record t.series ~time ~value:(float_of_int t.diffs_live)
+
+let diff_created t ~node ~page ~bytes ~modified ~time =
+  t.diffs_created <- t.diffs_created + 1;
+  t.diff_bytes_created <- t.diff_bytes_created + bytes;
+  t.diff_store.(node) <- t.diff_store.(node) + bytes;
+  t.diffs_live <- t.diffs_live + 1;
+  t.sizes <- modified :: t.sizes;
+  ignore page;
+  record_live t ~time
+
+let diff_stored t ~node ~bytes =
+  t.diff_store.(node) <- t.diff_store.(node) + bytes;
+  (* a fetched diff is another live copy; garbage collection drops it
+     per node, so it must be counted per node too *)
+  t.diffs_live <- t.diffs_live + 1
+
+let diffs_dropped t ~node ~bytes ~count ~time =
+  t.diff_store.(node) <- t.diff_store.(node) - bytes;
+  t.diffs_live <- t.diffs_live - count;
+  record_live t ~time
+
+let diffs_created_total t = t.diffs_created
+
+let diff_bytes_total t = t.diff_bytes_created
+
+let diff_store_bytes t ~node = t.diff_store.(node)
+
+let live_diff_series t = t.series
+
+let ownership_request t = t.own_requests <- t.own_requests + 1
+
+let ownership_requests t = t.own_requests
+
+let ownership_refused t = t.own_refusals <- t.own_refusals + 1
+
+let ownership_refusals t = t.own_refusals
+
+let gc_started t = t.gcs <- t.gcs + 1
+
+let gc_count t = t.gcs
+
+let page_fault t ~read =
+  if read then t.rfaults <- t.rfaults + 1 else t.wfaults <- t.wfaults + 1
+
+let page_faults t = t.rfaults + t.wfaults
+
+let read_faults t = t.rfaults
+
+let write_faults t = t.wfaults
+
+let note_write t ~page ~proc =
+  Hashtbl.replace t.writers page ();
+  Hashtbl.replace t.page_writer (page, proc) ()
+
+let note_false_sharing t ~page = Hashtbl.replace t.false_shared page ()
+
+let pages_written t = Hashtbl.length t.writers
+
+let pages_false_shared t = Hashtbl.length t.false_shared
+
+let false_shared_fraction t =
+  let w = pages_written t in
+  if w = 0 then 0. else float_of_int (pages_false_shared t) /. float_of_int w
+
+let diff_sizes t = List.rev t.sizes
+
+let mean_diff_size t =
+  match t.sizes with
+  | [] -> 0.
+  | sizes ->
+    let sum = List.fold_left ( + ) 0 sizes in
+    float_of_int sum /. float_of_int (List.length sizes)
+
+let mode_switches t = t.switches
+
+let mode_switch t = t.switches <- t.switches + 1
+
+let migratory_upgrade t = t.migratory_upgrades <- t.migratory_upgrades + 1
+
+let migratory_upgrades t = t.migratory_upgrades
+
+type time_category = Compute | Fault | Lock | Barrier
+
+let add_time t ~node ~category ~ns =
+  let a =
+    match category with
+    | Compute -> t.compute_ns
+    | Fault -> t.fault_ns
+    | Lock -> t.lock_ns
+    | Barrier -> t.barrier_ns
+  in
+  a.(node) <- a.(node) + ns
+
+let total_time t ~category =
+  let a =
+    match category with
+    | Compute -> t.compute_ns
+    | Fault -> t.fault_ns
+    | Lock -> t.lock_ns
+    | Barrier -> t.barrier_ns
+  in
+  Array.fold_left ( + ) 0 a

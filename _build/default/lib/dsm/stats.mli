@@ -1,0 +1,118 @@
+(** Protocol statistics.
+
+    Collects everything the paper reports: message and data volumes come
+    from the network layer; this module tracks ownership requests, twin and
+    diff memory (cumulative and live), garbage collections, the live-diff
+    time series of Figure 3, and the sharing profile (writers per page,
+    write-write false sharing, diff granularity) behind Table 2. *)
+
+type t
+
+val create : nprocs:int -> unit -> t
+
+val nprocs : t -> int
+
+(* --- twins --- *)
+
+val twin_created : t -> node:int -> unit
+
+val twin_freed : t -> node:int -> unit
+
+val twins_created_total : t -> int
+
+val twin_bytes_total : t -> int
+(** Cumulative bytes of all twins ever created. *)
+
+(* --- diffs --- *)
+
+(** A diff was created by [node]; [bytes] is its encoded size and
+    [modified] the number of bytes it changes on [page], at simulated
+    [time]. *)
+val diff_created : t -> node:int -> page:int -> bytes:int -> modified:int -> time:int -> unit
+
+(** A fetched diff was added to [node]'s diff store (counts as another
+    live diff copy, as in the paper's Figure 3 which plots the total
+    number of diffs on all processors). *)
+val diff_stored : t -> node:int -> bytes:int -> unit
+
+(** [node] dropped [bytes] of diff store and [count] diffs at [time]
+    (garbage collection). *)
+val diffs_dropped : t -> node:int -> bytes:int -> count:int -> time:int -> unit
+
+val diffs_created_total : t -> int
+
+val diff_bytes_total : t -> int
+(** Cumulative encoded bytes of all diffs ever created. *)
+
+val diff_store_bytes : t -> node:int -> int
+(** Current live diff-store bytes at [node] (triggers GC). *)
+
+val live_diff_series : t -> Adsm_sim.Series.t
+(** Total live diffs across all nodes over time (paper Figure 3). *)
+
+(* --- protocol events --- *)
+
+val ownership_request : t -> unit
+
+val ownership_requests : t -> int
+
+val ownership_refused : t -> unit
+
+val ownership_refusals : t -> int
+
+val gc_started : t -> unit
+
+val gc_count : t -> int
+
+val page_faults : t -> int
+
+val page_fault : t -> read:bool -> unit
+
+val read_faults : t -> int
+
+val write_faults : t -> int
+
+(* --- sharing profile (Table 2) --- *)
+
+val note_write : t -> page:int -> proc:int -> unit
+(** A processor committed modifications to a page (at a release). *)
+
+val note_false_sharing : t -> page:int -> unit
+(** Concurrent writes by different processors were detected on the page. *)
+
+val pages_written : t -> int
+(** Pages with at least one recorded writer. *)
+
+val pages_false_shared : t -> int
+
+val false_shared_fraction : t -> float
+(** Falsely shared pages over written pages (0 if none written). *)
+
+val diff_sizes : t -> int list
+(** Modified-byte counts of every diff created (write granularity). *)
+
+val mean_diff_size : t -> float
+
+val mode_switches : t -> int
+(** Number of per-page SW<->MW mode transitions (adaptive protocols). *)
+
+val mode_switch : t -> unit
+
+val migratory_upgrade : t -> unit
+(** A read miss was upgraded to an ownership migration (the
+    migratory-detection extension). *)
+
+val migratory_upgrades : t -> int
+
+(* --- execution-time breakdown --- *)
+
+(** Where a processor's simulated time goes: its own computation
+    ([Dsm.compute] charges), page-fault service (including twin/diff and
+    install costs incurred inside the fault), lock acquisition, or
+    barrier waits (including garbage collection). *)
+type time_category = Compute | Fault | Lock | Barrier
+
+val add_time : t -> node:int -> category:time_category -> ns:int -> unit
+
+(** Sum over all processors. *)
+val total_time : t -> category:time_category -> int

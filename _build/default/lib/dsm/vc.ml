@@ -1,0 +1,53 @@
+type t = int array
+
+let zero ~nprocs =
+  if nprocs <= 0 then invalid_arg "Vc.zero: nprocs must be positive";
+  Array.make nprocs 0
+
+let copy = Array.copy
+
+let nprocs = Array.length
+
+let get t i = t.(i)
+
+let set t i v = t.(i) <- v
+
+let tick t ~proc = t.(proc) <- t.(proc) + 1
+
+let merge_into t other =
+  if Array.length t <> Array.length other then
+    invalid_arg "Vc.merge_into: size mismatch";
+  for i = 0 to Array.length t - 1 do
+    if other.(i) > t.(i) then t.(i) <- other.(i)
+  done
+
+let leq a b =
+  if Array.length a <> Array.length b then invalid_arg "Vc.leq: size mismatch";
+  let rec go i = i = Array.length a || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let sum a = Array.fold_left ( + ) 0 a
+
+let order a b =
+  if leq a b then if leq b a then 0 else -1
+  else if leq b a then 1
+  else begin
+    (* Concurrent: any deterministic total order respecting nothing in
+       particular is fine, as concurrent diffs touch disjoint words when the
+       program is race-free.  Use (sum, lexicographic). *)
+    let c = compare (sum a) (sum b) in
+    if c <> 0 then c else compare a b
+  end
+
+let size_bytes t = 4 * Array.length t
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (Array.to_list t)

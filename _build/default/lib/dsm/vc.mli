@@ -1,0 +1,43 @@
+(** Vector timestamps for lazy release consistency.
+
+    Component [i] of a node's clock is the sequence number of the most
+    recent interval of processor [i] whose modifications the node has seen.
+    The happened-before-1 partial order of the paper is exactly the
+    componentwise order on these vectors. *)
+
+type t
+
+val zero : nprocs:int -> t
+
+val copy : t -> t
+
+val nprocs : t -> int
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** Increment component [proc] (a new interval of that processor). *)
+val tick : t -> proc:int -> unit
+
+(** Componentwise maximum, into the first argument. *)
+val merge_into : t -> t -> unit
+
+(** [leq a b] — every component of [a] is at or below [b]:
+    "[a] happened before or is [b]". *)
+val leq : t -> t -> bool
+
+(** Neither [leq a b] nor [leq b a]: concurrent intervals. *)
+val concurrent : t -> t -> bool
+
+(** Total order extending happened-before-1, for applying diffs "in
+    timestamp order": componentwise-dominated first, concurrent vectors
+    tie-broken by (sum, lexicographic). *)
+val order : t -> t -> int
+
+(** Wire size in bytes (4 per component). *)
+val size_bytes : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Adsm_apps Adsm_dsm Adsm_net List Option Printf Runner String Tables

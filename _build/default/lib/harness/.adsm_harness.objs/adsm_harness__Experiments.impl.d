@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Adsm_apps Adsm_dsm Adsm_sim Filename Fun List Printf Runner String Sys Tables

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Adsm_apps Adsm_dsm Adsm_sim Fun Hashtbl List

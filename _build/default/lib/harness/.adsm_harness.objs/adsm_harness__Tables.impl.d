@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Array Buffer Float List Option Printf String

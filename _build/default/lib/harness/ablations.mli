@@ -1,0 +1,36 @@
+(** Ablation and sensitivity studies for the design choices the paper
+    fixes by measurement or assertion:
+
+    - the SW ownership quantum ("results do not appear to be sensitive to
+      the exact value", Section 2.3);
+    - the WFS+WG write-granularity threshold ("results are not very
+      dependent on the exact value", Section 3.2);
+    - the network cost model (the paper's tradeoffs are tied to a 1997
+      ATM cluster; a modern-network model shifts them);
+    - the migratory-detection extension the paper sketches in Section 7;
+    - processor-count scaling (the paper reports 8 processors only).
+
+    Each function runs the study and returns a rendered table. *)
+
+val quantum : unit -> string
+
+val threshold : unit -> string
+
+val network : unit -> string
+
+val migratory : unit -> string
+
+val lazydiff : unit -> string
+
+val writeranges : unit -> string
+
+val hlrc : unit -> string
+
+val scaling : unit -> string
+
+val names : string list
+
+val run : string -> string option
+(** [run name] executes one study by name. *)
+
+val run_all : unit -> string

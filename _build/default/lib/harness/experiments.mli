@@ -1,0 +1,67 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (Section 6) from fresh simulation runs.
+
+    [collect] runs the full grid once (8 applications x 4 protocols at the
+    requested processor count, plus the sequential baselines); each
+    [table_*] / [figure_*] function renders one artifact from it.  Use
+    [run_all] to print everything in paper order. *)
+
+type suite = {
+  scale : Adsm_apps.Registry.scale;
+  nprocs : int;
+  measurements : Runner.measurement list;
+}
+
+(** Runs the whole grid.  [apps] restricts the application set (default:
+    all eight). *)
+val collect :
+  ?apps:string list ->
+  ?scale:Adsm_apps.Registry.scale ->
+  ?nprocs:int ->
+  unit ->
+  suite
+
+val find :
+  suite -> app:string -> protocol:Adsm_dsm.Config.protocol ->
+  Runner.measurement option
+
+(** Table 1: applications, input sizes, synchronization, sequential time. *)
+val table1 : suite -> string
+
+(** Table 2: write granularity and write-write falsely shared pages. *)
+val table2 : suite -> string
+
+(** Figure 1: protocol behaviour on the three canonical access patterns
+    (producer-consumer, migratory, write-write false sharing) under WFS. *)
+val figure1 : unit -> string
+
+(** Figure 2: speedup comparison, all protocols and applications. *)
+val figure2 : suite -> string
+
+(** Table 3: twin and diff memory consumption for MW, WFS+WG, WFS. *)
+val table3 : suite -> string
+
+(** Table 4: messages, ownership requests, and data exchanged. *)
+val table4 : suite -> string
+
+(** Figure 3: live diff count over time for 3D-FFT under MW/WFS+WG/WFS. *)
+val figure3 : suite -> string
+
+(** Beyond the paper: per-protocol execution-time breakdown (compute /
+    fault / lock / barrier / other percentages). *)
+val breakdown : suite -> string
+
+(** Write machine-readable CSV files for every artifact into [dir]
+    (created if missing): `speedups.csv` with one row per (application,
+    protocol) measurement, `sharing.csv` with the Table 2 profile, and
+    `fig3_<protocol>.csv` live-diff series. *)
+val export_csv : suite -> dir:string -> string list
+(** Returns the paths written. *)
+
+(** Everything, in paper order. *)
+val run_all :
+  ?apps:string list ->
+  ?scale:Adsm_apps.Registry.scale ->
+  ?nprocs:int ->
+  unit ->
+  string

@@ -1,0 +1,94 @@
+module Config = Adsm_dsm.Config
+module Dsm = Adsm_dsm.Dsm
+module Stats = Adsm_dsm.Stats
+module Registry = Adsm_apps.Registry
+module Series = Adsm_sim.Series
+
+type measurement = {
+  app : string;
+  protocol : Config.protocol;
+  nprocs : int;
+  scale : Registry.scale;
+  time_ns : int;
+  messages : int;
+  data_bytes : int;
+  own_requests : int;
+  own_refusals : int;
+  twins_created : int;
+  twin_bytes : int;
+  diffs_created : int;
+  diff_bytes : int;
+  gc_runs : int;
+  mode_switches : int;
+  shared_pages : int;
+  pages_written : int;
+  pages_false_shared : int;
+  mean_diff_bytes : float;
+  read_faults : int;
+  write_faults : int;
+  checksum : float;
+  live_diff_series : (int * float) list;
+  events : int;
+  compute_ns : int;
+  fault_time_ns : int;
+  lock_time_ns : int;
+  barrier_time_ns : int;
+}
+
+let run ?(seed = 0x5EEDL) ?(tweak = Fun.id) ?trace ~(app : Registry.entry)
+    ~protocol ~nprocs ~scale () =
+  let cfg = tweak (Config.make ~seed ~protocol ~nprocs ()) in
+  let t = Dsm.create cfg in
+  let program, result = app.Registry.instantiate scale t in
+  let report = Dsm.run ?trace t program in
+  let stats = report.Dsm.stats in
+  {
+    app = app.Registry.name;
+    protocol;
+    nprocs;
+    scale;
+    time_ns = report.Dsm.time_ns;
+    messages = report.Dsm.messages;
+    data_bytes = report.Dsm.payload_bytes;
+    own_requests = Stats.ownership_requests stats;
+    own_refusals = Stats.ownership_refusals stats;
+    twins_created = Stats.twins_created_total stats;
+    twin_bytes = Stats.twin_bytes_total stats;
+    diffs_created = Stats.diffs_created_total stats;
+    diff_bytes = Stats.diff_bytes_total stats;
+    gc_runs = Stats.gc_count stats;
+    mode_switches = Stats.mode_switches stats;
+    shared_pages = report.Dsm.shared_pages;
+    pages_written = Stats.pages_written stats;
+    pages_false_shared = Stats.pages_false_shared stats;
+    mean_diff_bytes = Stats.mean_diff_size stats;
+    read_faults = Stats.read_faults stats;
+    write_faults = Stats.write_faults stats;
+    checksum = result ();
+    live_diff_series = Series.to_list (Stats.live_diff_series stats);
+    events = report.Dsm.events;
+    compute_ns = Stats.total_time stats ~category:Stats.Compute;
+    fault_time_ns = Stats.total_time stats ~category:Stats.Fault;
+    lock_time_ns = Stats.total_time stats ~category:Stats.Lock;
+    barrier_time_ns = Stats.total_time stats ~category:Stats.Barrier;
+  }
+
+let seq_cache : (string * Registry.scale, int) Hashtbl.t = Hashtbl.create 16
+
+let sequential_time_ns ~(app : Registry.entry) ~scale =
+  let key = (app.Registry.name, scale) in
+  match Hashtbl.find_opt seq_cache key with
+  | Some t -> t
+  | None ->
+    let m = run ~app ~protocol:Config.Sw ~nprocs:1 ~scale () in
+    Hashtbl.replace seq_cache key m.time_ns;
+    m.time_ns
+
+let speedup m =
+  match
+    List.find_opt (fun e -> e.Registry.name = m.app) Registry.all
+  with
+  | None -> invalid_arg ("Runner.speedup: unknown app " ^ m.app)
+  | Some app ->
+    let seq = sequential_time_ns ~app ~scale:m.scale in
+    float_of_int seq /. float_of_int m.time_ns

@@ -1,0 +1,77 @@
+let render ~title ~header rows =
+  let all = header :: rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let line row =
+    let cells =
+      List.mapi
+        (fun c w -> pad (Option.value ~default:"" (List.nth_opt row c)) w)
+        widths
+    in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((title :: line header :: sep :: body) @ [ "" ])
+
+let bar ~width ~value ~max:maxv =
+  let n =
+    if maxv <= 0. then 0
+    else
+      let f = value /. maxv in
+      let f = Float.max 0. (Float.min 1. f) in
+      int_of_float (Float.round (f *. float_of_int width))
+  in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let series_plot ~width ~height named =
+  ignore width;
+  let maxv =
+    List.fold_left
+      (fun acc (_, ys) -> Array.fold_left Float.max acc ys)
+      0. named
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, ys) ->
+      Buffer.add_string buf (Printf.sprintf "%-8s" name);
+      Array.iter
+        (fun y ->
+          let level =
+            if maxv <= 0. then 0
+            else
+              int_of_float
+                (Float.round (y /. maxv *. float_of_int (height - 1)))
+          in
+          let glyph =
+            match level with
+            | 0 -> if y > 0. then '.' else '_'
+            | 1 -> ':'
+            | 2 -> '-'
+            | 3 -> '='
+            | 4 -> '+'
+            | 5 -> '*'
+            | _ -> '#'
+          in
+          Buffer.add_char buf glyph)
+        ys;
+      Buffer.add_string buf (Printf.sprintf "  (max %.0f)\n" (Array.fold_left Float.max 0. ys)))
+    named;
+  Buffer.contents buf
+
+let mb bytes = Printf.sprintf "%.2f" (float_of_int bytes /. 1_048_576.)
+
+let thousands n = Printf.sprintf "%.2f" (float_of_int n /. 1_000.)

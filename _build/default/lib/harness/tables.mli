@@ -1,0 +1,20 @@
+(** Plain-text rendering helpers for the paper-reproduction tables and
+    figures. *)
+
+(** [render ~title ~header rows] lays out a left-aligned text table with a
+    column-width pass. *)
+val render : title:string -> header:string list -> string list list -> string
+
+(** Horizontal ASCII bar of [width] cells for [value] out of [max]. *)
+val bar : width:int -> value:float -> max:float -> string
+
+(** [series_plot ~width ~height points] draws a crude ASCII chart of one or
+    more named series sampled on a common x-axis. *)
+val series_plot :
+  width:int -> height:int -> (string * float array) list -> string
+
+val mb : int -> string
+(** Bytes rendered as "12.34" megabytes. *)
+
+val thousands : int -> string
+(** Count rendered in units of 10^3 with two decimals, as in Table 4. *)

@@ -1,0 +1,51 @@
+type region = {
+  id : int;
+  name : string;
+  first_page : int;
+  page_count : int;
+  byte_size : int;
+}
+
+type t = { mutable next_page : int; mutable allocated : region list }
+
+let create () = { next_page = 0; allocated = [] }
+
+let alloc t ~name ~bytes =
+  if bytes <= 0 then invalid_arg "Layout.alloc: size must be positive";
+  let page_count = (bytes + Page.size - 1) / Page.size in
+  let region =
+    {
+      id = List.length t.allocated;
+      name;
+      first_page = t.next_page;
+      page_count;
+      byte_size = bytes;
+    }
+  in
+  t.next_page <- t.next_page + page_count;
+  t.allocated <- region :: t.allocated;
+  region
+
+let total_pages t = t.next_page
+
+let regions t = List.rev t.allocated
+
+let locate region offset =
+  if offset < 0 || offset >= region.byte_size then
+    invalid_arg
+      (Printf.sprintf "Layout.locate: offset %d outside region %s (%d bytes)"
+         offset region.name region.byte_size);
+  (region.first_page + (offset / Page.size), offset mod Page.size)
+
+let region_of_page t page =
+  List.find_opt
+    (fun r -> page >= r.first_page && page < r.first_page + r.page_count)
+    t.allocated
+
+let pages_of_range region ~offset ~len =
+  if len <= 0 then []
+  else begin
+    let first, _ = locate region offset in
+    let last, _ = locate region (offset + len - 1) in
+    List.init (last - first + 1) (fun i -> first + i)
+  end

@@ -1,0 +1,36 @@
+(** Global shared address-space layout.
+
+    Regions are allocated page-aligned out of a single global page-number
+    space shared by all nodes; a global page number identifies a coherence
+    unit in the DSM protocols.  The layout itself holds no data — each node
+    materializes its own copies of pages. *)
+
+type region = {
+  id : int;
+  name : string;
+  first_page : int;  (** global number of the region's first page *)
+  page_count : int;
+  byte_size : int;  (** requested size; the region occupies whole pages *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Allocate a new page-aligned region of at least [bytes] bytes. *)
+val alloc : t -> name:string -> bytes:int -> region
+
+(** Total pages allocated so far. *)
+val total_pages : t -> int
+
+val regions : t -> region list
+
+(** [locate region offset] is [(global_page, offset_in_page)].
+    @raise Invalid_argument if [offset] is outside the region. *)
+val locate : region -> int -> int * int
+
+(** [region_of_page t page] finds the region containing a global page. *)
+val region_of_page : t -> int -> region option
+
+(** Pages spanned by the byte range [\[offset, offset+len)] of a region. *)
+val pages_of_range : region -> offset:int -> len:int -> int list

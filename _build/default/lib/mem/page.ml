@@ -1,0 +1,34 @@
+let size = 4096
+
+type t = Bytes.t
+
+let create () = Bytes.make size '\000'
+
+let copy t = Bytes.copy t
+
+let blit ~src ~dst = Bytes.blit src 0 dst 0 size
+
+let equal = Bytes.equal
+
+let get_byte t i = Char.code (Bytes.get t i)
+
+let set_byte t i v = Bytes.set t i (Char.chr (v land 0xff))
+
+let get_i32 t i = Bytes.get_int32_le t i
+
+let set_i32 t i v = Bytes.set_int32_le t i v
+
+let get_f64 t i = Int64.float_of_bits (Bytes.get_int64_le t i)
+
+let set_f64 t i v = Bytes.set_int64_le t i (Int64.bits_of_float v)
+
+let raw t = t
+
+let of_bytes b =
+  if Bytes.length b <> size then
+    invalid_arg
+      (Printf.sprintf "Page.of_bytes: expected %d bytes, got %d" size
+         (Bytes.length b));
+  b
+
+let fill_zero t = Bytes.fill t 0 size '\000'

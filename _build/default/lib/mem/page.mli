@@ -1,0 +1,42 @@
+(** Fixed-size shared memory pages.
+
+    A page is a mutable 4096-byte buffer, the DSM coherence unit (the same
+    size as the paper's SPARC/SunOS pages).  Accessors use little-endian
+    encoding and check bounds. *)
+
+val size : int
+(** Page size in bytes (4096). *)
+
+type t
+
+val create : unit -> t
+(** A zero-filled page. *)
+
+val copy : t -> t
+(** An independent copy (used for twins). *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with the contents of [src]. *)
+
+val equal : t -> t -> bool
+
+val get_byte : t -> int -> int
+
+val set_byte : t -> int -> int -> unit
+
+val get_i32 : t -> int -> int32
+
+val set_i32 : t -> int -> int32 -> unit
+
+val get_f64 : t -> int -> float
+
+val set_f64 : t -> int -> float -> unit
+
+val raw : t -> Bytes.t
+(** The underlying buffer (for diffing); treat as read-only outside the
+    DSM runtime. *)
+
+val of_bytes : Bytes.t -> t
+(** Wrap an exactly page-sized buffer. @raise Invalid_argument otherwise. *)
+
+val fill_zero : t -> unit

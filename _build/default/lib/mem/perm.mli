@@ -1,0 +1,14 @@
+(** Simulated page protection.
+
+    Stands in for [mprotect] access rights: an access that exceeds the
+    current permission raises a simulated page fault in the DSM layer. *)
+
+type t = No_access | Read_only | Read_write
+
+val allows_read : t -> bool
+
+val allows_write : t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

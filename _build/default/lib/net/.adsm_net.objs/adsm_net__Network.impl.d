@@ -1,0 +1,1 @@
+lib/net/network.ml: Adsm_sim Array Hashtbl List Netcfg Printf String

@@ -1,0 +1,1 @@
+lib/net/network.mli: Adsm_sim Netcfg

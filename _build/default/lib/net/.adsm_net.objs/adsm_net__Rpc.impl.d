@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Adsm_sim Array Envelope Hashtbl Network Printf

@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Adsm_sim Envelope Netcfg Network

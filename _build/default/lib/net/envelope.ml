@@ -1,0 +1,6 @@
+type 'msg t =
+  | Request of int * 'msg
+  | Reply of int * 'msg
+  | Oneway of 'msg
+
+let payload = function Request (_, m) | Reply (_, m) | Oneway m -> m

@@ -1,0 +1,8 @@
+(** Wire envelope used by {!Rpc} to correlate requests with replies. *)
+
+type 'msg t =
+  | Request of int * 'msg  (** correlation id, payload *)
+  | Reply of int * 'msg
+  | Oneway of 'msg
+
+val payload : 'msg t -> 'msg

@@ -1,0 +1,46 @@
+type t = {
+  send_overhead_ns : int;
+  recv_overhead_ns : int;
+  wire_latency_ns : int;
+  per_byte_ns : int;
+  header_bytes : int;
+}
+
+(* Calibration for the paper's testbed (Section 4):
+
+   - smallest-message RTT = 1 ms
+   - remote 4096-byte page fetch = 1921 us
+
+   With [one_way b = send + wire + (header + b) * per_byte + recv]:
+     small RTT  = 2 * (490 us + 40 B * 225 ns)            =  998.0 us
+     page fetch = small RTT + 4096 B * 225 ns             = 1919.6 us
+
+   The 225 ns/B effective byte cost (~4.4 MB/s) reflects the measured
+   large-datagram UDP throughput of the SPARC-20/ATM testbed (fragmentation
+   and per-cell CPU costs dominate), not the 155 Mbps signalling rate. *)
+let atm_155 =
+  {
+    send_overhead_ns = 150_000;
+    recv_overhead_ns = 150_000;
+    wire_latency_ns = 190_000;
+    per_byte_ns = 225;
+    header_bytes = 40;
+  }
+
+let fast_ethernet =
+  {
+    send_overhead_ns = 10_000;
+    recv_overhead_ns = 10_000;
+    wire_latency_ns = 5_000;
+    per_byte_ns = 1;
+    header_bytes = 40;
+  }
+
+let one_way_ns t ~bytes =
+  if bytes < 0 then invalid_arg "Netcfg.one_way_ns: negative size";
+  t.send_overhead_ns + t.wire_latency_ns
+  + ((t.header_bytes + bytes) * t.per_byte_ns)
+  + t.recv_overhead_ns
+
+let round_trip_ns t ~req_bytes ~reply_bytes =
+  one_way_ns t ~bytes:req_bytes + one_way_ns t ~bytes:reply_bytes

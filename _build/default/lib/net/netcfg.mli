@@ -1,0 +1,34 @@
+(** Network cost model.
+
+    The model charges each message
+    [send_overhead + wire_latency + payload_bytes * per_byte + recv_overhead]
+    nanoseconds end to end, and serializes messages on each directed link
+    (a later message never overtakes an earlier one on the same link).
+
+    The default is calibrated to the paper's Section 4 environment: 8
+    SPARC-20s on 155 Mbps ATM over UDP, where the smallest-message round trip
+    is 1 ms and fetching a 4096-byte page remotely takes 1921 us. *)
+
+type t = {
+  send_overhead_ns : int;  (** sender-side software cost per message *)
+  recv_overhead_ns : int;  (** receiver-side software cost per message *)
+  wire_latency_ns : int;  (** propagation + switching delay *)
+  per_byte_ns : int;  (** inverse bandwidth, ns per payload byte *)
+  header_bytes : int;  (** protocol header accounted to every message *)
+}
+
+(** Cost model reproducing the paper's testbed:
+    - small-message round-trip time = 1 ms,
+    - remote 4 KB page fetch = 1921 us
+      (request + reply carrying the page + fault handling). *)
+val atm_155 : t
+
+(** A fast modern-network model (for sensitivity experiments): 10 us
+    overheads, 5 us latency, ~1 Gbps. *)
+val fast_ethernet : t
+
+(** One-way transfer time for a message with [bytes] of payload. *)
+val one_way_ns : t -> bytes:int -> int
+
+(** Round-trip time for a request of [req_bytes] and reply of [reply_bytes]. *)
+val round_trip_ns : t -> req_bytes:int -> reply_bytes:int -> int

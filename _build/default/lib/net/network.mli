@@ -1,0 +1,43 @@
+(** Simulated point-to-point cluster network.
+
+    Messages of type ['msg] are delivered to a per-node handler after the
+    cost-model delay.  Each directed link is FIFO: a message never overtakes
+    an earlier message on the same link.  The network also keeps message and
+    byte counters, globally, per node, and per message [kind] label, which
+    the experiment harness reads out for the paper's Table 4. *)
+
+type 'msg t
+
+val create : Adsm_sim.Engine.t -> Netcfg.t -> nodes:int -> 'msg t
+
+val nodes : 'msg t -> int
+
+val config : 'msg t -> Netcfg.t
+
+(** Install the receive handler for [node].  Must be set before any message
+    addressed to [node] is delivered. *)
+val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+
+(** [send t ~src ~dst ~bytes ~kind msg] transmits [msg] with a payload of
+    [bytes] bytes.  [kind] labels the message for statistics.
+    @raise Invalid_argument on self-sends or out-of-range nodes. *)
+val send : 'msg t -> src:int -> dst:int -> bytes:int -> kind:string -> 'msg -> unit
+
+(** Total messages delivered or in flight. *)
+val total_messages : 'msg t -> int
+
+(** Total payload bytes (excluding headers). *)
+val total_payload_bytes : 'msg t -> int
+
+(** Total bytes on the wire including per-message headers. *)
+val total_wire_bytes : 'msg t -> int
+
+(** Per-kind [(messages, payload_bytes)] counters, sorted by kind. *)
+val by_kind : 'msg t -> (string * (int * int)) list
+
+(** [(sent, received)] message counts for [node]; received counts messages
+    addressed to it that have been sent, whether or not yet delivered. *)
+val node_counts : 'msg t -> node:int -> int * int
+
+(** Reset all counters (topology and handlers are kept). *)
+val reset_counters : 'msg t -> unit

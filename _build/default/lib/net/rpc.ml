@@ -1,0 +1,70 @@
+module Engine = Adsm_sim.Engine
+module Proc = Adsm_sim.Proc
+
+type 'msg respond = bytes:int -> kind:string -> 'msg -> unit
+
+type 'msg handler = src:int -> 'msg -> 'msg respond option -> unit
+
+type 'msg t = {
+  engine : Engine.t;
+  net : 'msg Envelope.t Network.t;
+  mutable next_id : int;
+  pending : (int, 'msg Proc.Ivar.t) Hashtbl.t;
+  handlers : 'msg handler option array;
+}
+
+let create engine cfg ~nodes =
+  let t =
+    {
+      engine;
+      net = Network.create engine cfg ~nodes;
+      next_id = 0;
+      pending = Hashtbl.create 64;
+      handlers = Array.make nodes None;
+    }
+  in
+  for node = 0 to nodes - 1 do
+    Network.set_handler t.net ~node (fun ~src env ->
+        match env with
+        | Envelope.Reply (id, msg) -> (
+          match Hashtbl.find_opt t.pending id with
+          | Some ivar ->
+            Hashtbl.remove t.pending id;
+            Proc.Ivar.fill t.engine ivar msg
+          | None ->
+            failwith (Printf.sprintf "Rpc: unexpected reply id %d" id))
+        | Envelope.Request (id, msg) -> (
+          match t.handlers.(node) with
+          | None -> failwith (Printf.sprintf "Rpc: node %d has no handler" node)
+          | Some h ->
+            let respond ~bytes ~kind reply =
+              Network.send t.net ~src:node ~dst:src ~bytes ~kind
+                (Envelope.Reply (id, reply))
+            in
+            h ~src msg (Some respond))
+        | Envelope.Oneway msg -> (
+          match t.handlers.(node) with
+          | None -> failwith (Printf.sprintf "Rpc: node %d has no handler" node)
+          | Some h -> h ~src msg None))
+  done;
+  t
+
+let nodes t = Network.nodes t.net
+
+let network t = t.net
+
+let set_handler t ~node h = t.handlers.(node) <- Some h
+
+let call_async t ~src ~dst ~bytes ~kind msg =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let ivar = Proc.Ivar.create () in
+  Hashtbl.replace t.pending id ivar;
+  Network.send t.net ~src ~dst ~bytes ~kind (Envelope.Request (id, msg));
+  ivar
+
+let call t ~src ~dst ~bytes ~kind msg =
+  Proc.Ivar.await (call_async t ~src ~dst ~bytes ~kind msg)
+
+let cast t ~src ~dst ~bytes ~kind msg =
+  Network.send t.net ~src ~dst ~bytes ~kind (Envelope.Oneway msg)

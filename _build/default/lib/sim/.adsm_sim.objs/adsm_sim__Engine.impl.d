@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Eheap Fun Int64 Printf

@@ -1,0 +1,75 @@
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let cap' = if cap = 0 then 64 else cap * 2 in
+  (* The dummy cell is only used to extend the array; it is never read
+     because [size] bounds all accesses. *)
+  let dummy = h.data.(0) in
+  let data' = Array.make cap' dummy in
+  Array.blit h.data 0 data' 0 cap;
+  h.data <- data'
+
+let push h ~time ~seq value =
+  let e = { time; seq; value } in
+  if h.size = Array.length h.data then
+    if h.size = 0 then h.data <- Array.make 64 e else grow h;
+  let data = h.data in
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  data.(!i) <- e;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if precedes e data.(parent) then begin
+      data.(!i) <- data.(parent);
+      data.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down h =
+  let data = h.data and n = h.size in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < n && precedes data.(l) data.(!smallest) then smallest := l;
+    if r < n && precedes data.(r) data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = data.(!i) in
+      data.(!i) <- data.(!smallest);
+      data.(!smallest) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let e = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- e;
+      (* keep a live value in the vacated slot; harmless *)
+      sift_down h
+    end;
+    Some (e.time, e.seq, e.value)
+  end
+
+let peek_time h = if h.size = 0 then None else Some h.data.(0).time

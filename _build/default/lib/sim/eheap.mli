@@ -1,0 +1,24 @@
+(** Binary min-heap of timestamped events.
+
+    Events are ordered by [(time, seq)]: [seq] is a monotonically increasing
+    insertion counter supplied by the caller, so that events scheduled for the
+    same simulated instant fire in insertion order.  This makes the whole
+    simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+(** [pop_min h] removes and returns the event with the smallest [(time, seq)],
+    or [None] when the heap is empty. *)
+val pop_min : 'a t -> (int * int * 'a) option
+
+(** [peek_time h] is the time of the earliest event without removing it. *)
+val peek_time : 'a t -> int option

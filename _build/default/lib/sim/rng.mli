@@ -1,0 +1,24 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    The simulator never touches the global [Random] state, so every
+    experiment is reproducible from its seed. *)
+
+type t
+
+val create : int64 -> t
+
+(** Next raw 64-bit output. *)
+val next64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [split t] derives an independent generator; [t] advances. *)
+val split : t -> t
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,62 @@
+type t = {
+  series_name : string;
+  mutable times : int array;
+  mutable values : float array;
+  mutable size : int;
+}
+
+let create ~name = { series_name = name; times = [||]; values = [||]; size = 0 }
+
+let name t = t.series_name
+
+let record t ~time ~value =
+  if t.size = Array.length t.times then begin
+    let cap = max 64 (2 * t.size) in
+    let times' = Array.make cap 0 and values' = Array.make cap 0. in
+    Array.blit t.times 0 times' 0 t.size;
+    Array.blit t.values 0 values' 0 t.size;
+    t.times <- times';
+    t.values <- values'
+  end;
+  t.times.(t.size) <- time;
+  t.values.(t.size) <- value;
+  t.size <- t.size + 1
+
+let length t = t.size
+
+let to_list t =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) ((t.times.(i), t.values.(i)) :: acc)
+  in
+  build (t.size - 1) []
+
+let max_value t =
+  let m = ref 0. in
+  for i = 0 to t.size - 1 do
+    if t.values.(i) > !m then m := t.values.(i)
+  done;
+  !m
+
+let value_at t ~time =
+  (* Samples are recorded with nondecreasing times; binary search for the
+     last sample at or before [time]. *)
+  if t.size = 0 || time < t.times.(0) then 0.
+  else begin
+    let lo = ref 0 and hi = ref (t.size - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.times.(mid) <= time then lo := mid else hi := mid - 1
+    done;
+    t.values.(!lo)
+  end
+
+let resample t ~buckets ~t_end =
+  if buckets <= 0 then invalid_arg "Series.resample: buckets must be positive";
+  let out = Array.make buckets 0. in
+  for b = 0 to buckets - 1 do
+    let time =
+      if buckets = 1 then t_end else b * t_end / (buckets - 1)
+    in
+    out.(b) <- value_at t ~time
+  done;
+  out

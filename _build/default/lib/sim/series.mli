@@ -1,0 +1,27 @@
+(** Append-only time series of [(time_ns, value)] samples, used to record
+    protocol metrics over simulated time (e.g. live diff count for the
+    paper's Figure 3). *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val record : t -> time:int -> value:float -> unit
+
+val length : t -> int
+
+(** Samples in recording order. *)
+val to_list : t -> (int * float) list
+
+(** Largest value recorded, or 0 if empty. *)
+val max_value : t -> float
+
+(** Value in effect at [time] (last sample at or before it); 0 before the
+    first sample. *)
+val value_at : t -> time:int -> float
+
+(** [resample t ~buckets ~t_end] summarizes the series into [buckets] equal
+    time windows over [0, t_end], carrying the last value forward. *)
+val resample : t -> buckets:int -> t_end:int -> float array

@@ -1,0 +1,1 @@
+test/test_apps.ml: Adsm_apps Adsm_dsm Adsm_sim Alcotest Array Int64 List Printf QCheck QCheck_alcotest

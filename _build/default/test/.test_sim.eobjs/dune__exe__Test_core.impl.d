@@ -1,0 +1,1 @@
+test/test_core.ml: Adsm_dsm Adsm_mem Adsm_sim Alcotest Format Int64 List Printf QCheck QCheck_alcotest

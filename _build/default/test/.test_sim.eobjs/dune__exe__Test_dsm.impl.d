@@ -1,0 +1,1 @@
+test/test_dsm.ml: Adsm_dsm Alcotest List Printf String

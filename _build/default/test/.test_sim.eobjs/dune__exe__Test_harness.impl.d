@@ -1,0 +1,1 @@
+test/test_harness.ml: Adsm_apps Adsm_dsm Adsm_harness Alcotest Filename List Option Printf String Sys

@@ -1,0 +1,1 @@
+test/test_mem.ml: Adsm_mem Alcotest Bytes Char List Option QCheck QCheck_alcotest

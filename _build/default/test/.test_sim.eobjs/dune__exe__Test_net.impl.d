@@ -1,0 +1,1 @@
+test/test_net.ml: Adsm_net Adsm_sim Alcotest Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_proto.ml: Adsm_dsm Alcotest Fun Int32 List Printf

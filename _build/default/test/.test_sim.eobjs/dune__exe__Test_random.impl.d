@@ -1,0 +1,1 @@
+test/test_random.ml: Adsm_dsm Adsm_sim Alcotest Array Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Adsm_sim Alcotest Array Fun List QCheck QCheck_alcotest

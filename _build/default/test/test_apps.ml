@@ -1,0 +1,325 @@
+(* Application integration tests: every application, at tiny scale, must
+   produce a bit-identical checksum under all four protocols and match the
+   single-processor run.  This exercises the full protocol stack —
+   twin/diff merging, ownership transfer, adaptation, GC — against real
+   computations. *)
+
+module Config = Adsm_dsm.Config
+module Dsm = Adsm_dsm.Dsm
+module Stats = Adsm_dsm.Stats
+module Registry = Adsm_apps.Registry
+module Fft_core = Adsm_apps.Fft_core
+module Common = Adsm_apps.Common
+
+let run_app (entry : Registry.entry) ~protocol ~nprocs =
+  let cfg = Config.make ~protocol ~nprocs () in
+  let t = Dsm.create cfg in
+  let run, result = entry.Registry.instantiate Registry.Tiny t in
+  let report = Dsm.run t run in
+  (report, result ())
+
+let test_app_cross_protocol (entry : Registry.entry) () =
+  let _, reference = run_app entry ~protocol:Config.Sw ~nprocs:1 in
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun nprocs ->
+          let _, value = run_app entry ~protocol ~nprocs in
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "%s %s %dp matches sequential" entry.Registry.name
+               (Config.protocol_name protocol)
+               nprocs)
+            reference value)
+        [ 2; 4 ])
+    Config.all_protocols
+
+let test_app_progress (entry : Registry.entry) () =
+  (* Sanity: a parallel run both communicates and takes simulated time. *)
+  let report, _ = run_app entry ~protocol:Config.Mw ~nprocs:4 in
+  Alcotest.(check bool) "messages sent" true (report.Dsm.messages > 0);
+  Alcotest.(check bool) "time advanced" true (report.Dsm.time_ns > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-application protocol narratives (paper Section 6.4)            *)
+(* ------------------------------------------------------------------ *)
+
+(* These run at default scale (4 processors for speed) and assert the
+   behaviour the paper describes for each application. *)
+
+let measure app_name protocol =
+  match Registry.find app_name with
+  | None -> Alcotest.fail ("unknown app " ^ app_name)
+  | Some entry ->
+    let cfg = Config.make ~protocol ~nprocs:4 () in
+    let t = Dsm.create cfg in
+    let run, _ = entry.Registry.instantiate Registry.Default t in
+    Dsm.run t run
+
+let test_narrative_is () =
+  (* "WFS keeps all these pages in SW mode during the entire execution"
+     — no twins, no diffs, ever. *)
+  let r = measure "IS" Config.Wfs in
+  Alcotest.(check int) "WFS: no twins on IS" 0
+    (Stats.twins_created_total r.Dsm.stats);
+  Alcotest.(check int) "WFS: no diffs on IS" 0
+    (Stats.diffs_created_total r.Dsm.stats);
+  (* "WFS+WG switches to SW mode for all pages after the first
+     iteration" — diffs only from the measuring pass. *)
+  let r = measure "IS" Config.Wfs_wg in
+  let per_iter = Stats.diffs_created_total r.Dsm.stats in
+  let mw = Stats.diffs_created_total (measure "IS" Config.Mw).Dsm.stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "WFS+WG measures once (%d diffs vs MW's %d)" per_iter mw)
+    true
+    (per_iter * 3 < mw)
+
+let test_narrative_fft () =
+  (* "In WFS, each processor switches once from SW to MW for the page for
+     which there is write-write false sharing" — only the norms page ever
+     produces diffs, so diff traffic is negligible next to MW's. *)
+  let wfs = measure "3D-FFT" Config.Wfs in
+  let mw = measure "3D-FFT" Config.Mw in
+  Alcotest.(check bool)
+    (Printf.sprintf "WFS diffs (%d) negligible vs MW (%d)"
+       (Stats.diffs_created_total wfs.Dsm.stats)
+       (Stats.diffs_created_total mw.Dsm.stats))
+    true
+    (Stats.diffs_created_total wfs.Dsm.stats * 5
+    < Stats.diffs_created_total mw.Dsm.stats);
+  Alcotest.(check int) "exactly one falsely shared page" 1
+    (Stats.pages_false_shared mw.Dsm.stats)
+
+let test_narrative_sor () =
+  (* "For applications that have no write-write false sharing (SOR and
+     IS), the WFS protocol does not create any twins or diffs." *)
+  let r = measure "SOR" Config.Wfs in
+  Alcotest.(check int) "no twins" 0 (Stats.twins_created_total r.Dsm.stats);
+  Alcotest.(check int) "no diffs" 0 (Stats.diffs_created_total r.Dsm.stats);
+  Alcotest.(check int) "no false sharing" 0
+    (Stats.pages_false_shared r.Dsm.stats);
+  (* "WFS+WG starts out making diffs ... and switches to SW mode" once
+     the growing writes cross the threshold. *)
+  let wg = measure "SOR" Config.Wfs_wg in
+  Alcotest.(check bool) "WFS+WG diffs early" true
+    (Stats.diffs_created_total wg.Dsm.stats > 0);
+  Alcotest.(check bool) "...but far fewer than MW" true
+    (Stats.diffs_created_total wg.Dsm.stats * 2
+    < Stats.diffs_created_total (measure "SOR" Config.Mw).Dsm.stats)
+
+let test_narrative_tsp () =
+  (* "WFS switches from SW to MW on a total of 2 pages ... WFS+WG uses
+     mostly diffs" — under WFS+WG the small queue/control writes keep
+     their pages in MW mode, so diffs flow. *)
+  let wfs = measure "TSP" Config.Wfs in
+  let wg = measure "TSP" Config.Wfs_wg in
+  Alcotest.(check bool) "WFS switches few pages" true
+    (Stats.pages_false_shared wfs.Dsm.stats <= 4);
+  Alcotest.(check bool)
+    (Printf.sprintf "WFS+WG diffs (%d) >> WFS diffs (%d)"
+       (Stats.diffs_created_total wg.Dsm.stats)
+       (Stats.diffs_created_total wfs.Dsm.stats))
+    true
+    (Stats.diffs_created_total wg.Dsm.stats
+    > Stats.diffs_created_total wfs.Dsm.stats)
+
+let test_narrative_shallow () =
+  (* "The WFS protocol switches to MW mode for all of the write-write
+     falsely shared pages, and keeps the other pages in SW mode" — twins
+     appear, but far fewer than under MW (which twins every written
+     page). *)
+  let wfs = measure "Shallow" Config.Wfs in
+  let mw = measure "Shallow" Config.Mw in
+  Alcotest.(check bool) "some MW-mode pages" true
+    (Stats.twins_created_total wfs.Dsm.stats > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "but far fewer twins (%d) than MW (%d)"
+       (Stats.twins_created_total wfs.Dsm.stats)
+       (Stats.twins_created_total mw.Dsm.stats))
+    true
+    (Stats.twins_created_total wfs.Dsm.stats * 4
+    < Stats.twins_created_total mw.Dsm.stats)
+
+let test_narrative_barnes_ilink () =
+  (* "The adaptive protocols switch to the MW mode for all of the pages
+     containing bodies" / ILINK "WFS adapts to MW mode for these pages" —
+     high-FS apps end up diffing nearly as much as MW. *)
+  List.iter
+    (fun name ->
+      let wfs = measure name Config.Wfs in
+      let mw = measure name Config.Mw in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: WFS diffs (%d) close to MW (%d)" name
+           (Stats.diffs_created_total wfs.Dsm.stats)
+           (Stats.diffs_created_total mw.Dsm.stats))
+        true
+        (Stats.diffs_created_total wfs.Dsm.stats * 2
+        > Stats.diffs_created_total mw.Dsm.stats))
+    [ "Barnes"; "ILINK" ]
+
+(* ------------------------------------------------------------------ *)
+(* FFT numerical core                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fft_roundtrip () =
+  let n = 64 in
+  let re = Array.init n (fun i -> sin (float_of_int i)) in
+  let im = Array.init n (fun i -> cos (float_of_int (i * 3))) in
+  let re0 = Array.copy re and im0 = Array.copy im in
+  Fft_core.fft ~invert:false re im;
+  Fft_core.fft ~invert:true re im;
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 1e-9)) "re restored" re0.(i) re.(i);
+    Alcotest.(check (float 1e-9)) "im restored" im0.(i) im.(i)
+  done
+
+let test_fft_impulse () =
+  (* The transform of a unit impulse is flat ones. *)
+  let n = 16 in
+  let re = Array.make n 0. and im = Array.make n 0. in
+  re.(0) <- 1.;
+  Fft_core.fft ~invert:false re im;
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 1e-12)) "flat spectrum re" 1.0 re.(i);
+    Alcotest.(check (float 1e-12)) "flat spectrum im" 0.0 im.(i)
+  done
+
+let test_fft_parseval () =
+  let n = 32 in
+  let re = Array.init n (fun i -> float_of_int ((i * 7 mod 13) - 6)) in
+  let im = Array.make n 0. in
+  let energy_in =
+    Array.fold_left (fun acc x -> acc +. (x *. x)) 0. re
+  in
+  Fft_core.fft ~invert:false re im;
+  let energy_out = ref 0. in
+  for i = 0 to n - 1 do
+    energy_out := !energy_out +. (re.(i) *. re.(i)) +. (im.(i) *. im.(i))
+  done;
+  Alcotest.(check (float 1e-6))
+    "Parseval" energy_in
+    (!energy_out /. float_of_int n)
+
+let prop_fft_roundtrip =
+  QCheck.Test.make ~name:"fft inverse restores input" ~count:50
+    QCheck.(pair (int_range 0 5) (int_range 0 1000))
+    (fun (log_n, seed) ->
+      let n = 1 lsl log_n in
+      let rng = Adsm_sim.Rng.create (Int64.of_int seed) in
+      let re = Array.init n (fun _ -> Adsm_sim.Rng.float rng -. 0.5) in
+      let im = Array.init n (fun _ -> Adsm_sim.Rng.float rng -. 0.5) in
+      let re0 = Array.copy re and im0 = Array.copy im in
+      Fft_core.fft ~invert:false re im;
+      Fft_core.fft ~invert:true re im;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if abs_float (re.(i) -. re0.(i)) > 1e-9 then ok := false;
+        if abs_float (im.(i) -. im0.(i)) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let test_fft_rejects_bad_length () =
+  Alcotest.check_raises "length 3"
+    (Invalid_argument "Fft_core.fft: length must be a power of two")
+    (fun () -> Fft_core.fft ~invert:false (Array.make 3 0.) (Array.make 3 0.))
+
+(* ------------------------------------------------------------------ *)
+(* Common helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_band_partition () =
+  (* bands cover [0, n) without overlap, sizes differ by at most 1 *)
+  List.iter
+    (fun (n, nprocs) ->
+      let bands = List.init nprocs (fun me -> Common.band ~n ~nprocs ~me) in
+      let covered = List.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 bands in
+      Alcotest.(check int) "covers all" n covered;
+      List.iteri
+        (fun i (lo, hi) ->
+          Alcotest.(check bool) "ordered" true (lo <= hi);
+          if i > 0 then
+            let _, prev_hi = List.nth bands (i - 1) in
+            Alcotest.(check int) "contiguous" prev_hi lo)
+        bands)
+    [ (10, 3); (8, 8); (7, 8); (100, 7); (1, 1) ]
+
+let test_checksum_cell () =
+  let c = Common.new_checksum () in
+  Alcotest.check_raises "unset"
+    (Failure "checksum: run did not produce a result") (fun () ->
+      ignore (Common.get_checksum c));
+  Common.set_checksum c 42.;
+  Alcotest.(check (float 0.)) "set" 42. (Common.get_checksum c)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 shape: per-application sharing profile                     *)
+(* ------------------------------------------------------------------ *)
+
+let sharing_profile name =
+  match Registry.find name with
+  | None -> Alcotest.fail ("unknown app " ^ name)
+  | Some entry ->
+    let report, _ = run_app entry ~protocol:Config.Mw ~nprocs:4 in
+    Stats.false_shared_fraction report.Dsm.stats
+
+let test_sharing_profile_shape () =
+  (* Even at tiny scale the ordering of false-sharing intensity should
+     hold: IS and SOR have none; Barnes and ILINK are heavily shared. *)
+  let is = sharing_profile "IS" in
+  let sor = sharing_profile "SOR" in
+  let barnes = sharing_profile "Barnes" in
+  let ilink = sharing_profile "ILINK" in
+  Alcotest.(check (float 0.)) "IS has no false sharing" 0. is;
+  Alcotest.(check (float 0.)) "SOR has no false sharing" 0. sor;
+  Alcotest.(check bool)
+    (Printf.sprintf "Barnes heavily shared (%.2f)" barnes)
+    true (barnes > 0.3);
+  Alcotest.(check bool)
+    (Printf.sprintf "ILINK heavily shared (%.2f)" ilink)
+    true (ilink > 0.3)
+
+let () =
+  let app_cases =
+    List.concat_map
+      (fun (entry : Registry.entry) ->
+        [
+          Alcotest.test_case
+            (entry.Registry.name ^ " identical across protocols")
+            `Slow
+            (test_app_cross_protocol entry);
+          Alcotest.test_case
+            (entry.Registry.name ^ " communicates")
+            `Quick (test_app_progress entry);
+        ])
+      Registry.all
+  in
+  Alcotest.run "apps"
+    [
+      ("applications", app_cases);
+      ( "paper-narratives",
+        [
+          Alcotest.test_case "IS stays SW under WFS" `Slow test_narrative_is;
+          Alcotest.test_case "3D-FFT one FS page" `Slow test_narrative_fft;
+          Alcotest.test_case "SOR never twins under WFS" `Slow
+            test_narrative_sor;
+          Alcotest.test_case "TSP small writes" `Slow test_narrative_tsp;
+          Alcotest.test_case "Shallow partial adaptation" `Slow
+            test_narrative_shallow;
+          Alcotest.test_case "Barnes/ILINK go MW" `Slow
+            test_narrative_barnes_ilink;
+        ] );
+      ( "fft-core",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "parseval" `Quick test_fft_parseval;
+          Alcotest.test_case "bad length" `Quick test_fft_rejects_bad_length;
+          QCheck_alcotest.to_alcotest prop_fft_roundtrip;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "band partition" `Quick test_band_partition;
+          Alcotest.test_case "checksum cell" `Quick test_checksum_cell;
+        ] );
+      ( "sharing-profile",
+        [ Alcotest.test_case "shape" `Slow test_sharing_profile_shape ] );
+    ]

@@ -1,0 +1,466 @@
+(* End-to-end protocol tests: small access-pattern scenarios executed under
+   all four protocols, checking both correctness (values read back) and
+   protocol behaviour (twins, diffs, ownership traffic, adaptation). *)
+
+module Config = Adsm_dsm.Config
+module Dsm = Adsm_dsm.Dsm
+module Stats = Adsm_dsm.Stats
+
+let protocols = Config.all_protocols
+
+let check_all_protocols ?(nprocs = 2) name scenario =
+  List.iter
+    (fun protocol ->
+      let cfg = Config.make ~protocol ~nprocs () in
+      scenario
+        (Printf.sprintf "%s [%s]" name (Config.protocol_name protocol))
+        cfg)
+    protocols
+
+(* ------------------------------------------------------------------ *)
+(* Basic read/write correctness                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_single_proc_roundtrip () =
+  check_all_protocols ~nprocs:1 "roundtrip" (fun name cfg ->
+      let t = Dsm.create cfg in
+      let a = Dsm.alloc_f64 t ~name:"a" ~len:1000 in
+      let ok = ref true in
+      let report =
+        Dsm.run t (fun ctx ->
+            for i = 0 to 999 do
+              Dsm.f64_set ctx a i (float_of_int (i * i))
+            done;
+            for i = 0 to 999 do
+              if Dsm.f64_get ctx a i <> float_of_int (i * i) then ok := false
+            done)
+      in
+      Alcotest.(check bool) (name ^ " values") true !ok;
+      Alcotest.(check int) (name ^ " no messages") 0 report.Dsm.messages)
+
+let test_initial_zero () =
+  check_all_protocols "initial zero" (fun name cfg ->
+      let t = Dsm.create cfg in
+      let a = Dsm.alloc_f64 t ~name:"a" ~len:100 in
+      let sum = ref 1.0 in
+      ignore
+        (Dsm.run t (fun ctx ->
+             if Dsm.me ctx = 0 then begin
+               sum := 0.;
+               for i = 0 to 99 do
+                 sum := !sum +. Dsm.f64_get ctx a i
+               done
+             end));
+      Alcotest.(check (float 0.)) (name ^ " zero-filled") 0. !sum)
+
+(* ------------------------------------------------------------------ *)
+(* Producer/consumer through a barrier                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_producer_consumer () =
+  check_all_protocols "producer-consumer" (fun name cfg ->
+      let t = Dsm.create cfg in
+      let a = Dsm.alloc_f64 t ~name:"a" ~len:512 in
+      let seen = ref [] in
+      ignore
+        (Dsm.run t (fun ctx ->
+             (* p0 produces a full page per iteration; p1 consumes. *)
+             for iter = 1 to 3 do
+               if Dsm.me ctx = 0 then
+                 for i = 0 to 511 do
+                   Dsm.f64_set ctx a i (float_of_int (iter * 1000 + i))
+                 done;
+               Dsm.barrier ctx;
+               if Dsm.me ctx = 1 then begin
+                 let v = Dsm.f64_get ctx a 100 in
+                 seen := v :: !seen
+               end;
+               Dsm.barrier ctx
+             done));
+      Alcotest.(check (list (float 0.)))
+        (name ^ " consumed values")
+        [ 3100.; 2100.; 1100. ]
+        !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Migratory data through a lock                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_migratory_lock () =
+  check_all_protocols ~nprocs:4 "migratory" (fun name cfg ->
+      let t = Dsm.create cfg in
+      let a = Dsm.alloc_f64 t ~name:"counter" ~len:8 in
+      let l = Dsm.fresh_lock t in
+      let final = ref 0. in
+      ignore
+        (Dsm.run t (fun ctx ->
+             for _ = 1 to 5 do
+               Dsm.lock ctx l;
+               let v = Dsm.f64_get ctx a 0 in
+               Dsm.f64_set ctx a 0 (v +. 1.);
+               Dsm.unlock ctx l
+             done;
+             Dsm.barrier ctx;
+             if Dsm.me ctx = 0 then final := Dsm.f64_get ctx a 0));
+      Alcotest.(check (float 0.)) (name ^ " count") 20. !final)
+
+(* ------------------------------------------------------------------ *)
+(* Write-write false sharing                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two processors repeatedly write disjoint halves of the same page
+   between barriers. *)
+let false_sharing_run cfg =
+  let t = Dsm.create cfg in
+  let a = Dsm.alloc_f64 t ~name:"page" ~len:512 in
+  let ok = ref true in
+  let report =
+    Dsm.run t (fun ctx ->
+        let me = Dsm.me ctx in
+        let base = me * 256 in
+        for iter = 1 to 4 do
+          for i = base to base + 255 do
+            Dsm.f64_set ctx a i (float_of_int ((iter * 10_000) + i))
+          done;
+          Dsm.barrier ctx;
+          (* Everyone checks the whole page. *)
+          for i = 0 to 511 do
+            let expect = float_of_int ((iter * 10_000) + i) in
+            if Dsm.f64_get ctx a i <> expect then ok := false
+          done;
+          Dsm.barrier ctx
+        done)
+  in
+  (report, !ok)
+
+let test_false_sharing_correct () =
+  check_all_protocols "false sharing" (fun name cfg ->
+      let _, ok = false_sharing_run cfg in
+      Alcotest.(check bool) (name ^ " merged correctly") true ok)
+
+let test_false_sharing_detected_by_wfs () =
+  let cfg = Config.make ~protocol:Config.Wfs ~nprocs:2 () in
+  let report, _ = false_sharing_run cfg in
+  Alcotest.(check bool)
+    "ownership refused at least once" true
+    (Stats.ownership_refusals report.Dsm.stats >= 1);
+  Alcotest.(check int) "page marked falsely shared" 1
+    (Stats.pages_false_shared report.Dsm.stats);
+  Alcotest.(check bool)
+    "twins were created (MW mode engaged)" true
+    (Stats.twins_created_total report.Dsm.stats > 0)
+
+let test_no_false_sharing_under_wfs_means_no_twins () =
+  (* Pure producer-consumer sharing: WFS should keep everything in SW mode
+     and never twin or diff. *)
+  let cfg = Config.make ~protocol:Config.Wfs ~nprocs:2 () in
+  let t = Dsm.create cfg in
+  let a = Dsm.alloc_f64 t ~name:"a" ~len:512 in
+  let report =
+    Dsm.run t (fun ctx ->
+        for _ = 1 to 5 do
+          if Dsm.me ctx = 0 then
+            for i = 0 to 511 do
+              Dsm.f64_set ctx a i 1.0
+            done;
+          Dsm.barrier ctx;
+          if Dsm.me ctx = 1 then ignore (Dsm.f64_get ctx a 5);
+          Dsm.barrier ctx
+        done)
+  in
+  Alcotest.(check int) "no twins" 0 (Stats.twins_created_total report.Dsm.stats);
+  Alcotest.(check int) "no diffs" 0 (Stats.diffs_created_total report.Dsm.stats)
+
+let test_mw_always_twins () =
+  (* The same producer-consumer pattern under MW must twin and diff. *)
+  let cfg = Config.make ~protocol:Config.Mw ~nprocs:2 () in
+  let t = Dsm.create cfg in
+  let a = Dsm.alloc_f64 t ~name:"a" ~len:512 in
+  let report =
+    Dsm.run t (fun ctx ->
+        for _ = 1 to 3 do
+          if Dsm.me ctx = 0 then
+            for i = 0 to 511 do
+              Dsm.f64_set ctx a i 1.0
+            done;
+          Dsm.barrier ctx;
+          if Dsm.me ctx = 1 then ignore (Dsm.f64_get ctx a 5);
+          Dsm.barrier ctx
+        done)
+  in
+  Alcotest.(check bool) "twins created" true
+    (Stats.twins_created_total report.Dsm.stats >= 3);
+  Alcotest.(check bool) "diffs created" true
+    (Stats.diffs_created_total report.Dsm.stats >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* SW protocol specifics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sw_ping_pong_is_correct () =
+  (* False sharing under SW: slow (ping-pong) but correct. *)
+  let cfg = Config.make ~protocol:Config.Sw ~nprocs:2 () in
+  let report, ok = false_sharing_run cfg in
+  Alcotest.(check bool) "correct" true ok;
+  Alcotest.(check int) "SW never twins" 0
+    (Stats.twins_created_total report.Dsm.stats);
+  Alcotest.(check bool) "ownership moved" true
+    (Stats.ownership_requests report.Dsm.stats > 0)
+
+let test_adaptive_beats_sw_on_false_sharing () =
+  (* Interleaved multi-pass writes to disjoint halves of one page: under SW
+     the page ping-pongs on every pass; WFS refuses ownership once and then
+     both writers proceed locally with twins and diffs. *)
+  let time_for protocol =
+    let cfg = Config.make ~protocol ~nprocs:2 () in
+    let t = Dsm.create cfg in
+    let a = Dsm.alloc_f64 t ~name:"page" ~len:512 in
+    let report =
+      Dsm.run t (fun ctx ->
+          let base = Dsm.me ctx * 256 in
+          for _iter = 1 to 3 do
+            for pass = 1 to 5 do
+              for i = base to base + 255 do
+                Dsm.f64_set ctx a i (float_of_int (pass + i))
+              done;
+              (* computation between passes lets the writes interleave *)
+              Dsm.compute ctx 300_000
+            done;
+            Dsm.barrier ctx
+          done)
+    in
+    report.Dsm.time_ns
+  in
+  let sw = time_for Config.Sw and wfs = time_for Config.Wfs in
+  Alcotest.(check bool)
+    (Printf.sprintf "WFS (%d ns) faster than SW (%d ns) under false sharing"
+       wfs sw)
+    true (wfs < sw)
+
+let test_sw_quantum_delays_transfer () =
+  (* A freshly acquired page cannot be taken away before the ownership
+     quantum expires: with a 10 ms quantum, a competing writer's transfer
+     completes no earlier than 10 ms. *)
+  let run quantum =
+    let cfg = Config.make ~protocol:Config.Sw ~nprocs:2 () in
+    let cfg = { cfg with Config.ownership_quantum_ns = quantum } in
+    let t = Dsm.create cfg in
+    let a = Dsm.alloc_f64 t ~name:"a" ~len:8 in
+    let report =
+      Dsm.run t (fun ctx ->
+          (* Page is homed at p0, which grabs ownership immediately; p1's
+             concurrent write forces a transfer. *)
+          if Dsm.me ctx = 0 then Dsm.f64_set ctx a 0 1.0
+          else Dsm.f64_set ctx a 1 2.0;
+          Dsm.barrier ctx)
+    in
+    report.Dsm.time_ns
+  in
+  let slow = run 10_000_000 and fast = run 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "transfer waits for quantum (%d ns >= 10 ms)" slow)
+    true (slow >= 10_000_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "no quantum is faster (%d < %d)" fast slow)
+    true
+    (fast < slow)
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mw_gc_triggers_and_preserves_data () =
+  (* Rewrite several whole pages many times under MW with a tiny GC
+     threshold: GC must run and data must survive. *)
+  let cfg = Config.make ~protocol:Config.Mw ~nprocs:2 () in
+  let cfg = { cfg with Config.gc_threshold_bytes = 16_384 } in
+  let t = Dsm.create cfg in
+  let npages = 8 in
+  let a = Dsm.alloc_f64 t ~name:"a" ~len:(512 * npages) in
+  let ok = ref true in
+  let report =
+    Dsm.run t (fun ctx ->
+        let me = Dsm.me ctx in
+        for iter = 1 to 6 do
+          (* each proc overwrites its own pages completely *)
+          for p = 0 to (npages / 2) - 1 do
+            let page = (me * npages / 2) + p in
+            for i = 0 to 511 do
+              Dsm.f64_set ctx a ((page * 512) + i)
+                (float_of_int ((iter * 100_000) + (page * 512) + i))
+            done
+          done;
+          Dsm.barrier ctx;
+          (* read it all back cross-wise *)
+          let other_first = (1 - me) * npages / 2 * 512 in
+          for i = 0 to (npages / 2 * 512) - 1 do
+            let idx = other_first + i in
+            let expect = float_of_int ((iter * 100_000) + idx) in
+            if Dsm.f64_get ctx a idx <> expect then ok := false
+          done;
+          Dsm.barrier ctx
+        done)
+  in
+  Alcotest.(check bool) "data correct across GC" true !ok;
+  Alcotest.(check bool) "GC ran" true (Stats.gc_count report.Dsm.stats >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* WFS+WG specifics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_wg_switches_large_writes_to_sw () =
+  (* Producer overwrites a whole page with values whose bytes genuinely
+     change every iteration: WFS+WG must measure once (one diff, above the
+     3 KB threshold) and then stop diffing, switching the page to SW. *)
+  let cfg = Config.make ~protocol:Config.Wfs_wg ~nprocs:2 () in
+  let t = Dsm.create cfg in
+  let a = Dsm.alloc_f64 t ~name:"a" ~len:512 in
+  let report =
+    Dsm.run t (fun ctx ->
+        for iter = 1 to 6 do
+          if Dsm.me ctx = 0 then
+            for i = 0 to 511 do
+              Dsm.f64_set ctx a i (sqrt (float_of_int ((iter * 100_000) + i)))
+            done;
+          Dsm.barrier ctx;
+          if Dsm.me ctx = 1 then ignore (Dsm.f64_get ctx a 0);
+          Dsm.barrier ctx
+        done)
+  in
+  let diffs = Stats.diffs_created_total report.Dsm.stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "exactly one measurement diff (%d)" diffs)
+    true (diffs = 1);
+  Alcotest.(check bool) "measured diff above threshold" true
+    (Stats.mean_diff_size report.Dsm.stats
+    > float_of_int cfg.Config.wg_threshold_bytes)
+
+let test_wg_keeps_small_writes_in_mw () =
+  (* Producer writes 16 bytes per page per iteration: WFS+WG should keep
+     using (cheap, small) diffs rather than whole-page transfers. *)
+  let cfg = Config.make ~protocol:Config.Wfs_wg ~nprocs:2 () in
+  let t = Dsm.create cfg in
+  let a = Dsm.alloc_f64 t ~name:"a" ~len:512 in
+  let report =
+    Dsm.run t (fun ctx ->
+        for iter = 1 to 6 do
+          if Dsm.me ctx = 0 then begin
+            Dsm.f64_set ctx a 0 (float_of_int iter);
+            Dsm.f64_set ctx a 1 (float_of_int (iter + 1))
+          end;
+          Dsm.barrier ctx;
+          if Dsm.me ctx = 1 then ignore (Dsm.f64_get ctx a 0);
+          Dsm.barrier ctx
+        done)
+  in
+  let diffs = Stats.diffs_created_total report.Dsm.stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "keeps diffing (%d diffs)" diffs)
+    true (diffs >= 4);
+  Alcotest.(check (float 64.)) "diffs are small" 16.
+    (Stats.mean_diff_size report.Dsm.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock detection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadlock_detected () =
+  let cfg = Config.make ~protocol:Config.Mw ~nprocs:2 () in
+  let t = Dsm.create cfg in
+  let _a = Dsm.alloc_f64 t ~name:"a" ~len:8 in
+  let raised = ref false in
+  (try
+     ignore
+       (Dsm.run t (fun ctx ->
+            (* only node 0 reaches the barrier *)
+            if Dsm.me ctx = 0 then Dsm.barrier ctx))
+   with Failure msg ->
+     raised := String.length msg > 0);
+  Alcotest.(check bool) "deadlock reported" true !raised
+
+(* ------------------------------------------------------------------ *)
+(* API edge cases                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_api_errors () =
+  let cfg = Config.make ~protocol:Config.Mw ~nprocs:1 () in
+  let t = Dsm.create cfg in
+  Alcotest.check_raises "bad alloc"
+    (Invalid_argument "Dsm.alloc_f64: len must be positive") (fun () ->
+      ignore (Dsm.alloc_f64 t ~name:"x" ~len:0));
+  let a = Dsm.alloc_f64 t ~name:"a" ~len:10 in
+  let raised = ref 0 in
+  ignore
+    (Dsm.run t (fun ctx ->
+         (try ignore (Dsm.f64_get ctx a 10)
+          with Invalid_argument _ -> incr raised);
+         (try Dsm.f64_set ctx a (-1) 0. with Invalid_argument _ -> incr raised);
+         try Dsm.unlock ctx 0 with Invalid_argument _ -> incr raised));
+  Alcotest.(check int) "all three rejected" 3 !raised
+
+let test_lock_ids_are_independent () =
+  (* Distinct locks never exclude each other. *)
+  let cfg = Config.make ~protocol:Config.Mw ~nprocs:2 () in
+  let t = Dsm.create cfg in
+  let l0 = Dsm.fresh_lock t and l1 = Dsm.fresh_lock t in
+  Alcotest.(check bool) "distinct ids" true (l0 <> l1);
+  let entered = ref 0 in
+  ignore
+    (Dsm.run t (fun ctx ->
+         let l = if Dsm.me ctx = 0 then l0 else l1 in
+         Dsm.lock ctx l;
+         incr entered;
+         (* both hold "their" lock across a long window simultaneously *)
+         Dsm.compute ctx 5_000_000;
+         Alcotest.(check bool) "both inside" true (!entered >= 1);
+         Dsm.unlock ctx l;
+         Dsm.barrier ctx));
+  Alcotest.(check int) "both entered" 2 !entered
+
+let () =
+  Alcotest.run "dsm"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "single-proc roundtrip" `Quick
+            test_single_proc_roundtrip;
+          Alcotest.test_case "initial zero" `Quick test_initial_zero;
+          Alcotest.test_case "producer-consumer" `Quick test_producer_consumer;
+          Alcotest.test_case "migratory lock" `Quick test_migratory_lock;
+          Alcotest.test_case "false sharing merges" `Quick
+            test_false_sharing_correct;
+        ] );
+      ( "adaptation",
+        [
+          Alcotest.test_case "WFS detects false sharing" `Quick
+            test_false_sharing_detected_by_wfs;
+          Alcotest.test_case "WFS stays SW without FS" `Quick
+            test_no_false_sharing_under_wfs_means_no_twins;
+          Alcotest.test_case "MW always twins" `Quick test_mw_always_twins;
+          Alcotest.test_case "WFS beats SW on FS" `Quick
+            test_adaptive_beats_sw_on_false_sharing;
+          Alcotest.test_case "WG large writes -> SW" `Quick
+            test_wg_switches_large_writes_to_sw;
+          Alcotest.test_case "WG small writes stay MW" `Quick
+            test_wg_keeps_small_writes_in_mw;
+        ] );
+      ( "sw",
+        [
+          Alcotest.test_case "ping-pong correct" `Quick
+            test_sw_ping_pong_is_correct;
+          Alcotest.test_case "quantum delays transfer" `Quick
+            test_sw_quantum_delays_transfer;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "MW GC preserves data" `Quick
+            test_mw_gc_triggers_and_preserves_data;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "API errors" `Quick test_api_errors;
+          Alcotest.test_case "independent locks" `Quick
+            test_lock_ids_are_independent;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Tests for the simulated paged memory substrate. *)
+
+module Page = Adsm_mem.Page
+module Perm = Adsm_mem.Perm
+module Layout = Adsm_mem.Layout
+
+let test_page_size () = Alcotest.(check int) "4KB pages" 4096 Page.size
+
+let test_page_accessors () =
+  let p = Page.create () in
+  Page.set_byte p 0 0xAB;
+  Alcotest.(check int) "byte" 0xAB (Page.get_byte p 0);
+  Page.set_i32 p 4 (-123456l);
+  Alcotest.(check int32) "i32" (-123456l) (Page.get_i32 p 4);
+  Page.set_f64 p 8 2.718281828;
+  Alcotest.(check (float 0.)) "f64" 2.718281828 (Page.get_f64 p 8);
+  Page.set_f64 p (Page.size - 8) 1.5;
+  Alcotest.(check (float 0.)) "last slot" 1.5 (Page.get_f64 p (Page.size - 8))
+
+let test_page_copy_blit () =
+  let a = Page.create () in
+  Page.set_f64 a 0 9.0;
+  let b = Page.copy a in
+  Page.set_f64 a 0 1.0;
+  Alcotest.(check (float 0.)) "copy independent" 9.0 (Page.get_f64 b 0);
+  Page.blit ~src:a ~dst:b;
+  Alcotest.(check bool) "blit equalizes" true (Page.equal a b);
+  Page.fill_zero a;
+  Alcotest.(check (float 0.)) "zeroed" 0.0 (Page.get_f64 a 0)
+
+let test_page_of_bytes () =
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Page.of_bytes: expected 4096 bytes, got 3") (fun () ->
+      ignore (Page.of_bytes (Bytes.create 3)));
+  let p = Page.of_bytes (Bytes.make Page.size 'x') in
+  Alcotest.(check int) "wraps" (Char.code 'x') (Page.get_byte p 17)
+
+let test_perm () =
+  Alcotest.(check bool) "none: no read" false (Perm.allows_read Perm.No_access);
+  Alcotest.(check bool) "ro: read" true (Perm.allows_read Perm.Read_only);
+  Alcotest.(check bool) "ro: no write" false (Perm.allows_write Perm.Read_only);
+  Alcotest.(check bool) "rw: write" true (Perm.allows_write Perm.Read_write);
+  Alcotest.(check string) "names" "ro" (Perm.to_string Perm.Read_only)
+
+let test_layout_alloc () =
+  let l = Layout.create () in
+  let a = Layout.alloc l ~name:"a" ~bytes:100 in
+  let b = Layout.alloc l ~name:"b" ~bytes:(2 * Page.size) in
+  let c = Layout.alloc l ~name:"c" ~bytes:(Page.size + 1) in
+  Alcotest.(check int) "a starts at 0" 0 a.Layout.first_page;
+  Alcotest.(check int) "a rounded to one page" 1 a.Layout.page_count;
+  Alcotest.(check int) "b follows" 1 b.Layout.first_page;
+  Alcotest.(check int) "b exact" 2 b.Layout.page_count;
+  Alcotest.(check int) "c rounded up" 2 c.Layout.page_count;
+  Alcotest.(check int) "total" 5 (Layout.total_pages l);
+  Alcotest.(check (list string)) "regions in order" [ "a"; "b"; "c" ]
+    (List.map (fun (r : Layout.region) -> r.Layout.name) (Layout.regions l))
+
+let test_layout_locate () =
+  let l = Layout.create () in
+  let _a = Layout.alloc l ~name:"a" ~bytes:Page.size in
+  let b = Layout.alloc l ~name:"b" ~bytes:(3 * Page.size) in
+  Alcotest.(check (pair int int)) "start" (1, 0) (Layout.locate b 0);
+  Alcotest.(check (pair int int)) "mid"
+    (2, 10)
+    (Layout.locate b (Page.size + 10));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument
+       "Layout.locate: offset 12288 outside region b (12288 bytes)")
+    (fun () -> ignore (Layout.locate b (3 * Page.size)))
+
+let test_layout_region_of_page () =
+  let l = Layout.create () in
+  let a = Layout.alloc l ~name:"a" ~bytes:Page.size in
+  let b = Layout.alloc l ~name:"b" ~bytes:Page.size in
+  Alcotest.(check (option string)) "page 0" (Some a.Layout.name)
+    (Option.map
+       (fun (r : Layout.region) -> r.Layout.name)
+       (Layout.region_of_page l 0));
+  Alcotest.(check (option string)) "page 1" (Some b.Layout.name)
+    (Option.map
+       (fun (r : Layout.region) -> r.Layout.name)
+       (Layout.region_of_page l 1));
+  Alcotest.(check bool) "page 2 unmapped" true
+    (Layout.region_of_page l 2 = None)
+
+let test_layout_pages_of_range () =
+  let l = Layout.create () in
+  let a = Layout.alloc l ~name:"a" ~bytes:(4 * Page.size) in
+  Alcotest.(check (list int)) "within one page" [ 0 ]
+    (Layout.pages_of_range a ~offset:10 ~len:100);
+  Alcotest.(check (list int)) "spanning" [ 0; 1; 2 ]
+    (Layout.pages_of_range a ~offset:100 ~len:(2 * Page.size));
+  Alcotest.(check (list int)) "empty" []
+    (Layout.pages_of_range a ~offset:0 ~len:0)
+
+let prop_locate_consistent =
+  QCheck.Test.make ~name:"locate maps offsets monotonically" ~count:200
+    QCheck.(int_bound ((4 * Page.size) - 2))
+    (fun off ->
+      let l = Layout.create () in
+      let r = Layout.alloc l ~name:"r" ~bytes:(4 * Page.size) in
+      let p1, o1 = Layout.locate r off in
+      let p2, o2 = Layout.locate r (off + 1) in
+      let linear p o = (p * Page.size) + o in
+      linear p2 o2 = linear p1 o1 + 1)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "size" `Quick test_page_size;
+          Alcotest.test_case "accessors" `Quick test_page_accessors;
+          Alcotest.test_case "copy/blit" `Quick test_page_copy_blit;
+          Alcotest.test_case "of_bytes" `Quick test_page_of_bytes;
+        ] );
+      ("perm", [ Alcotest.test_case "permissions" `Quick test_perm ]);
+      ( "layout",
+        [
+          Alcotest.test_case "alloc" `Quick test_layout_alloc;
+          Alcotest.test_case "locate" `Quick test_layout_locate;
+          Alcotest.test_case "region_of_page" `Quick test_layout_region_of_page;
+          Alcotest.test_case "pages_of_range" `Quick test_layout_pages_of_range;
+          QCheck_alcotest.to_alcotest prop_locate_consistent;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(* Tests for the simulated cluster network and RPC layer. *)
+
+module Engine = Adsm_sim.Engine
+module Proc = Adsm_sim.Proc
+module Netcfg = Adsm_net.Netcfg
+module Network = Adsm_net.Network
+module Rpc = Adsm_net.Rpc
+
+(* ------------------------------------------------------------------ *)
+(* Cost model calibration (paper Section 4)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_small_message_rtt () =
+  let rtt = Netcfg.round_trip_ns Netcfg.atm_155 ~req_bytes:0 ~reply_bytes:0 in
+  (* Paper: minimum round-trip 1 ms.  We accept within 2%. *)
+  let err = abs (rtt - 1_000_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "small RTT %d ns within 2%% of 1 ms" rtt)
+    true (err < 20_000)
+
+let test_page_fetch_time () =
+  let t = Netcfg.round_trip_ns Netcfg.atm_155 ~req_bytes:0 ~reply_bytes:4096 in
+  (* Paper: remote 4096-byte page miss takes 1921 us. *)
+  let err = abs (t - 1_921_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "page fetch %d ns within 2%% of 1921 us" t)
+    true (err < 40_000)
+
+let test_one_way_monotone_in_size () =
+  let c = Netcfg.atm_155 in
+  let a = Netcfg.one_way_ns c ~bytes:0
+  and b = Netcfg.one_way_ns c ~bytes:100
+  and d = Netcfg.one_way_ns c ~bytes:4096 in
+  Alcotest.(check bool) "monotone" true (a < b && b < d)
+
+(* ------------------------------------------------------------------ *)
+(* Network delivery                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let make_net ?(nodes = 4) () =
+  let e = Engine.create () in
+  let net = Network.create e Netcfg.atm_155 ~nodes in
+  (e, net)
+
+let test_delivery_and_timing () =
+  let e, net = make_net () in
+  let got = ref None in
+  Network.set_handler net ~node:1 (fun ~src msg ->
+      got := Some (src, msg, Engine.now e));
+  Network.send net ~src:0 ~dst:1 ~bytes:0 ~kind:"test" "hello";
+  ignore (Engine.run e);
+  let expect = Netcfg.one_way_ns Netcfg.atm_155 ~bytes:0 in
+  match !got with
+  | Some (src, msg, time) ->
+    Alcotest.(check int) "src" 0 src;
+    Alcotest.(check string) "payload" "hello" msg;
+    Alcotest.(check int) "arrival time" expect time
+  | None -> Alcotest.fail "message not delivered"
+
+let test_link_fifo () =
+  (* A large message sent first must not be overtaken by a small one sent
+     immediately after on the same link. *)
+  let e, net = make_net () in
+  let order = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ msg -> order := msg :: !order);
+  Network.send net ~src:0 ~dst:1 ~bytes:100_000 ~kind:"big" "big";
+  Network.send net ~src:0 ~dst:1 ~bytes:0 ~kind:"small" "small";
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "fifo per link" [ "big"; "small" ]
+    (List.rev !order)
+
+let test_distinct_links_independent () =
+  (* Different links are not serialized against each other. *)
+  let e, net = make_net () in
+  let arrivals = Hashtbl.create 4 in
+  let handler node ~src:_ msg = Hashtbl.replace arrivals (node, msg) (Engine.now e) in
+  Network.set_handler net ~node:1 (handler 1);
+  Network.set_handler net ~node:2 (handler 2);
+  Network.send net ~src:0 ~dst:1 ~bytes:100_000 ~kind:"big" "big";
+  Network.send net ~src:3 ~dst:2 ~bytes:0 ~kind:"small" "small";
+  ignore (Engine.run e);
+  let t_big = Hashtbl.find arrivals (1, "big") in
+  let t_small = Hashtbl.find arrivals (2, "small") in
+  Alcotest.(check bool) "small on other link arrives first" true
+    (t_small < t_big)
+
+let test_counters () =
+  let e, net = make_net () in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> ());
+  Network.set_handler net ~node:2 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 ~bytes:10 ~kind:"a" ();
+  Network.send net ~src:0 ~dst:2 ~bytes:20 ~kind:"a" ();
+  Network.send net ~src:1 ~dst:2 ~bytes:30 ~kind:"b" ();
+  ignore (Engine.run e);
+  Alcotest.(check int) "messages" 3 (Network.total_messages net);
+  Alcotest.(check int) "payload" 60 (Network.total_payload_bytes net);
+  Alcotest.(check int) "wire includes headers"
+    (60 + (3 * Netcfg.atm_155.Netcfg.header_bytes))
+    (Network.total_wire_bytes net);
+  Alcotest.(check (list (pair string (pair int int))))
+    "by kind"
+    [ ("a", (2, 30)); ("b", (1, 30)) ]
+    (Network.by_kind net);
+  Alcotest.(check (pair int int)) "node 0 counts" (2, 0)
+    (Network.node_counts net ~node:0);
+  Alcotest.(check (pair int int)) "node 2 counts" (0, 2)
+    (Network.node_counts net ~node:2);
+  Network.reset_counters net;
+  Alcotest.(check int) "reset" 0 (Network.total_messages net)
+
+let test_self_send_rejected () =
+  let _, net = make_net () in
+  Alcotest.check_raises "self send" (Invalid_argument "Network.send: self-send")
+    (fun () -> Network.send net ~src:1 ~dst:1 ~bytes:0 ~kind:"x" ())
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint serialization (NIC contention model)                      *)
+(* ------------------------------------------------------------------ *)
+
+let bytes_ns cfg b = (cfg.Netcfg.header_bytes + b) * cfg.Netcfg.per_byte_ns
+
+let test_receiver_serialization () =
+  (* Two large messages from different senders to ONE receiver must
+     serialize: the second is delayed by the first's transfer time. *)
+  let e, net = make_net () in
+  let arrivals = ref [] in
+  Network.set_handler net ~node:2 (fun ~src _ ->
+      arrivals := (src, Engine.now e) :: !arrivals);
+  let payload = 40_000 in
+  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:"a" ();
+  Network.send net ~src:1 ~dst:2 ~bytes:payload ~kind:"b" ();
+  ignore (Engine.run e);
+  match List.rev !arrivals with
+  | [ (_, t1); (_, t2) ] ->
+    let gap = t2 - t1 in
+    Alcotest.(check bool)
+      (Printf.sprintf "second delayed by a full transfer (gap %d ns)" gap)
+      true
+      (gap >= bytes_ns Netcfg.atm_155 payload)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_sender_serialization () =
+  (* Two large messages from ONE sender to different receivers serialize
+     at the sender's NIC. *)
+  let e, net = make_net () in
+  let arrivals = ref [] in
+  let handler node ~src:_ _ = arrivals := (node, Engine.now e) :: !arrivals in
+  Network.set_handler net ~node:1 (handler 1);
+  Network.set_handler net ~node:2 (handler 2);
+  let payload = 40_000 in
+  Network.send net ~src:0 ~dst:1 ~bytes:payload ~kind:"a" ();
+  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:"b" ();
+  ignore (Engine.run e);
+  match List.rev !arrivals with
+  | [ (_, t1); (_, t2) ] ->
+    Alcotest.(check bool) "second send waits for the first" true
+      (t2 - t1 >= bytes_ns Netcfg.atm_155 payload)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_disjoint_paths_parallel () =
+  (* Transfers on disjoint sender/receiver pairs overlap fully. *)
+  let e, net = make_net () in
+  let arrivals = ref [] in
+  let handler node ~src:_ _ = arrivals := (node, Engine.now e) :: !arrivals in
+  Network.set_handler net ~node:2 (handler 2);
+  Network.set_handler net ~node:3 (handler 3);
+  let payload = 40_000 in
+  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:"a" ();
+  Network.send net ~src:1 ~dst:3 ~bytes:payload ~kind:"b" ();
+  ignore (Engine.run e);
+  match List.rev !arrivals with
+  | [ (_, t1); (_, t2) ] ->
+    Alcotest.(check int) "identical arrival times" t1 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_uncontended_matches_cost_model () =
+  (* With no contention, delivery time equals Netcfg.one_way_ns exactly,
+     for several sizes. *)
+  List.iter
+    (fun payload ->
+      let e, net = make_net () in
+      let seen = ref (-1) in
+      Network.set_handler net ~node:1 (fun ~src:_ _ -> seen := Engine.now e);
+      Network.send net ~src:0 ~dst:1 ~bytes:payload ~kind:"x" ();
+      ignore (Engine.run e);
+      Alcotest.(check int)
+        (Printf.sprintf "%d bytes" payload)
+        (Netcfg.one_way_ns Netcfg.atm_155 ~bytes:payload)
+        !seen)
+    [ 0; 100; 4096; 100_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* RPC                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rpc_call_reply () =
+  let e = Engine.create () in
+  let rpc = Rpc.create e Netcfg.atm_155 ~nodes:2 in
+  Rpc.set_handler rpc ~node:1 (fun ~src:_ msg respond ->
+      match respond with
+      | Some r -> r ~bytes:4096 ~kind:"page-reply" (msg * 2)
+      | None -> Alcotest.fail "expected a request");
+  Rpc.set_handler rpc ~node:0 (fun ~src:_ _ _ -> ());
+  let result = ref 0 and finish = ref 0 in
+  Proc.spawn e (fun () ->
+      result := Rpc.call rpc ~src:0 ~dst:1 ~bytes:0 ~kind:"page-req" 21;
+      finish := Engine.now e);
+  ignore (Engine.run e);
+  Alcotest.(check int) "reply value" 42 !result;
+  let expect =
+    Netcfg.round_trip_ns Netcfg.atm_155 ~req_bytes:0 ~reply_bytes:4096
+  in
+  Alcotest.(check int) "round trip equals model" expect !finish
+
+let test_rpc_delayed_reply () =
+  (* Server withholds the reply (ownership quantum style). *)
+  let e = Engine.create () in
+  let rpc = Rpc.create e Netcfg.atm_155 ~nodes:2 in
+  let hold = 5_000_000 in
+  Rpc.set_handler rpc ~node:1 (fun ~src:_ () respond ->
+      match respond with
+      | Some r -> Engine.schedule e ~delay:hold (fun () -> r ~bytes:0 ~kind:"grant" ())
+      | None -> ());
+  let finish = ref 0 in
+  Proc.spawn e (fun () ->
+      Rpc.call rpc ~src:0 ~dst:1 ~bytes:0 ~kind:"req" ();
+      finish := Engine.now e);
+  ignore (Engine.run e);
+  let expect = hold + Netcfg.round_trip_ns Netcfg.atm_155 ~req_bytes:0 ~reply_bytes:0 in
+  Alcotest.(check int) "delayed grant" expect !finish
+
+let test_rpc_cast () =
+  let e = Engine.create () in
+  let rpc = Rpc.create e Netcfg.atm_155 ~nodes:2 in
+  let got = ref false in
+  Rpc.set_handler rpc ~node:1 (fun ~src:_ () respond ->
+      Alcotest.(check bool) "oneway has no respond" true (respond = None);
+      got := true);
+  Rpc.cast rpc ~src:0 ~dst:1 ~bytes:8 ~kind:"notice" ();
+  ignore (Engine.run e);
+  Alcotest.(check bool) "delivered" true !got
+
+let test_rpc_concurrent_calls () =
+  (* Several outstanding calls from different processes correlate correctly. *)
+  let e = Engine.create () in
+  let rpc = Rpc.create e Netcfg.atm_155 ~nodes:3 in
+  for node = 1 to 2 do
+    Rpc.set_handler rpc ~node (fun ~src:_ x respond ->
+        match respond with
+        | Some r -> r ~bytes:0 ~kind:"r" (x + (node * 100))
+        | None -> ())
+  done;
+  Rpc.set_handler rpc ~node:0 (fun ~src:_ _ _ -> ());
+  let results = Array.make 4 0 in
+  for i = 0 to 3 do
+    let dst = 1 + (i mod 2) in
+    Proc.spawn e (fun () ->
+        results.(i) <- Rpc.call rpc ~src:0 ~dst ~bytes:0 ~kind:"q" i)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (array int)) "all correlated" [| 100; 201; 102; 203 |] results
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "netcfg",
+        [
+          Alcotest.test_case "small RTT ~ 1ms" `Quick test_small_message_rtt;
+          Alcotest.test_case "page fetch ~ 1921us" `Quick test_page_fetch_time;
+          Alcotest.test_case "monotone in size" `Quick test_one_way_monotone_in_size;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivery" `Quick test_delivery_and_timing;
+          Alcotest.test_case "link fifo" `Quick test_link_fifo;
+          Alcotest.test_case "links independent" `Quick test_distinct_links_independent;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "self send" `Quick test_self_send_rejected;
+        ] );
+      ( "endpoint-serialization",
+        [
+          Alcotest.test_case "receiver contention" `Quick
+            test_receiver_serialization;
+          Alcotest.test_case "sender contention" `Quick
+            test_sender_serialization;
+          Alcotest.test_case "disjoint paths overlap" `Quick
+            test_disjoint_paths_parallel;
+          Alcotest.test_case "uncontended = cost model" `Quick
+            test_uncontended_matches_cost_model;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "call/reply" `Quick test_rpc_call_reply;
+          Alcotest.test_case "delayed reply" `Quick test_rpc_delayed_reply;
+          Alcotest.test_case "cast" `Quick test_rpc_cast;
+          Alcotest.test_case "concurrent calls" `Quick test_rpc_concurrent_calls;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+(* Unit and property tests for the discrete-event simulation substrate. *)
+
+module Eheap = Adsm_sim.Eheap
+module Engine = Adsm_sim.Engine
+module Proc = Adsm_sim.Proc
+module Rng = Adsm_sim.Rng
+module Series = Adsm_sim.Series
+
+(* ------------------------------------------------------------------ *)
+(* Eheap                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_empty () =
+  let h = Eheap.create () in
+  Alcotest.(check bool) "empty" true (Eheap.is_empty h);
+  Alcotest.(check int) "length" 0 (Eheap.length h);
+  Alcotest.(check bool) "pop none" true (Eheap.pop_min h = None);
+  Alcotest.(check bool) "peek none" true (Eheap.peek_time h = None)
+
+let test_heap_order () =
+  let h = Eheap.create () in
+  let input = [ (5, 0, "a"); (1, 1, "b"); (3, 2, "c"); (1, 3, "d"); (0, 4, "e") ] in
+  List.iter (fun (time, seq, v) -> Eheap.push h ~time ~seq v) input;
+  let rec drain acc =
+    match Eheap.pop_min h with
+    | None -> List.rev acc
+    | Some (_, _, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list string)) "sorted by (time,seq)" [ "e"; "b"; "d"; "c"; "a" ]
+    (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Eheap.create () in
+  for i = 0 to 99 do
+    Eheap.push h ~time:7 ~seq:i i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Eheap.pop_min h with
+    | None -> ()
+    | Some (_, _, v) ->
+      out := v :: !out;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ties pop in insertion order"
+    (List.init 100 (fun i -> i))
+    (List.rev !out)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in nondecreasing time order" ~count:200
+    QCheck.(list (pair small_nat small_nat))
+    (fun pairs ->
+      let h = Eheap.create () in
+      List.iteri (fun seq (time, v) -> Eheap.push h ~time ~seq v) pairs;
+      let rec drain last =
+        match Eheap.pop_min h with
+        | None -> true
+        | Some (time, _, _) -> time >= last && drain time
+      in
+      drain min_int)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:30 (fun () -> log := (30, Engine.now e) :: !log);
+  Engine.schedule e ~delay:10 (fun () -> log := (10, Engine.now e) :: !log);
+  Engine.schedule e ~delay:20 (fun () ->
+      log := (20, Engine.now e) :: !log;
+      (* nested scheduling from within an event *)
+      Engine.schedule e ~delay:5 (fun () -> log := (25, Engine.now e) :: !log));
+  let final = Engine.run e in
+  Alcotest.(check int) "final time" 30 final;
+  Alcotest.(check (list (pair int int)))
+    "events ran at their times"
+    [ (10, 10); (20, 20); (25, 25); (30, 30) ]
+    (List.rev !log)
+
+let test_engine_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay rejected"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1) (fun () -> ()))
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~delay:5 (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "fifo at equal time" (List.init 10 Fun.id)
+    (List.rev !log)
+
+let test_engine_counts_events () =
+  let e = Engine.create () in
+  for _ = 1 to 17 do
+    Engine.schedule e ~delay:1 (fun () -> ())
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check int) "executed" 17 (Engine.events_executed e)
+
+let test_time_units () =
+  Alcotest.(check int) "us" 3_000 (Engine.us 3);
+  Alcotest.(check int) "ms" 2_000_000 (Engine.ms 2);
+  Alcotest.(check (float 1e-9)) "us_of_ns" 1.5 (Engine.us_of_ns 1_500)
+
+(* ------------------------------------------------------------------ *)
+(* Proc                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_proc_sleep () =
+  let e = Engine.create () in
+  let finished_at = ref (-1) in
+  Proc.spawn e (fun () ->
+      Proc.sleep e 100;
+      Proc.sleep e 250;
+      finished_at := Engine.now e);
+  ignore (Engine.run e);
+  Alcotest.(check int) "slept 350" 350 !finished_at
+
+let test_proc_interleaving () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let say tag = log := (tag, Engine.now e) :: !log in
+  Proc.spawn e (fun () ->
+      say "a0";
+      Proc.sleep e 10;
+      say "a1";
+      Proc.sleep e 20;
+      say "a2");
+  Proc.spawn e (fun () ->
+      say "b0";
+      Proc.sleep e 15;
+      say "b1");
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair string int)))
+    "two processes interleave deterministically"
+    [ ("a0", 0); ("b0", 0); ("a1", 10); ("b1", 15); ("a2", 30) ]
+    (List.rev !log)
+
+let test_ivar_fill_then_await () =
+  let e = Engine.create () in
+  let iv = Proc.Ivar.create () in
+  let got = ref 0 in
+  Proc.Ivar.fill e iv 42;
+  Proc.spawn e (fun () -> got := Proc.Ivar.await iv);
+  ignore (Engine.run e);
+  Alcotest.(check int) "value" 42 !got
+
+let test_ivar_await_then_fill () =
+  let e = Engine.create () in
+  let iv = Proc.Ivar.create () in
+  let got = ref (0, -1) in
+  Proc.spawn e (fun () ->
+      let v = Proc.Ivar.await iv in
+      got := (v, Engine.now e));
+  Proc.spawn e (fun () ->
+      Proc.sleep e 500;
+      Proc.Ivar.fill e iv 7);
+  ignore (Engine.run e);
+  Alcotest.(check (pair int int)) "resumed with value at fill time" (7, 500) !got
+
+let test_ivar_double_fill () =
+  let e = Engine.create () in
+  let iv = Proc.Ivar.create () in
+  Proc.Ivar.fill e iv 1;
+  Alcotest.check_raises "double fill" (Failure "Ivar.fill: already filled")
+    (fun () -> Proc.Ivar.fill e iv 2)
+
+let test_semaphore_mutex () =
+  let e = Engine.create () in
+  let sem = Proc.Semaphore.create 1 in
+  let log = ref [] in
+  let worker name hold =
+    Proc.spawn e (fun () ->
+        Proc.Semaphore.acquire sem;
+        log := (name ^ ":in", Engine.now e) :: !log;
+        Proc.sleep e hold;
+        log := (name ^ ":out", Engine.now e) :: !log;
+        Proc.Semaphore.release e sem)
+  in
+  worker "p" 100;
+  worker "q" 50;
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair string int)))
+    "mutual exclusion with fifo handoff"
+    [ ("p:in", 0); ("p:out", 100); ("q:in", 100); ("q:out", 150) ]
+    (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_replay () =
+  let r = Rng.create 1234567L in
+  let first = Rng.next64 r in
+  let second = Rng.next64 r in
+  Alcotest.(check bool) "distinct" true (first <> second);
+  let r' = Rng.create 1234567L in
+  Alcotest.(check int64) "replay first" first (Rng.next64 r');
+  Alcotest.(check int64) "replay second" second (Rng.next64 r')
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_unit_interval =
+  QCheck.Test.make ~name:"Rng.float in [0,1)" ~count:500 QCheck.int64
+    (fun seed ->
+      let r = Rng.create seed in
+      let v = Rng.float r in
+      v >= 0. && v < 1.)
+
+let test_rng_split_independent () =
+  let r = Rng.create 99L in
+  let s = Rng.split r in
+  let a = Rng.next64 r and b = Rng.next64 s in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 7L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation"
+    (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_basic () =
+  let s = Series.create ~name:"diffs" in
+  Alcotest.(check string) "name" "diffs" (Series.name s);
+  Series.record s ~time:0 ~value:1.;
+  Series.record s ~time:10 ~value:5.;
+  Series.record s ~time:20 ~value:3.;
+  Alcotest.(check int) "length" 3 (Series.length s);
+  Alcotest.(check (float 0.)) "max" 5. (Series.max_value s);
+  Alcotest.(check (list (pair int (float 0.))))
+    "to_list"
+    [ (0, 1.); (10, 5.); (20, 3.) ]
+    (Series.to_list s)
+
+let test_series_value_at () =
+  let s = Series.create ~name:"x" in
+  Series.record s ~time:100 ~value:1.;
+  Series.record s ~time:200 ~value:2.;
+  Series.record s ~time:300 ~value:3.;
+  Alcotest.(check (float 0.)) "before first" 0. (Series.value_at s ~time:50);
+  Alcotest.(check (float 0.)) "at sample" 1. (Series.value_at s ~time:100);
+  Alcotest.(check (float 0.)) "between" 2. (Series.value_at s ~time:250);
+  Alcotest.(check (float 0.)) "after last" 3. (Series.value_at s ~time:1000)
+
+let test_series_resample () =
+  let s = Series.create ~name:"x" in
+  Series.record s ~time:0 ~value:0.;
+  Series.record s ~time:50 ~value:10.;
+  let r = Series.resample s ~buckets:3 ~t_end:100 in
+  Alcotest.(check (array (float 0.))) "resampled" [| 0.; 10.; 10. |] r
+
+let prop_series_value_at_matches_scan =
+  QCheck.Test.make ~name:"Series.value_at agrees with linear scan" ~count:200
+    QCheck.(pair (list (pair small_nat (float_bound_exclusive 100.))) small_nat)
+    (fun (samples, query) ->
+      let samples = List.sort (fun (a, _) (b, _) -> compare a b) samples in
+      let s = Series.create ~name:"p" in
+      List.iter (fun (time, value) -> Series.record s ~time ~value) samples;
+      let expected =
+        List.fold_left
+          (fun acc (t, v) -> if t <= query then v else acc)
+          0. samples
+      in
+      Series.value_at s ~time:query = expected)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "eheap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          qt prop_heap_sorts;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "event count" `Quick test_engine_counts_events;
+          Alcotest.test_case "time units" `Quick test_time_units;
+        ] );
+      ( "proc",
+        [
+          Alcotest.test_case "sleep" `Quick test_proc_sleep;
+          Alcotest.test_case "interleaving" `Quick test_proc_interleaving;
+          Alcotest.test_case "ivar fill-await" `Quick test_ivar_fill_then_await;
+          Alcotest.test_case "ivar await-fill" `Quick test_ivar_await_then_fill;
+          Alcotest.test_case "ivar double fill" `Quick test_ivar_double_fill;
+          Alcotest.test_case "semaphore" `Quick test_semaphore_mutex;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "replay" `Quick test_rng_replay;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+          qt prop_rng_int_in_bounds;
+          qt prop_rng_float_unit_interval;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "basic" `Quick test_series_basic;
+          Alcotest.test_case "value_at" `Quick test_series_value_at;
+          Alcotest.test_case "resample" `Quick test_series_resample;
+          qt prop_series_value_at_matches_scan;
+        ] );
+    ]
