@@ -118,6 +118,36 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Simulator cost: events executed and wire traffic per protocol      *)
+(* ------------------------------------------------------------------ *)
+
+let simcost (suite : Experiments.suite) =
+  let module Runner = Adsm_harness.Runner in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "Simulator cost per protocol (summed over all applications)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-8s %16s %16s %12s\n" "protocol" "events executed"
+       "wire bytes" "messages");
+  List.iter
+    (fun protocol ->
+      let ms =
+        List.filter
+          (fun m -> m.Runner.protocol = protocol && m.Runner.nprocs > 1)
+          suite.Experiments.measurements
+      in
+      if ms <> [] then
+        let sum f = List.fold_left (fun acc m -> acc + f m) 0 ms in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-8s %16d %16d %12d\n"
+             (Config.protocol_name protocol)
+             (sum (fun m -> m.Runner.events))
+             (sum (fun m -> m.Runner.wire_bytes))
+             (sum (fun m -> m.Runner.messages))))
+    Config.all_protocols;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Paper artifact regeneration                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -131,6 +161,7 @@ let artifacts suite =
     ("table4", fun () -> Experiments.table4 suite);
     ("fig3", fun () -> Experiments.figure3 suite);
     ("breakdown", fun () -> Experiments.breakdown suite);
+    ("simcost", fun () -> simcost suite);
   ]
 
 let () =

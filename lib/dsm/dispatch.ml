@@ -1,0 +1,12 @@
+(* Protocol selection: one total map from the configuration to a
+   first-class protocol module.  This replaces both the per-call [match] on
+   [Config.protocol] that was scattered through the old monolithic
+   [Proto] and the ref-cell forward references it needed. *)
+
+let get : Config.protocol -> Protocol_intf.t = function
+  | Config.Mw -> (module Proto_mw)
+  | Config.Sw -> (module Proto_sw)
+  | Config.Wfs | Config.Wfs_wg -> (module Proto_adaptive)
+  | Config.Hlrc -> (module Proto_hlrc)
+
+let for_cluster (cl : State.cluster) = get cl.State.cfg.Config.protocol

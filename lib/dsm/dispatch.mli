@@ -1,0 +1,7 @@
+(** Protocol selection: maps {!Config.protocol} to the first-class protocol
+    module implementing it (WFS and WFS+WG share {!Proto_adaptive}; the
+    variant-specific behavior reads the configuration through {!Mode}). *)
+
+val get : Config.protocol -> Protocol_intf.t
+
+val for_cluster : State.cluster -> Protocol_intf.t

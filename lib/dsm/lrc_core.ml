@@ -1,0 +1,580 @@
+(* The lazy-release-consistency substrate shared by every protocol:
+   interval closure, vector-clock plumbing, write-notice application, diff
+   fetch/apply, page validation, and the server-side page/diff service.
+
+   Protocol policy enters through two seams: {!end_interval} threads the
+   cluster's protocol module (a {!Protocol_intf.t}) into the per-page close
+   step, and {!close_page_default} exposes the twin/diff machinery with the
+   per-protocol choices (diff sink, clean-page closure, lazy diffing,
+   granularity measurement) as parameters.
+
+   Conventions inherited from the paper (Section 3):
+   - an interval is closed (diffs / owner write notices created) at every
+     release *and* before applying remotely received notices, so
+     [apply_notice] never encounters a dirty page;
+   - diffs are created eagerly at interval close (a documented
+     simplification of TreadMarks's lazy diffing) unless [lazy_diffing];
+   - an owner that grants ownership does NOT learn the new version number;
+     it propagates only through owner write notices, which is what makes
+     the ownership-refusal test detect false sharing (paper Section 3.1.1,
+     second example). *)
+
+module Page = Adsm_mem.Page
+module Perm = Adsm_mem.Perm
+module Engine = Adsm_sim.Engine
+module Proc = Adsm_sim.Proc
+module Rpc = Adsm_net.Rpc
+open State
+
+(* ------------------------------------------------------------------ *)
+(* Sending helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cast cl ~src ~dst msg =
+  Rpc.cast cl.rpc ~src ~dst ~bytes:(Msg.size_bytes msg) ~kind:(Msg.kind msg)
+    msg
+
+let call cl ~src ~dst msg =
+  Rpc.call cl.rpc ~src ~dst ~bytes:(Msg.size_bytes msg) ~kind:(Msg.kind msg)
+    msg
+
+let respond_msg respond msg =
+  respond ~bytes:(Msg.size_bytes msg) ~kind:(Msg.kind msg) msg
+
+(* ------------------------------------------------------------------ *)
+(* Lazy diffing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Materialize a lazily-pending diff (twin vs current frame) into the diff
+   store.  Returns the creation cost to charge (0 if nothing was pending);
+   callers in event context turn it into reply latency. *)
+let materialize_pending_diff cl node (e : entry) =
+  match e.pending_diff with
+  | None -> 0
+  | Some (seq, vc) ->
+    e.pending_diff <- None;
+    let twin =
+      match e.twin with
+      | Some t -> t
+      | None -> failwith "Proto: pending diff without its twin"
+    in
+    let diff = Diff.create ~twin ~current:(frame e) in
+    Hashtbl.replace node.diffs (e.page, node.id, seq) (vc, diff);
+    e.own_diff_seqs <- seq :: e.own_diff_seqs;
+    Stats.diff_created cl.stats ~node:node.id ~page:e.page
+      ~bytes:(Diff.size_bytes diff)
+      ~modified:(Diff.modified_bytes diff)
+      ~time:(Engine.now cl.engine);
+    e.twin <- None;
+    Stats.twin_freed cl.stats ~node:node.id;
+    cl.cfg.Config.diff_create_ns
+
+(* Process-context variant: charge the cost by sleeping. *)
+let materialize_now cl node (e : entry) =
+  match e.pending_diff with
+  | None -> ()
+  | Some _ ->
+    let cost = materialize_pending_diff cl node e in
+    if cost > 0 then Proc.sleep cl.engine cost
+
+(* ------------------------------------------------------------------ *)
+(* Interval closure (release side)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Default diff sink: keep the diff in the local store (TreadMarks). *)
+let store_diff _cl node (e : entry) ~seq ~vc diff =
+  Hashtbl.replace node.diffs (e.page, node.id, seq) (vc, diff);
+  e.own_diff_seqs <- seq :: e.own_diff_seqs
+
+(* Default closure of a dirty page with neither twin nor write log: a
+   single-writer page the node owned while writing (it may have transferred
+   ownership away mid-interval under SW).  Emits an owner write notice. *)
+let close_owned cl node (e : entry) ~seq =
+  e.reflected.(node.id) <- seq;
+  e.committed_version <- e.version;
+  if e.content_version < e.version then e.content_version <- e.version;
+  if cl.cfg.Config.nprocs > 1 && e.is_owner then e.perm <- Perm.Read_only;
+  let v = e.version in
+  if e.drop_at_release then begin
+    (* Ownership refusal or WFS+WG sharing trigger: emit a final owner
+       notice, then drop to MW mode. *)
+    e.drop_at_release <- false;
+    e.is_owner <- false;
+    e.owner <- node.id;
+    Stats.mode_switch cl.stats
+  end;
+  Some v
+
+(* The twin/diff close step shared by every protocol's [close_page]:
+   [sink] receives each created diff (stored locally by default, flushed to
+   the home by HLRC); [close_clean] closes a dirty page with neither twin
+   nor write log (an owned SW-mode page by default, the master copy under
+   HLRC); [measure] enables the WFS+WG write-granularity measurement;
+   [allow_lazy] permits deferring the diff when [Config.lazy_diffing]. *)
+let close_page_default ?(allow_lazy = true) ?(measure = false)
+    ?(sink = store_diff) ?(close_clean = close_owned) cl node (e : entry)
+    ~seq ~vc ~charge =
+  let wg_measure modified =
+    (* Write-granularity measurement (Section 3.2). *)
+    if measure then begin
+      e.measured <- true;
+      let large = modified > cl.cfg.Config.wg_threshold_bytes in
+      if large <> e.wg_large then Stats.mode_switch cl.stats;
+      e.wg_large <- large
+    end
+  in
+  match e.twin with
+  | Some _ when cl.cfg.Config.lazy_diffing && allow_lazy ->
+    (* Lazy diffing (TreadMarks): keep the twin; the diff materializes on
+       first request or when the page is written again.  At most one
+       interval can be pending per page — the next write fault
+       materializes it before re-twinning. *)
+    assert (e.pending_diff = None);
+    e.pending_diff <- Some (seq, vc);
+    e.reflected.(node.id) <- seq;
+    e.perm <- Perm.Read_only;
+    None
+  | Some twin ->
+    (* MW-mode page: eager twin/diff. *)
+    let current = frame e in
+    let diff = Diff.create ~twin ~current in
+    charge cl.cfg.Config.diff_create_ns;
+    let bytes = Diff.size_bytes diff in
+    let modified = Diff.modified_bytes diff in
+    trace cl ~node:node.id
+      (Printf.sprintf "diff pg%d seq%d bytes=%d" e.page seq modified);
+    Stats.diff_created cl.stats ~node:node.id ~page:e.page ~bytes ~modified
+      ~time:(Engine.now cl.engine);
+    sink cl node e ~seq ~vc diff;
+    e.twin <- None;
+    Stats.twin_freed cl.stats ~node:node.id;
+    e.reflected.(node.id) <- seq;
+    e.perm <- Perm.Read_only;
+    wg_measure modified;
+    None
+  | None when e.log_writes ->
+    (* Software write detection: build the diff from the logged ranges —
+       no twin, no page scan; the cost is the per-write logging plus a
+       small assembly cost per range. *)
+    let diff = Diff.of_ranges e.logged_ranges (frame e) in
+    charge
+      ((e.logged_count * cl.cfg.Config.write_log_ns)
+      + (Diff.run_count diff * 500));
+    let bytes = Diff.size_bytes diff in
+    let modified = Diff.modified_bytes diff in
+    Stats.diff_created cl.stats ~node:node.id ~page:e.page ~bytes ~modified
+      ~time:(Engine.now cl.engine);
+    sink cl node e ~seq ~vc diff;
+    e.log_writes <- false;
+    e.logged_ranges <- [];
+    e.logged_count <- 0;
+    e.reflected.(node.id) <- seq;
+    e.perm <- Perm.Read_only;
+    wg_measure modified;
+    None
+  | None -> close_clean cl node e ~seq
+
+(* Close the node's current interval: run the protocol's [close_page] on
+   every dirty page and append the resulting write notices as a new
+   interval.
+
+   The state update is ATOMIC — no suspension point inside — because other
+   events (e.g. a lock-forward handler granting a different lock) may run
+   interleaved and must observe a consistent interval state.  The total CPU
+   cost is passed to [charge] once at the end: in process context it
+   sleeps, in event context it becomes added latency on the triggered
+   reply. *)
+let end_interval cl (module P : Protocol_intf.PROTOCOL) node ~charge =
+  let total_cost = ref 0 in
+  let charge_later ns = total_cost := !total_cost + ns in
+  if node.dirty_pages <> [] then begin
+    Vc.tick node.vc ~proc:node.id;
+    let vc_snapshot = Vc.copy node.vc in
+    let seq = Vc.get node.vc node.id in
+    let notices = ref [] in
+    let seen = Hashtbl.create 16 in
+    let close_page page =
+      if not (Hashtbl.mem seen page) then begin
+        Hashtbl.add seen page ();
+        let e = node.pages.(page) in
+        assert e.dirty;
+        e.dirty <- false;
+        Stats.note_write cl.stats ~page ~proc:node.id;
+        e.last_notice_vc.(node.id) <- Some vc_snapshot;
+        let version =
+          P.close_page cl node e ~seq ~vc:vc_snapshot ~charge:charge_later
+        in
+        notices :=
+          { Notice.page; proc = node.id; seq; vc = vc_snapshot; version }
+          :: !notices
+      end
+    in
+    List.iter close_page node.dirty_pages;
+    node.dirty_pages <- [];
+    let ival =
+      Interval.make ~proc:node.id ~vc:node.vc ~notices:(List.rev !notices)
+    in
+    node.intervals.(node.id) <- ival :: node.intervals.(node.id)
+  end;
+  if !total_cost > 0 then charge !total_cost
+
+(* ------------------------------------------------------------------ *)
+(* Notice application (acquire side)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let note_concurrent_writers cl (e : entry) (n : Notice.t) =
+  Array.iteri
+    (fun q vco ->
+      match vco with
+      | Some v when q <> n.proc && Vc.concurrent v n.vc ->
+        Stats.note_false_sharing cl.stats ~page:n.page;
+        if Mode.adaptive cl then Mode.set_fs_active cl e true
+      | Some _ | None -> ())
+    e.last_notice_vc
+
+(* Is notice [n]'s modification still missing from this node's copy?
+   Plain notices are tracked per applied diff (reflected sequence numbers);
+   owner notices by the version the local contents reflect. *)
+let notice_relevant node (e : entry) (n : Notice.t) =
+  n.proc <> node.id
+  &&
+  match n.version with
+  | Some v -> v > e.content_version
+  | None -> n.seq > e.reflected.(n.proc)
+
+let apply_notice cl node (n : Notice.t) =
+  let e = node.pages.(n.page) in
+  trace cl ~node:node.id
+    (Printf.sprintf "apply_notice pg%d from p%d seq%d owner=%b relevant=%b"
+       n.page n.proc n.seq (Notice.is_owner n) (notice_relevant node e n));
+  Stats.note_write cl.stats ~page:n.page ~proc:n.proc;
+  note_concurrent_writers cl e n;
+  e.last_notice_vc.(n.proc) <- Some n.vc;
+  if notice_relevant node e n then begin
+    (match n.version with
+    | Some v ->
+      if v > e.version then begin
+        e.version <- v;
+        e.owner <- n.proc;
+        if e.is_owner then
+          (* Someone re-established ownership elsewhere (post-GC). *)
+          e.is_owner <- false
+      end;
+      (* On-the-fly garbage collection: notices covered by an owner write
+         notice are reflected in the owner's copy and can be discarded. *)
+      e.notices <- List.filter (fun m -> not (Notice.covers ~by:n m)) e.notices;
+      (* Rule 2 (Section 3.1.2): a fresh owner notice with no concurrent
+         secondary notices means false sharing has stopped.  Our own recent
+         writes count as secondary notices here: an owner notice concurrent
+         with them does NOT end the false sharing. *)
+      let own_concurrent =
+        match e.last_notice_vc.(node.id) with
+        | Some v -> Vc.concurrent v n.vc
+        | None -> false
+      in
+      if
+        Mode.adaptive cl && (not own_concurrent)
+        && not
+             (List.exists
+                (fun (m : Notice.t) ->
+                  m.proc <> n.proc && Vc.concurrent m.vc n.vc)
+                e.notices)
+      then Mode.set_fs_active cl e false
+    | None -> ());
+    if not (List.exists (Notice.same_write n) e.notices) then
+      e.notices <- n :: e.notices;
+    if Perm.allows_read e.perm then e.perm <- Perm.No_access
+  end
+
+(* Apply intervals received on a lock grant or barrier release, oldest
+   first; duplicates (already covered by our vector clock) are skipped. *)
+let apply_intervals cl node ivals =
+  let fresh =
+    List.filter
+      (fun (iv : Interval.t) -> iv.seq > Vc.get node.vc iv.proc)
+      ivals
+  in
+  let fresh =
+    List.sort (fun (a : Interval.t) b -> Vc.order a.vc b.vc) fresh
+  in
+  let apply (iv : Interval.t) =
+    if iv.seq > Vc.get node.vc iv.proc then begin
+      node.intervals.(iv.proc) <- iv :: node.intervals.(iv.proc);
+      List.iter (apply_notice cl node) iv.notices;
+      Vc.merge_into node.vc iv.vc
+    end
+  in
+  List.iter apply fresh
+
+(* All intervals this node knows that [vc] does not cover. *)
+let collect_unseen cl node vc =
+  let parts =
+    List.init cl.cfg.Config.nprocs (fun p ->
+        Interval.unseen_by vc node.intervals.(p))
+  in
+  List.concat parts
+
+(* ------------------------------------------------------------------ *)
+(* Page validation (access-miss side)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let still_needed = notice_relevant
+
+(* Install a received page copy as the new base of the local frame. *)
+let install_copy cl node e ~data ~version ~committed ~reflected =
+  (* A lazily-pending diff lives only in the frame we are about to
+     overwrite: materialize it first or the interval's writes are lost. *)
+  materialize_now cl node e;
+  Proc.sleep cl.engine cl.cfg.Config.page_install_ns;
+  Page.blit ~src:data ~dst:(frame e);
+  e.has_base <- true;
+  if version > e.version then e.version <- version;
+  (* Only the version whose interval the copy fully contains dominates
+     owner write notices; a dirty owner's current frame holds a PARTIAL
+     newer interval that must not be claimed. *)
+  if committed > e.content_version then e.content_version <- committed;
+  if committed > e.committed_version then e.committed_version <- committed;
+  e.reflected <- Array.copy reflected;
+  e.notices <- List.filter (still_needed node e) e.notices
+
+(* Fetch (in parallel, one request per writer) and apply, in timestamp
+   order, every pending diff for the page.  Runs in process context. *)
+let fetch_and_apply_diffs cl node (e : entry) =
+  let pending = List.filter (still_needed node e) e.notices in
+  let plain = List.filter (fun n -> not (Notice.is_owner n)) pending in
+  (* Own committed modifications not reflected in the (possibly freshly
+     installed) base copy must be merged back from our own diffs. *)
+  (* A lazily-pending own diff must be materialized BEFORE any remote diff
+     touches the frame: the diff is computed twin-vs-frame, and foreign
+     words applied first would be captured into it at a stale position in
+     the timestamp order. *)
+  materialize_now cl node e;
+  let own_missing =
+    List.filter (fun seq -> seq > e.reflected.(node.id)) e.own_diff_seqs
+  in
+  if plain <> [] || own_missing <> [] then begin
+    (* Group the missing diffs by their writer. *)
+    let by_writer = Hashtbl.create 8 in
+    let record (n : Notice.t) =
+      if not (Hashtbl.mem node.diffs (n.page, n.proc, n.seq)) then begin
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt by_writer n.proc)
+        in
+        Hashtbl.replace by_writer n.proc (n.seq :: prev)
+      end
+    in
+    List.iter record plain;
+    let requests =
+      Hashtbl.fold
+        (fun writer seqs acc ->
+          let msg =
+            Msg.Diff_req
+              {
+                page = e.page;
+                seqs = List.sort compare seqs;
+                sees_sw = Mode.sees_page_as_sw e;
+              }
+          in
+          let ivar =
+            Rpc.call_async cl.rpc ~src:node.id ~dst:writer
+              ~bytes:(Msg.size_bytes msg) ~kind:(Msg.kind msg) msg
+          in
+          (writer, ivar) :: acc)
+        by_writer []
+    in
+    (* Await the replies and store the received diffs. *)
+    List.iter
+      (fun (writer, ivar) ->
+        match Proc.Ivar.await ivar with
+        | Msg.Diff_reply { page; diffs } ->
+          List.iter
+            (fun (seq, vc, diff) ->
+              Hashtbl.replace node.diffs (page, writer, seq) (vc, diff);
+              Stats.diff_stored cl.stats ~node:node.id
+                ~bytes:(Diff.size_bytes diff))
+            diffs
+        | _ -> failwith "Proto: unexpected reply to Diff_req")
+      requests;
+    (* Apply every pending diff — remote and our own — in timestamp order. *)
+    let lookup proc seq =
+      match Hashtbl.find_opt node.diffs (e.page, proc, seq) with
+      | Some (vc, diff) -> (vc, diff, proc, seq)
+      | None ->
+        failwith
+          (Printf.sprintf "Proto: missing diff for page %d proc %d seq %d"
+             e.page proc seq)
+    in
+    let to_apply =
+      List.map (fun (n : Notice.t) -> lookup n.proc n.seq) plain
+      @ List.map (fun seq -> lookup node.id seq) own_missing
+    in
+    let to_apply =
+      List.sort (fun (va, _, _, _) (vb, _, _, _) -> Vc.order va vb) to_apply
+    in
+    let target = frame e in
+    List.iter
+      (fun (_, diff, proc, seq) ->
+        Proc.sleep cl.engine
+          (cl.cfg.Config.diff_apply_base_ns
+          + (Diff.modified_bytes diff * cl.cfg.Config.diff_apply_byte_ns));
+        Diff.apply diff target;
+        trace cl ~node:node.id
+          (Printf.sprintf "apply-diff pg%d from p%d seq%d" e.page proc seq);
+        if seq > e.reflected.(proc) then e.reflected.(proc) <- seq)
+      to_apply
+  end;
+  e.notices <- []
+
+(* Make the page readable: fetch a base copy if needed (from the processor
+   named in the owner write notice with the highest version, or from the
+   copy-fetch hint), then fetch and apply pending diffs.  Used by every
+   protocol except HLRC, whose homes serve whole current pages instead. *)
+let validate cl node (e : entry) =
+  if not (Perm.allows_read e.perm) then begin
+    trace cl ~node:node.id
+      (Printf.sprintf "validate pg%d notices=%d" e.page
+         (List.length e.notices));
+    let pending = List.filter (still_needed node e) e.notices in
+    let owner_notices = List.filter Notice.is_owner pending in
+    (* The local frame (or the implicit initial zero page) is a valid diff
+       base; a whole-page fetch is needed only after a GC dropped the copy,
+       or when an owner write notice says a fresher whole-page copy exists. *)
+    let need_base = not e.has_base || owner_notices <> [] in
+    if need_base then begin
+      let target =
+        match owner_notices with
+        | [] -> e.owner
+        | ns ->
+          let best =
+            List.fold_left
+              (fun (acc : Notice.t) (n : Notice.t) ->
+                match (acc.version, n.version) with
+                | Some va, Some vb -> if vb > va then n else acc
+                | _ -> acc)
+              (List.hd ns) (List.tl ns)
+          in
+          best.proc
+      in
+      if target = node.id then
+        failwith
+          (Printf.sprintf
+             "Proto: node %d needs a base for page %d but is its own fetch \
+              hint"
+             node.id e.page)
+      else begin
+        match call cl ~src:node.id ~dst:target (Msg.Page_req { page = e.page }) with
+        | Msg.Page_reply { data; version; committed; reflected; _ } ->
+          install_copy cl node e ~data ~version ~committed ~reflected
+        | _ -> failwith "Proto: unexpected reply to Page_req"
+      end
+    end;
+    fetch_and_apply_diffs cl node e;
+    e.perm <- Perm.Read_only
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Write-side helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mark_dirty node (e : entry) =
+  e.perm <- Perm.Read_write;
+  if not e.dirty then begin
+    e.dirty <- true;
+    node.dirty_pages <- e.page :: node.dirty_pages
+  end
+
+let make_twin cl node (e : entry) =
+  let pending_cost = materialize_pending_diff cl node e in
+  if pending_cost > 0 then Proc.sleep cl.engine pending_cost;
+  assert (e.twin = None);
+  Proc.sleep cl.engine cl.cfg.Config.twin_ns;
+  e.twin <- Some (Page.copy (frame e));
+  Stats.twin_created cl.stats ~node:node.id
+
+(* Become (or re-become) owner locally: bump the version, as ownership is
+   being (re)acquired (Section 2.3). *)
+let acquire_ownership_locally cl node (e : entry) =
+  (* Entering SW mode: the page will be written without a twin, so any
+     lazily-pending diff must be captured now. *)
+  materialize_now cl node e;
+  e.version <- e.version + 1;
+  e.content_version <- e.version;
+  e.is_owner <- true;
+  e.owner <- node.id;
+  e.owned_at <- Engine.now cl.engine
+
+(* MW-mode write path: valid copy + twin (or, with software write
+   detection enabled, a write log instead of a twin). *)
+let mw_write_path cl node (e : entry) =
+  validate cl node e;
+  if cl.cfg.Config.write_ranges then begin
+    (* The pending lazy diff (if any) still needs its twin captured. *)
+    let cost = materialize_pending_diff cl node e in
+    if cost > 0 then Proc.sleep cl.engine cost;
+    e.log_writes <- true
+  end
+  else make_twin cl node e;
+  mark_dirty node e
+
+(* ------------------------------------------------------------------ *)
+(* Server-side page and diff service (event context: never block)     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_page _cl node ~src page respond =
+  let e = node.pages.(page) in
+  e.copyset.(src) <- true;
+  match committed_copy e with
+  | None ->
+    failwith
+      (Printf.sprintf
+         "Proto: node %d has no copy of page %d to serve (src=%d perm=%s \
+          owner=%d version=%d is_owner=%b notices=%d)"
+         node.id page src
+         (Perm.to_string e.perm)
+         e.owner e.version e.is_owner
+         (List.length e.notices))
+  | Some copy ->
+    respond_msg respond
+      (Msg.Page_reply
+         {
+           page;
+           data = Page.copy copy;
+           version = e.version;
+           committed = e.committed_version;
+           reflected = Array.copy e.reflected;
+         })
+
+(* Serve a diff request.  [rule1] enables the adaptive protocols' copyset
+   scan (Section 3.1.2, rule 1): if every processor in the approximate
+   copyset sees the page as SW, false sharing has stopped. *)
+let serve_diffs ?(rule1 = false) cl node ~src ~page ~seqs ~sees_sw respond =
+  let e = node.pages.(page) in
+  (* Lazy diffing: the requested interval may still be pending; create the
+     diff now and charge its cost as added latency on the reply. *)
+  let delay = materialize_pending_diff cl node e in
+  let respond =
+    if delay = 0 then respond
+    else fun ~bytes ~kind msg ->
+      Engine.schedule cl.engine ~delay (fun () -> respond ~bytes ~kind msg)
+  in
+  e.copyset.(src) <- true;
+  e.fs_view.(src) <- sees_sw;
+  if rule1 then begin
+    let all_sw = ref true in
+    Array.iteri
+      (fun q in_set -> if in_set && not e.fs_view.(q) then all_sw := false)
+      e.copyset;
+    if !all_sw then Mode.set_fs_active cl e false
+  end;
+  let diffs =
+    List.map
+      (fun seq ->
+        match Hashtbl.find_opt node.diffs (page, node.id, seq) with
+        | Some (vc, diff) -> (seq, vc, diff)
+        | None ->
+          failwith
+            (Printf.sprintf "Proto: node %d asked for missing diff %d/%d"
+               node.id page seq))
+      seqs
+  in
+  respond_msg respond (Msg.Diff_reply { page; diffs })

@@ -1,0 +1,111 @@
+(** The lazy-release-consistency substrate shared by every protocol:
+    interval closure, vector-clock plumbing, write notices, diff
+    fetch/apply, and page validation.  Protocol policy enters via the
+    module threaded into {!end_interval} and the parameters of
+    {!close_page_default}; everything here is protocol-agnostic. *)
+
+open State
+
+(* --- sending helpers (size and kind derived from the message) --- *)
+
+val cast : cluster -> src:int -> dst:int -> Msg.t -> unit
+
+(** Blocking request; process context only. *)
+val call : cluster -> src:int -> dst:int -> Msg.t -> Msg.t
+
+val respond_msg : Msg.t Adsm_net.Rpc.respond -> Msg.t -> unit
+
+(* --- lazy diffing --- *)
+
+(** Materialize a lazily-pending diff into the diff store; returns the
+    creation cost in ns (0 if nothing was pending).  Event-context callers
+    turn it into reply latency. *)
+val materialize_pending_diff : cluster -> node -> entry -> int
+
+(** Process-context variant: materialize and sleep the cost. *)
+val materialize_now : cluster -> node -> entry -> unit
+
+(* --- interval closure (release side) --- *)
+
+(** Default diff sink: store the diff locally (TreadMarks-style). *)
+val store_diff :
+  cluster -> node -> entry -> seq:int -> vc:Vc.t -> Diff.t -> unit
+
+(** Default clean-page closure: an owned single-writer page; emits an owner
+    write notice (and handles a pending drop to MW mode). *)
+val close_owned : cluster -> node -> entry -> seq:int -> int option
+
+(** The twin/diff machinery behind each protocol's
+    {!Protocol_intf.PROTOCOL.close_page}.  [sink] consumes created diffs;
+    [close_clean] closes a dirty page with neither twin nor write log;
+    [measure] enables WFS+WG granularity measurement; [allow_lazy] permits
+    lazy diffing when configured. *)
+val close_page_default :
+  ?allow_lazy:bool ->
+  ?measure:bool ->
+  ?sink:(cluster -> node -> entry -> seq:int -> vc:Vc.t -> Diff.t -> unit) ->
+  ?close_clean:(cluster -> node -> entry -> seq:int -> int option) ->
+  cluster -> node -> entry -> seq:int -> vc:Vc.t -> charge:(int -> unit) ->
+  int option
+
+(** Close the node's current interval under protocol [p], creating diffs /
+    owner write notices for every dirty page.  Atomic: no suspension point
+    inside; the accumulated CPU cost is passed to [charge] once. *)
+val end_interval :
+  cluster -> Protocol_intf.t -> node -> charge:(int -> unit) -> unit
+
+(* --- notice application (acquire side) --- *)
+
+val apply_notice : cluster -> node -> Notice.t -> unit
+
+(** Apply intervals received on a lock grant or barrier release, oldest
+    first; duplicates (already covered by our vector clock) are skipped. *)
+val apply_intervals : cluster -> node -> Interval.t list -> unit
+
+(** All intervals this node knows that [vc] does not cover. *)
+val collect_unseen : cluster -> node -> Vc.t -> Interval.t list
+
+(** Is the notice's modification still missing from this node's copy? *)
+val still_needed : node -> entry -> Notice.t -> bool
+
+(* --- page validation (access-miss side) --- *)
+
+(** Install a received page copy as the new base of the local frame. *)
+val install_copy :
+  cluster -> node -> entry -> data:Adsm_mem.Page.t -> version:int ->
+  committed:int -> reflected:int array -> unit
+
+(** Fetch (in parallel, one request per writer) and apply, in timestamp
+    order, every pending diff for the page.  Process context. *)
+val fetch_and_apply_diffs : cluster -> node -> entry -> unit
+
+(** Make the page readable: fetch a base copy if needed, then fetch and
+    apply pending diffs.  Used by every protocol except HLRC. *)
+val validate : cluster -> node -> entry -> unit
+
+(* --- write-side helpers --- *)
+
+val mark_dirty : node -> entry -> unit
+
+val make_twin : cluster -> node -> entry -> unit
+
+(** Become (or re-become) owner locally: bump the version, as ownership is
+    being (re)acquired (paper Section 2.3). *)
+val acquire_ownership_locally : cluster -> node -> entry -> unit
+
+(** MW-mode write path: valid copy + twin (or a write log when software
+    write detection is enabled). *)
+val mw_write_path : cluster -> node -> entry -> unit
+
+(* --- server-side page/diff service (event context: never block) --- *)
+
+(** Serve a whole-page request from the committed local copy. *)
+val serve_page :
+  cluster -> node -> src:int -> int -> Msg.t Adsm_net.Rpc.respond -> unit
+
+(** Serve a diff request; [rule1] enables the adaptive copyset scan that
+    clears the false-sharing flag (Section 3.1.2, rule 1). *)
+val serve_diffs :
+  ?rule1:bool ->
+  cluster -> node -> src:int -> page:int -> seqs:int list -> sees_sw:bool ->
+  Msg.t Adsm_net.Rpc.respond -> unit

@@ -70,17 +70,17 @@ let size_bytes = function
   | Hlrc_diff { vc; diff; _ } -> 12 + Vc.size_bytes vc + Diff.size_bytes diff
   | Hlrc_fetch { need; _ } -> 8 + (8 * List.length need)
 
-let kind = function
-  | Lock_acquire _ | Lock_forward _ | Lock_grant _ -> "lock"
-  | Barrier_arrive _ | Barrier_release _ -> "barrier"
-  | Gc_done _ | Gc_complete _ -> "gc"
-  | Page_req _ | Page_reply _ -> "page"
-  | Diff_req _ | Diff_reply _ -> "diff"
+let kind : t -> Adsm_net.Kind.t = function
+  | Lock_acquire _ | Lock_forward _ | Lock_grant _ -> Adsm_net.Kind.Lock
+  | Barrier_arrive _ | Barrier_release _ -> Adsm_net.Kind.Barrier
+  | Gc_done _ | Gc_complete _ -> Adsm_net.Kind.Gc
+  | Page_req _ | Page_reply _ -> Adsm_net.Kind.Page
+  | Diff_req _ | Diff_reply _ -> Adsm_net.Kind.Diff
   | Own_req _ | Own_reply _ | Sw_own_req _ | Sw_own_forward _
   | Sw_own_transfer _ ->
-    "own"
-  | Hlrc_diff _ -> "diff"
-  | Hlrc_fetch _ -> "page"
+    Adsm_net.Kind.Own
+  | Hlrc_diff _ -> Adsm_net.Kind.Diff
+  | Hlrc_fetch _ -> Adsm_net.Kind.Page
 
 let pp ppf t =
   let s =

@@ -77,7 +77,10 @@ type t =
 (** Payload size in bytes for the network cost model. *)
 val size_bytes : t -> int
 
-(** Statistics label ("lock", "barrier", "page", "diff", "own", "gc"). *)
-val kind : t -> string
+(** Traffic class for the network's per-kind counters.  Derived here, once,
+    from the constructor — the single interning point for message labels
+    (HLRC diff flushes count as diff traffic, HLRC fetches as page
+    traffic). *)
+val kind : t -> Adsm_net.Kind.t
 
 val pp : Format.formatter -> t -> unit

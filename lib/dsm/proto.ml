@@ -1,878 +1,44 @@
-(* The LRC protocols.  See Section 3 of the paper:
+(* Façade over the layered protocol stack.  See Section 3 of the paper:
 
-   - MW: TreadMarks-style twin/diff multiple writer.
-   - SW: CVM-like single writer with version numbers, home-forwarded
-     ownership transfers and a minimum ownership quantum.
-   - WFS: adapts between SW and MW per page on write-write false sharing,
-     detected with the ownership-refusal protocol.
-   - WFS+WG: WFS plus write-granularity adaptation (3 KB threshold).
+   - MW ({!Proto_mw}): TreadMarks-style twin/diff multiple writer.
+   - SW ({!Proto_sw}): CVM-like single writer with version numbers,
+     home-forwarded ownership transfers and a minimum ownership quantum.
+   - WFS / WFS+WG ({!Proto_adaptive}): adapts between SW and MW per page on
+     write-write false sharing (ownership-refusal protocol), optionally
+     with write-granularity adaptation (3 KB threshold).
+   - HLRC ({!Proto_hlrc}): home-based extension beyond the paper's
+     evaluation.
 
-   Plus two extensions beyond the paper's evaluation:
-   - HLRC (cited in its related work): diffs are flushed eagerly to each
-     page's static home and discarded; faults fetch whole pages from the
-     home; no diff store and no garbage collection.
-   - Migratory-data detection (sketched in its related work): read misses
-     on read-then-write pages are upgraded to ownership migrations
-     (enabled by Config.migratory_detection).
+   The mechanisms live in {!Lrc_core} (intervals, notices, diffs,
+   validation) and {!Sync} (locks, barriers, garbage collection);
+   {!Dispatch} maps the configured protocol to its module.  This façade
+   adds only the generic fault prologue/epilogue (fault cost, statistics,
+   migratory bookkeeping) and routes incoming messages to the right
+   layer. *)
 
-   Conventions used throughout:
-   - an interval is closed (diffs / owner write notices created) at every
-     release *and* before applying remotely received notices, so
-     [apply_notice] never encounters a dirty page;
-   - diffs are created eagerly at interval close (a documented
-     simplification of TreadMarks's lazy diffing);
-   - an owner that grants ownership does NOT learn the new version number;
-     it propagates only through owner write notices, which is what makes
-     the ownership-refusal test detect false sharing (paper Section 3.1.1,
-     second example). *)
-
-module Page = Adsm_mem.Page
-module Perm = Adsm_mem.Perm
 module Engine = Adsm_sim.Engine
 module Proc = Adsm_sim.Proc
-module Rpc = Adsm_net.Rpc
 open State
 
-let adaptive cl =
-  match cl.cfg.Config.protocol with
-  | Config.Wfs | Config.Wfs_wg -> true
-  | Config.Mw | Config.Sw | Config.Hlrc -> false
+let sees_page_as_sw = Mode.sees_page_as_sw
 
-let is_hlrc cl = cl.cfg.Config.protocol = Config.Hlrc
+let end_interval_local = Sync.end_interval_local
 
-let is_wfs_wg cl = cl.cfg.Config.protocol = Config.Wfs_wg
+let lock = Sync.lock
 
-(* A page "prefers" SW mode when the adaptive state variables say so. *)
-let prefers_sw cl (e : entry) =
-  match cl.cfg.Config.protocol with
-  | Config.Sw -> true
-  | Config.Mw | Config.Hlrc -> false
-  | Config.Wfs -> not e.fs_active
-  | Config.Wfs_wg ->
-    (not e.fs_active) && if e.measured then e.wg_large else true
+let unlock = Sync.unlock
 
-let sees_page_as_sw (e : entry) = not e.fs_active
-
-let set_fs_active cl (e : entry) value =
-  if e.fs_active <> value then begin
-    if adaptive cl then Stats.mode_switch cl.stats;
-    e.fs_active <- value
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Sending helpers                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let cast cl ~src ~dst msg =
-  Rpc.cast cl.rpc ~src ~dst ~bytes:(Msg.size_bytes msg) ~kind:(Msg.kind msg)
-    msg
-
-let call cl ~src ~dst msg =
-  Rpc.call cl.rpc ~src ~dst ~bytes:(Msg.size_bytes msg) ~kind:(Msg.kind msg)
-    msg
-
-let respond_msg respond msg =
-  respond ~bytes:(Msg.size_bytes msg) ~kind:(Msg.kind msg) msg
-
-(* ------------------------------------------------------------------ *)
-(* Interval closure (release side)                                    *)
-(* ------------------------------------------------------------------ *)
-
-(* Close the node's current interval: create a diff for every dirty MW-mode
-   page and an owner write notice for every dirty SW-mode page.
-
-   The state update is ATOMIC — no suspension point inside — because other
-   events (e.g. a lock-forward handler granting a different lock) may run
-   interleaved and must observe a consistent interval state.  The total CPU
-   cost is passed to [charge] once at the end: in process context it
-   sleeps, in event context it becomes added latency on the triggered
-   reply. *)
-let end_interval cl node ~charge =
-  let total_cost = ref 0 in
-  let charge_later ns = total_cost := !total_cost + ns in
-  if node.dirty_pages <> [] then begin
-    Vc.tick node.vc ~proc:node.id;
-    let vc_snapshot = Vc.copy node.vc in
-    let seq = Vc.get node.vc node.id in
-    let notices = ref [] in
-    let seen = Hashtbl.create 16 in
-    let close_page page =
-      if not (Hashtbl.mem seen page) then begin
-        Hashtbl.add seen page ();
-        let e = node.pages.(page) in
-        assert e.dirty;
-        e.dirty <- false;
-        Stats.note_write cl.stats ~page ~proc:node.id;
-        e.last_notice_vc.(node.id) <- Some vc_snapshot;
-        let version =
-          match e.twin with
-          | Some _ when cl.cfg.Config.lazy_diffing && not (is_hlrc cl) ->
-            (* Lazy diffing (TreadMarks): keep the twin; the diff
-               materializes on first request or when the page is written
-               again.  At most one interval can be pending per page — the
-               next write fault materializes it before re-twinning. *)
-            assert (e.pending_diff = None);
-            e.pending_diff <- Some (seq, vc_snapshot);
-            e.reflected.(node.id) <- seq;
-            e.perm <- Perm.Read_only;
-            None
-          | Some twin ->
-            (* MW-mode page: eager twin/diff. *)
-            let current = frame e in
-            let diff = Diff.create ~twin ~current in
-            charge_later cl.cfg.Config.diff_create_ns;
-            let bytes = Diff.size_bytes diff in
-            let modified = Diff.modified_bytes diff in
-            trace cl ~node:node.id
-              (Printf.sprintf "diff pg%d seq%d bytes=%d" page seq
-                 (Diff.modified_bytes diff));
-            Stats.diff_created cl.stats ~node:node.id ~page ~bytes ~modified
-              ~time:(Engine.now cl.engine);
-            if is_hlrc cl then begin
-              (* HLRC: flush the diff to the page's home and discard it —
-                 no local diff store, hence no garbage collection. *)
-              cast cl ~src:node.id ~dst:(home_of_page cl page)
-                (Msg.Hlrc_diff { page; seq; vc = vc_snapshot; diff });
-              Stats.diffs_dropped cl.stats ~node:node.id ~bytes ~count:1
-                ~time:(Engine.now cl.engine)
-            end
-            else begin
-              Hashtbl.replace node.diffs (page, node.id, seq)
-                (vc_snapshot, diff);
-              e.own_diff_seqs <- seq :: e.own_diff_seqs
-            end;
-            e.twin <- None;
-            Stats.twin_freed cl.stats ~node:node.id;
-            e.reflected.(node.id) <- seq;
-            e.perm <- Perm.Read_only;
-            if is_wfs_wg cl then begin
-              (* Write-granularity measurement (Section 3.2). *)
-              e.measured <- true;
-              let large = modified > cl.cfg.Config.wg_threshold_bytes in
-              if large <> e.wg_large then Stats.mode_switch cl.stats;
-              e.wg_large <- large
-            end;
-            None
-          | None when e.log_writes ->
-            (* Software write detection: build the diff from the logged
-               ranges — no twin, no page scan; the cost is the per-write
-               logging plus a small assembly cost per range. *)
-            let diff = Diff.of_ranges e.logged_ranges (frame e) in
-            charge_later
-              ((e.logged_count * cl.cfg.Config.write_log_ns)
-              + (Diff.run_count diff * 500));
-            let bytes = Diff.size_bytes diff in
-            let modified = Diff.modified_bytes diff in
-            Stats.diff_created cl.stats ~node:node.id ~page ~bytes ~modified
-              ~time:(Engine.now cl.engine);
-            if is_hlrc cl then begin
-              cast cl ~src:node.id ~dst:(home_of_page cl page)
-                (Msg.Hlrc_diff { page; seq; vc = vc_snapshot; diff });
-              Stats.diffs_dropped cl.stats ~node:node.id ~bytes ~count:1
-                ~time:(Engine.now cl.engine)
-            end
-            else begin
-              Hashtbl.replace node.diffs (page, node.id, seq)
-                (vc_snapshot, diff);
-              e.own_diff_seqs <- seq :: e.own_diff_seqs
-            end;
-            e.log_writes <- false;
-            e.logged_ranges <- [];
-            e.logged_count <- 0;
-            e.reflected.(node.id) <- seq;
-            e.perm <- Perm.Read_only;
-            if is_wfs_wg cl then begin
-              e.measured <- true;
-              let large = modified > cl.cfg.Config.wg_threshold_bytes in
-              if large <> e.wg_large then Stats.mode_switch cl.stats;
-              e.wg_large <- large
-            end;
-            None
-          | None when is_hlrc cl ->
-            (* HLRC home page: the modifications are already in place in
-               the master copy; emit a plain notice and re-protect so the
-               next interval's writes are detected. *)
-            e.reflected.(node.id) <- seq;
-            if cl.cfg.Config.nprocs > 1 then e.perm <- Perm.Read_only;
-            None
-          | None ->
-            (* SW-mode page: the node owned the page while writing (it may
-               have transferred ownership away mid-interval under SW). *)
-            e.reflected.(node.id) <- seq;
-            e.committed_version <- e.version;
-            if e.content_version < e.version then
-              e.content_version <- e.version;
-            if cl.cfg.Config.nprocs > 1 && e.is_owner then
-              e.perm <- Perm.Read_only;
-            let v = e.version in
-            if e.drop_at_release then begin
-              (* Ownership refusal or WFS+WG sharing trigger: emit a final
-                 owner notice, then drop to MW mode. *)
-              e.drop_at_release <- false;
-              e.is_owner <- false;
-              e.owner <- node.id;
-              Stats.mode_switch cl.stats
-            end;
-            Some v
-        in
-        notices :=
-          { Notice.page; proc = node.id; seq; vc = vc_snapshot; version }
-          :: !notices
-      end
-    in
-    List.iter close_page node.dirty_pages;
-    node.dirty_pages <- [];
-    let ival =
-      Interval.make ~proc:node.id ~vc:node.vc ~notices:(List.rev !notices)
-    in
-    node.intervals.(node.id) <- ival :: node.intervals.(node.id)
-  end;
-  if !total_cost > 0 then charge !total_cost
-
-let end_interval_local cl node =
-  end_interval cl node ~charge:(fun ns -> Proc.sleep cl.engine ns)
-
-(* Materialize a lazily-pending diff (twin vs current frame) into the diff
-   store.  Returns the creation cost to charge (0 if nothing was pending);
-   callers in event context turn it into reply latency. *)
-let materialize_pending_diff cl node (e : entry) =
-  match e.pending_diff with
-  | None -> 0
-  | Some (seq, vc) ->
-    e.pending_diff <- None;
-    let twin =
-      match e.twin with
-      | Some t -> t
-      | None -> failwith "Proto: pending diff without its twin"
-    in
-    let diff = Diff.create ~twin ~current:(frame e) in
-    Hashtbl.replace node.diffs (e.page, node.id, seq) (vc, diff);
-    e.own_diff_seqs <- seq :: e.own_diff_seqs;
-    Stats.diff_created cl.stats ~node:node.id ~page:e.page
-      ~bytes:(Diff.size_bytes diff)
-      ~modified:(Diff.modified_bytes diff)
-      ~time:(Engine.now cl.engine);
-    e.twin <- None;
-    Stats.twin_freed cl.stats ~node:node.id;
-    cl.cfg.Config.diff_create_ns
-
-(* ------------------------------------------------------------------ *)
-(* Notice application (acquire side)                                  *)
-(* ------------------------------------------------------------------ *)
-
-let note_concurrent_writers cl (e : entry) (n : Notice.t) =
-  Array.iteri
-    (fun q vco ->
-      match vco with
-      | Some v when q <> n.proc && Vc.concurrent v n.vc ->
-        Stats.note_false_sharing cl.stats ~page:n.page;
-        if adaptive cl then set_fs_active cl e true
-      | Some _ | None -> ())
-    e.last_notice_vc
-
-(* Is notice [n]'s modification still missing from this node's copy?
-   Plain notices are tracked per applied diff (reflected sequence numbers);
-   owner notices by the version the local contents reflect. *)
-let notice_relevant node (e : entry) (n : Notice.t) =
-  n.proc <> node.id
-  &&
-  match n.version with
-  | Some v -> v > e.content_version
-  | None -> n.seq > e.reflected.(n.proc)
-
-let apply_notice cl node (n : Notice.t) =
-  let e = node.pages.(n.page) in
-  trace cl ~node:node.id
-    (Printf.sprintf "apply_notice pg%d from p%d seq%d owner=%b relevant=%b"
-       n.page n.proc n.seq (Notice.is_owner n) (notice_relevant node e n));
-  Stats.note_write cl.stats ~page:n.page ~proc:n.proc;
-  note_concurrent_writers cl e n;
-  e.last_notice_vc.(n.proc) <- Some n.vc;
-  if notice_relevant node e n then begin
-    (match n.version with
-    | Some v ->
-      if v > e.version then begin
-        e.version <- v;
-        e.owner <- n.proc;
-        if e.is_owner then
-          (* Someone re-established ownership elsewhere (post-GC). *)
-          e.is_owner <- false
-      end;
-      (* On-the-fly garbage collection: notices covered by an owner write
-         notice are reflected in the owner's copy and can be discarded. *)
-      e.notices <- List.filter (fun m -> not (Notice.covers ~by:n m)) e.notices;
-      (* Rule 2 (Section 3.1.2): a fresh owner notice with no concurrent
-         secondary notices means false sharing has stopped.  Our own recent
-         writes count as secondary notices here: an owner notice concurrent
-         with them does NOT end the false sharing. *)
-      let own_concurrent =
-        match e.last_notice_vc.(node.id) with
-        | Some v -> Vc.concurrent v n.vc
-        | None -> false
-      in
-      if
-        adaptive cl && (not own_concurrent)
-        && not
-             (List.exists
-                (fun (m : Notice.t) ->
-                  m.proc <> n.proc && Vc.concurrent m.vc n.vc)
-                e.notices)
-      then set_fs_active cl e false
-    | None -> ());
-    if not (List.exists (Notice.same_write n) e.notices) then
-      e.notices <- n :: e.notices;
-    if Perm.allows_read e.perm then e.perm <- Perm.No_access
-  end
-
-(* Apply intervals received on a lock grant or barrier release, oldest
-   first; duplicates (already covered by our vector clock) are skipped. *)
-let apply_intervals cl node ivals =
-  let fresh =
-    List.filter
-      (fun (iv : Interval.t) -> iv.seq > Vc.get node.vc iv.proc)
-      ivals
-  in
-  let fresh =
-    List.sort (fun (a : Interval.t) b -> Vc.order a.vc b.vc) fresh
-  in
-  let apply (iv : Interval.t) =
-    if iv.seq > Vc.get node.vc iv.proc then begin
-      node.intervals.(iv.proc) <- iv :: node.intervals.(iv.proc);
-      List.iter (apply_notice cl node) iv.notices;
-      Vc.merge_into node.vc iv.vc
-    end
-  in
-  List.iter apply fresh
-
-(* All intervals this node knows that [vc] does not cover. *)
-let collect_unseen cl node vc =
-  let parts =
-    List.init cl.cfg.Config.nprocs (fun p ->
-        Interval.unseen_by vc node.intervals.(p))
-  in
-  List.concat parts
-
-(* ------------------------------------------------------------------ *)
-(* Page validation (access-miss side)                                 *)
-(* ------------------------------------------------------------------ *)
-
-let still_needed = notice_relevant
-
-(* Install a received page copy as the new base of the local frame. *)
-let install_copy cl node e ~data ~version ~committed ~reflected =
-  (* A lazily-pending diff lives only in the frame we are about to
-     overwrite: materialize it first or the interval's writes are lost. *)
-  (match e.pending_diff with
-  | Some _ ->
-    let cost = materialize_pending_diff cl node e in
-    if cost > 0 then Proc.sleep cl.engine cost
-  | None -> ());
-  Proc.sleep cl.engine cl.cfg.Config.page_install_ns;
-  Page.blit ~src:data ~dst:(frame e);
-  e.has_base <- true;
-  if version > e.version then e.version <- version;
-  (* Only the version whose interval the copy fully contains dominates
-     owner write notices; a dirty owner's current frame holds a PARTIAL
-     newer interval that must not be claimed. *)
-  if committed > e.content_version then e.content_version <- committed;
-  if committed > e.committed_version then e.committed_version <- committed;
-  e.reflected <- Array.copy reflected;
-  e.notices <- List.filter (still_needed node e) e.notices
-
-(* Fetch (in parallel, one request per writer) and apply, in timestamp
-   order, every pending diff for the page.  Runs in process context. *)
-let fetch_and_apply_diffs cl node (e : entry) =
-  let pending = List.filter (still_needed node e) e.notices in
-  let plain = List.filter (fun n -> not (Notice.is_owner n)) pending in
-  (* Own committed modifications not reflected in the (possibly freshly
-     installed) base copy must be merged back from our own diffs. *)
-  (* A lazily-pending own diff must be materialized BEFORE any remote diff
-     touches the frame: the diff is computed twin-vs-frame, and foreign
-     words applied first would be captured into it at a stale position in
-     the timestamp order. *)
-  (match e.pending_diff with
-  | Some _ ->
-    let cost = materialize_pending_diff cl node e in
-    if cost > 0 then Proc.sleep cl.engine cost
-  | None -> ());
-  let own_missing =
-    List.filter (fun seq -> seq > e.reflected.(node.id)) e.own_diff_seqs
-  in
-  if plain <> [] || own_missing <> [] then begin
-    (* Group the missing diffs by their writer. *)
-    let by_writer = Hashtbl.create 8 in
-    let record (n : Notice.t) =
-      if not (Hashtbl.mem node.diffs (n.page, n.proc, n.seq)) then begin
-        let prev =
-          Option.value ~default:[] (Hashtbl.find_opt by_writer n.proc)
-        in
-        Hashtbl.replace by_writer n.proc (n.seq :: prev)
-      end
-    in
-    List.iter record plain;
-    let requests =
-      Hashtbl.fold
-        (fun writer seqs acc ->
-          let msg =
-            Msg.Diff_req
-              {
-                page = e.page;
-                seqs = List.sort compare seqs;
-                sees_sw = sees_page_as_sw e;
-              }
-          in
-          let ivar =
-            Rpc.call_async cl.rpc ~src:node.id ~dst:writer
-              ~bytes:(Msg.size_bytes msg) ~kind:(Msg.kind msg) msg
-          in
-          (writer, ivar) :: acc)
-        by_writer []
-    in
-    (* Await the replies and store the received diffs. *)
-    List.iter
-      (fun (writer, ivar) ->
-        match Proc.Ivar.await ivar with
-        | Msg.Diff_reply { page; diffs } ->
-          List.iter
-            (fun (seq, vc, diff) ->
-              Hashtbl.replace node.diffs (page, writer, seq) (vc, diff);
-              Stats.diff_stored cl.stats ~node:node.id
-                ~bytes:(Diff.size_bytes diff))
-            diffs
-        | _ -> failwith "Proto: unexpected reply to Diff_req")
-      requests;
-    (* Apply every pending diff — remote and our own — in timestamp order. *)
-    let lookup proc seq =
-      match Hashtbl.find_opt node.diffs (e.page, proc, seq) with
-      | Some (vc, diff) -> (vc, diff, proc, seq)
-      | None ->
-        failwith
-          (Printf.sprintf "Proto: missing diff for page %d proc %d seq %d"
-             e.page proc seq)
-    in
-    let to_apply =
-      List.map (fun (n : Notice.t) -> lookup n.proc n.seq) plain
-      @ List.map (fun seq -> lookup node.id seq) own_missing
-    in
-    let to_apply =
-      List.sort (fun (va, _, _, _) (vb, _, _, _) -> Vc.order va vb) to_apply
-    in
-    let target = frame e in
-    List.iter
-      (fun (_, diff, proc, seq) ->
-        Proc.sleep cl.engine
-          (cl.cfg.Config.diff_apply_base_ns
-          + (Diff.modified_bytes diff * cl.cfg.Config.diff_apply_byte_ns));
-        Diff.apply diff target;
-        trace cl ~node:node.id
-          (Printf.sprintf "apply-diff pg%d from p%d seq%d" e.page proc seq);
-        if seq > e.reflected.(proc) then e.reflected.(proc) <- seq)
-      to_apply
-  end;
-  e.notices <- []
-
-(* HLRC validation: the home waits for in-flight diffs to land in its
-   master copy; everyone else fetches the whole current page from the
-   home, naming the modifications the reply must already contain. *)
-let hlrc_validate cl node (e : entry) =
-  if not (Perm.allows_read e.perm) then begin
-    let home = home_of_page cl e.page in
-    let pending = List.filter (still_needed node e) e.notices in
-    if home = node.id then begin
-      (* Master copy: in-flight diffs are guaranteed to arrive (they were
-         flushed at the releases that happened before our acquire); poll
-         until they have all been applied. *)
-      let covered () =
-        List.for_all
-          (fun (n : Notice.t) -> e.reflected.(n.proc) >= n.seq)
-          pending
-      in
-      while not (covered ()) do
-        Proc.sleep cl.engine 100_000
-      done;
-      e.notices <- [];
-      e.perm <- Perm.Read_only
-    end
-    else begin
-      (* Collapse the pending notices into the highest needed sequence per
-         writer, and require our own committed writes back too. *)
-      let need = Hashtbl.create 8 in
-      List.iter
-        (fun (n : Notice.t) ->
-          let prev = Option.value ~default:0 (Hashtbl.find_opt need n.proc) in
-          if n.seq > prev then Hashtbl.replace need n.proc n.seq)
-        pending;
-      if e.reflected.(node.id) > 0 then
-        Hashtbl.replace need node.id e.reflected.(node.id);
-      let need = Hashtbl.fold (fun q s acc -> (q, s) :: acc) need [] in
-      (match
-         call cl ~src:node.id ~dst:home (Msg.Hlrc_fetch { page = e.page; need })
-       with
-      | Msg.Page_reply { data; version; committed; reflected; _ } ->
-        install_copy cl node e ~data ~version ~committed ~reflected
-      | _ -> failwith "Proto: unexpected reply to Hlrc_fetch");
-      e.notices <- [];
-      e.perm <- Perm.Read_only
-    end
-  end
-
-(* Make the page readable: fetch a base copy if needed (from the processor
-   named in the owner write notice with the highest version, or from the
-   copy-fetch hint), then fetch and apply pending diffs. *)
-let validate cl node (e : entry) =
-  if is_hlrc cl then hlrc_validate cl node e
-  else
-  if not (Perm.allows_read e.perm) then begin
-    trace cl ~node:node.id
-      (Printf.sprintf "validate pg%d notices=%d" e.page
-         (List.length e.notices));
-    let pending = List.filter (still_needed node e) e.notices in
-    let owner_notices = List.filter Notice.is_owner pending in
-    (* The local frame (or the implicit initial zero page) is a valid diff
-       base; a whole-page fetch is needed only after a GC dropped the copy,
-       or when an owner write notice says a fresher whole-page copy exists. *)
-    let need_base = not e.has_base || owner_notices <> [] in
-    if need_base then begin
-      let target =
-        match owner_notices with
-        | [] -> e.owner
-        | ns ->
-          let best =
-            List.fold_left
-              (fun (acc : Notice.t) (n : Notice.t) ->
-                match (acc.version, n.version) with
-                | Some va, Some vb -> if vb > va then n else acc
-                | _ -> acc)
-              (List.hd ns) (List.tl ns)
-          in
-          best.proc
-      in
-      if target = node.id then
-        failwith
-          (Printf.sprintf
-             "Proto: node %d needs a base for page %d but is its own fetch \
-              hint"
-             node.id e.page)
-      else begin
-        match call cl ~src:node.id ~dst:target (Msg.Page_req { page = e.page }) with
-        | Msg.Page_reply { data; version; committed; reflected; _ } ->
-          install_copy cl node e ~data ~version ~committed ~reflected
-        | _ -> failwith "Proto: unexpected reply to Page_req"
-      end
-    end;
-    fetch_and_apply_diffs cl node e;
-    e.perm <- Perm.Read_only
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Write-side helpers                                                 *)
-(* ------------------------------------------------------------------ *)
-
-let mark_dirty node (e : entry) =
-  e.perm <- Perm.Read_write;
-  if not e.dirty then begin
-    e.dirty <- true;
-    node.dirty_pages <- e.page :: node.dirty_pages
-  end
-
-let make_twin cl node (e : entry) =
-  let pending_cost = materialize_pending_diff cl node e in
-  if pending_cost > 0 then Proc.sleep cl.engine pending_cost;
-  assert (e.twin = None);
-  Proc.sleep cl.engine cl.cfg.Config.twin_ns;
-  e.twin <- Some (Page.copy (frame e));
-  Stats.twin_created cl.stats ~node:node.id
-
-(* Become (or re-become) owner locally: bump the version, as ownership is
-   being (re)acquired (Section 2.3). *)
-let acquire_ownership_locally cl node (e : entry) =
-  (* Entering SW mode: the page will be written without a twin, so any
-     lazily-pending diff must be captured now. *)
-  (match e.pending_diff with
-  | Some _ ->
-    let cost = materialize_pending_diff cl node e in
-    if cost > 0 then Proc.sleep cl.engine cost
-  | None -> ());
-  e.version <- e.version + 1;
-  e.content_version <- e.version;
-  e.is_owner <- true;
-  e.owner <- node.id;
-  e.owned_at <- Engine.now cl.engine
-
-(* MW-mode write path: valid copy + twin (or, with software write
-   detection enabled, a write log instead of a twin). *)
-let mw_write_path cl node (e : entry) =
-  validate cl node e;
-  if cl.cfg.Config.write_ranges then begin
-    (* The pending lazy diff (if any) still needs its twin captured. *)
-    let cost = materialize_pending_diff cl node e in
-    if cost > 0 then Proc.sleep cl.engine cost;
-    e.log_writes <- true
-  end
-  else make_twin cl node e;
-  mark_dirty node e
-
-(* ------------------------------------------------------------------ *)
-(* Fault handlers                                                     *)
-(* ------------------------------------------------------------------ *)
-
-(* Forward declaration: the migratory read-upgrade reuses the adaptive
-   ownership path, defined below with the write-fault machinery. *)
-let migratory_read_upgrade :
-    (cluster -> node -> entry -> unit) ref =
-  ref (fun _ _ _ -> assert false)
-
-(* Migratory-detection extension (paper Section 7): a page this node
-   repeatedly reads and then writes within the same interval is classified
-   migratory; its read misses are upgraded to ownership migrations so the
-   subsequent write fault costs no messages. *)
-let migratory_classified cl (e : entry) =
-  cl.cfg.Config.migratory_detection && adaptive cl && e.migratory_score >= 2
+let barrier = Sync.barrier
 
 let read_fault cl node (e : entry) =
   let t0 = Engine.now cl.engine in
   Stats.page_fault cl.stats ~read:true;
   Proc.sleep cl.engine cl.cfg.Config.fault_ns;
   e.read_fault_seq <- Vc.get node.vc node.id;
-  if
-    migratory_classified cl e
-    && prefers_sw cl e
-    && (not e.is_owner)
-    && e.owner <> node.id
-  then !migratory_read_upgrade cl node e
-  else validate cl node e;
+  let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
+  P.read_fault cl node e;
   Stats.add_time cl.stats ~node:node.id ~category:Stats.Fault
     ~ns:(Engine.now cl.engine - t0)
-
-(* --- SW protocol ownership machinery (home forwarding + quantum) --- *)
-
-(* Transfer ownership of [page] from this node to [requester], respecting
-   the minimum ownership quantum (the paper's ping-pong mitigation), and
-   re-forward any queued requests to the new owner. *)
-let sw_grant cl node (e : entry) requester =
-  trace cl ~node:node.id
-    (Printf.sprintf "t=%d sw-grant pg%d -> p%d v%d"
-       (Engine.now cl.engine) e.page requester e.version);
-  assert e.is_owner;
-  assert (requester <> node.id);
-  e.is_owner <- false;
-  let fire () =
-    e.owner <- requester;
-    if cl.cfg.Config.nprocs > 1 && Perm.allows_write e.perm then
-      e.perm <- Perm.Read_only;
-    cast cl ~src:node.id ~dst:requester
-      (Msg.Sw_own_transfer
-         {
-           page = e.page;
-           data = Page.copy (frame e);
-           version = e.version;
-           committed = e.committed_version;
-         });
-    (* Anyone queued behind this transfer chases the new owner. *)
-    let queued = e.pending_own in
-    e.pending_own <- [];
-    List.iter
-      (fun (r, v) ->
-        if r <> requester then
-          cast cl ~src:node.id ~dst:requester
-            (Msg.Sw_own_forward { page = e.page; requester = r; version = v }))
-      queued
-  in
-  let now = Engine.now cl.engine in
-  let ready = e.owned_at + cl.cfg.Config.ownership_quantum_ns in
-  if now >= ready then fire ()
-  else Engine.schedule cl.engine ~delay:(ready - now) fire
-
-let sw_handle_forward cl node ~requester ~version page =
-  let e = node.pages.(page) in
-  trace cl ~node:node.id
-    (Printf.sprintf
-       "t=%d sw-forward pg%d req=p%d is_owner=%b waiting=%b owner=%d pend=%d"
-       (Engine.now cl.engine) page requester e.is_owner
-       (Hashtbl.mem node.own_waits page)
-       e.owner (List.length e.pending_own));
-  if e.is_owner then sw_grant cl node e requester
-  else if Hashtbl.mem node.own_waits page || e.owner = node.id then
-    (* Either we are waiting for this page's ownership ourselves, or our
-       own outgoing grant is scheduled but has not fired yet ([e.owner]
-       still names us until the transfer fires): queue the request.  It is
-       served once we own the page, or re-forwarded to the new owner by
-       the firing transfer. *)
-    e.pending_own <- (requester, version) :: e.pending_own
-  else
-    (* Not the owner any more: chase the grant chain. *)
-    cast cl ~src:node.id ~dst:e.owner
-      (Msg.Sw_own_forward { page; requester; version })
-
-let sw_handle_home_req cl ~node:home_id ~src page =
-  let home_node = cl.nodes.(home_id) in
-  let e = home_node.pages.(page) in
-  let hint = e.sw_home_hint in
-  e.sw_home_hint <- src;
-  if hint = home_id then
-    (* The home itself is (or believes it is) on the ownership chain. *)
-    sw_handle_forward cl home_node ~requester:src ~version:0 page
-  else
-    cast cl ~src:home_id ~dst:hint
-      (Msg.Sw_own_forward { page; requester = src; version = 0 })
-
-(* Serve the first request queued on us while our own transfer was in
-   flight; the rest get re-forwarded by [sw_grant]. *)
-let sw_service_pending cl node (e : entry) =
-  match e.pending_own with
-  | [] -> ()
-  | (r, _) :: rest ->
-    e.pending_own <- rest;
-    sw_grant cl node e r
-
-(* Non-adaptive SW write fault: ownership transfer through the home. *)
-let sw_write_fault cl node (e : entry) =
-  if e.is_owner then begin
-    (* Local reacquisition: version bump, no messages. *)
-    acquire_ownership_locally cl node e;
-    mark_dirty node e
-  end
-  else begin
-    Stats.ownership_request cl.stats;
-    let ivar = Proc.Ivar.create () in
-    Hashtbl.replace node.own_waits e.page ivar;
-    let home = home_of_page cl e.page in
-    trace cl ~node:node.id
-      (Printf.sprintf "t=%d sw-own-req pg%d v%d" (Engine.now cl.engine) e.page
-         e.version);
-    if home = node.id then
-      (* We are the home: run the home logic locally (no message). *)
-      sw_handle_home_req cl ~node:node.id ~src:node.id e.page
-    else
-      cast cl ~src:node.id ~dst:home
-        (Msg.Sw_own_req { page = e.page; version = e.version });
-    (match Proc.Ivar.await ivar with
-    | Msg.Sw_own_transfer { data; version; committed; _ } ->
-      trace cl ~node:node.id
-        (Printf.sprintf "t=%d sw-transfer-recv pg%d v%d"
-           (Engine.now cl.engine) e.page version);
-      (* Atomic state transition FIRST: a forward chasing the chain must
-         never observe us neither waiting nor owning.  The install cost is
-         charged afterwards. *)
-      Page.blit ~src:data ~dst:(frame e);
-      e.has_base <- true;
-      e.version <- max e.version (version + 1);
-      e.content_version <- max e.content_version committed;
-      e.committed_version <- max e.committed_version committed;
-      e.is_owner <- true;
-      e.owner <- node.id;
-      e.owned_at <- Engine.now cl.engine;
-      e.notices <- [];
-      Array.iteri (fun q _ -> e.reflected.(q) <- Vc.get node.vc q) e.reflected;
-      Proc.sleep cl.engine cl.cfg.Config.page_install_ns;
-      Hashtbl.remove node.own_waits e.page;
-      mark_dirty node e;
-      (* Serve ownership requests that were queued on us while the
-         transfer was in flight (unless a forward arriving during the
-         install already took the ownership away). *)
-      if e.is_owner && e.pending_own <> [] then sw_service_pending cl node e
-    | _ -> failwith "Proto: unexpected SW ownership reply")
-  end
-
-(* Adaptive write fault in MW mode (also the landing path after an
-   ownership refusal, whose reply already installed a fresh base copy). *)
-let adaptive_mw_write cl node (e : entry) = mw_write_path cl node e
-
-(* Adaptive write fault (WFS / WFS+WG).  [validate] suspends, and an
-   ownership request handler may run meanwhile and grant our ownership
-   away, so ownership is re-checked after every suspension point (the
-   [restart] calls). *)
-let rec adaptive_write_fault cl node (e : entry) =
-  let restart () = adaptive_write_fault cl node e in
-  if prefers_sw cl e then begin
-    if e.is_owner then begin
-      (* Concurrent MW diffs may have invalidated even an owned page. *)
-      validate cl node e;
-      if not e.is_owner then restart ()
-      else begin
-        acquire_ownership_locally cl node e;
-        mark_dirty node e
-      end
-    end
-    else if e.owner = node.id then begin
-      (* We were the last owner and nobody took ownership since (e.g.
-         after the WG rule switched the page back to SW): re-establish
-         ownership locally. *)
-      validate cl node e;
-      if e.owner <> node.id || e.is_owner then restart ()
-      else begin
-        acquire_ownership_locally cl node e;
-        Stats.mode_switch cl.stats;
-        mark_dirty node e
-      end
-    end
-    else begin
-      Stats.ownership_request cl.stats;
-      let want_data = (not (Perm.allows_read e.perm)) || e.notices <> [] in
-      let req =
-        Msg.Own_req { page = e.page; version = e.version; want_data }
-      in
-      match call cl ~src:node.id ~dst:e.owner req with
-      | Msg.Own_reply { result; version; committed; data; reflected; _ } -> (
-        (match data with
-        | Some data -> install_copy cl node e ~data ~version ~committed ~reflected
-        | None -> ());
-        match result with
-        | Msg.Granted ->
-          fetch_and_apply_diffs cl node e;
-          e.version <- version;
-          acquire_ownership_locally cl node e;
-          mark_dirty node e
-        | Msg.Refused_measure ->
-          e.measured <- true;
-          adaptive_mw_write cl node e
-        | Msg.Refused_fs ->
-          Stats.ownership_refused cl.stats;
-          Stats.note_false_sharing cl.stats ~page:e.page;
-          set_fs_active cl e true;
-          adaptive_mw_write cl node e)
-      | _ -> failwith "Proto: unexpected reply to Own_req"
-    end
-  end
-  else begin
-    if e.is_owner then begin
-      (* Owner whose page now prefers MW (false sharing learned through
-         notices, or small measured diffs): drop ownership and diff. *)
-      e.is_owner <- false;
-      e.owner <- node.id;
-      Stats.mode_switch cl.stats
-    end;
-    adaptive_mw_write cl node e
-  end
-
-(* The migratory read-upgrade: ask for ownership at the read miss (one
-   exchange); if granted, the forthcoming write fault is purely local. *)
-let migratory_read_upgrade_impl cl node (e : entry) =
-  Stats.migratory_upgrade cl.stats;
-  Stats.ownership_request cl.stats;
-  let req = Msg.Own_req { page = e.page; version = e.version; want_data = true } in
-  match call cl ~src:node.id ~dst:e.owner req with
-  | Msg.Own_reply { result; version; committed; data; reflected; _ } -> (
-    (match data with
-    | Some data -> install_copy cl node e ~data ~version ~committed ~reflected
-    | None -> ());
-    match result with
-    | Msg.Granted ->
-      fetch_and_apply_diffs cl node e;
-      e.version <- version;
-      acquire_ownership_locally cl node e;
-      e.perm <- Perm.Read_only
-    | Msg.Refused_measure ->
-      e.measured <- true;
-      validate cl node e
-    | Msg.Refused_fs ->
-      Stats.ownership_refused cl.stats;
-      Stats.note_false_sharing cl.stats ~page:e.page;
-      set_fs_active cl e true;
-      validate cl node e)
-  | _ -> failwith "Proto: unexpected reply to migratory Own_req"
-
-let () = migratory_read_upgrade := migratory_read_upgrade_impl
 
 (* Update the migratory classifier: a write fault preceded by a read fault
    in the same interval is migratory evidence; one without is counter-
@@ -888,532 +54,38 @@ let write_fault cl node (e : entry) =
   Stats.page_fault cl.stats ~read:false;
   Proc.sleep cl.engine cl.cfg.Config.fault_ns;
   update_migratory_score cl node e;
-  (match cl.cfg.Config.protocol with
-  | Config.Mw -> mw_write_path cl node e
-  | Config.Sw -> sw_write_fault cl node e
-  | Config.Wfs | Config.Wfs_wg -> adaptive_write_fault cl node e
-  | Config.Hlrc ->
-    hlrc_validate cl node e;
-    (* The home writes its master copy in place; everyone else twins. *)
-    if home_of_page cl e.page <> node.id then make_twin cl node e;
-    mark_dirty node e);
+  let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
+  P.write_fault cl node e;
   Stats.add_time cl.stats ~node:node.id ~category:Stats.Fault
     ~ns:(Engine.now cl.engine - t0)
-
-(* ------------------------------------------------------------------ *)
-(* Server-side handlers (event context: never block)                  *)
-(* ------------------------------------------------------------------ *)
-
-(* Owner-side reaction to the page becoming shared before its granularity
-   has been measured (WFS+WG only): switch it to MW mode, after emitting a
-   final owner notice if there are unreleased writes. *)
-let wg_sharing_trigger cl node (e : entry) =
-  if is_wfs_wg cl && e.is_owner && (not e.measured) && e.version > 0 then begin
-    e.measured <- true;
-    if e.dirty then e.drop_at_release <- true
-    else begin
-      e.is_owner <- false;
-      e.owner <- node.id;
-      Stats.mode_switch cl.stats
-    end
-  end
-
-let handle_page_req cl node ~src page respond =
-  let e = node.pages.(page) in
-  e.copyset.(src) <- true;
-  wg_sharing_trigger cl node e;
-  match committed_copy e with
-  | None ->
-    failwith
-      (Printf.sprintf
-         "Proto: node %d has no copy of page %d to serve (src=%d perm=%s \
-          owner=%d version=%d is_owner=%b notices=%d)"
-         node.id page src
-         (Perm.to_string e.perm)
-         e.owner e.version e.is_owner
-         (List.length e.notices))
-  | Some copy ->
-    respond_msg respond
-      (Msg.Page_reply
-         {
-           page;
-           data = Page.copy copy;
-           version = e.version;
-           committed = e.committed_version;
-           reflected = Array.copy e.reflected;
-         })
-
-let handle_diff_req cl node ~src ~page ~seqs ~sees_sw respond =
-  let e = node.pages.(page) in
-  (* Lazy diffing: the requested interval may still be pending; create the
-     diff now and charge its cost as added latency on the reply. *)
-  let delay = materialize_pending_diff cl node e in
-  let respond =
-    if delay = 0 then respond
-    else fun ~bytes ~kind msg ->
-      Engine.schedule cl.engine ~delay (fun () -> respond ~bytes ~kind msg)
-  in
-  e.copyset.(src) <- true;
-  e.fs_view.(src) <- sees_sw;
-  (* Rule 1 (Section 3.1.2): if every processor in the approximate copyset
-     sees the page as SW, false sharing has stopped. *)
-  if adaptive cl then begin
-    let all_sw = ref true in
-    Array.iteri (fun q in_set -> if in_set && not e.fs_view.(q) then all_sw := false)
-      e.copyset;
-    if !all_sw then set_fs_active cl e false
-  end;
-  let diffs =
-    List.map
-      (fun seq ->
-        match Hashtbl.find_opt node.diffs (page, node.id, seq) with
-        | Some (vc, diff) -> (seq, vc, diff)
-        | None ->
-          failwith
-            (Printf.sprintf "Proto: node %d asked for missing diff %d/%d"
-               node.id page seq))
-      seqs
-  in
-  respond_msg respond (Msg.Diff_reply { page; diffs })
-
-(* Adaptive ownership request (Section 3.1.1, the ownership refusal
-   protocol).  Always two messages; never forwarded. *)
-let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
-  let e = node.pages.(page) in
-  e.copyset.(src) <- true;
-  let committed () =
-    if want_data then
-      Option.map Page.copy (committed_copy e)
-    else None
-  in
-  let reply result data =
-    respond_msg respond
-      (Msg.Own_reply
-         {
-           page;
-           result;
-           version = e.version;
-           committed = e.committed_version;
-           data;
-           reflected = Array.copy e.reflected;
-         })
-  in
-  let refuse_fs () =
-    Stats.note_false_sharing cl.stats ~page;
-    set_fs_active cl e true;
-    if e.is_owner then begin
-      if e.dirty then e.drop_at_release <- true
-      else begin
-        e.is_owner <- false;
-        e.owner <- node.id;
-        Stats.mode_switch cl.stats
-      end
-    end;
-    reply Msg.Refused_fs (committed ())
-  in
-  if e.is_owner then begin
-    if is_wfs_wg cl && (not e.measured) && e.version > 0 then begin
-      (* First write-sharing event: force MW to measure granularity. *)
-      e.measured <- true;
-      if e.dirty then e.drop_at_release <- true
-      else begin
-        e.is_owner <- false;
-        e.owner <- node.id;
-        Stats.mode_switch cl.stats
-      end;
-      reply Msg.Refused_measure (committed ())
-    end
-    else if e.version = v_req then begin
-      (* Normal grant.  The owner is necessarily clean on this page (a
-         dirty owner has bumped the version, which would mismatch), so its
-         data frame is the committed copy.  Note: we do NOT learn the new
-         version; it reaches us through owner write notices. *)
-      e.is_owner <- false;
-      e.owner <- src;
-      reply Msg.Granted (committed ())
-    end
-    else refuse_fs ()
-  end
-  else if (not e.fs_active) && e.version = v_req && e.owner = node.id then begin
-    (* Resumed ownership request (rules 1-3 cleared the FS flag): the last
-       owner re-establishes single-writer mode. *)
-    e.owner <- src;
-    Stats.mode_switch cl.stats;
-    reply Msg.Granted (committed ())
-  end
-  else refuse_fs ()
-
-(* ------------------------------------------------------------------ *)
-(* Locks                                                              *)
-(* ------------------------------------------------------------------ *)
-
-(* Grant a lock to [requester]: close our interval (charging its cost as
-   extra latency on the grant when running in event context) and send every
-   interval the requester has not seen. *)
-let lock_grant_now cl node lock requester req_vc ~charge_delay =
-  (* Claim the token before any suspension point so no concurrent handler
-     can decide to grant the same lock again. *)
-  let ls = lock_state node ~home:(home_of_lock cl lock) lock in
-  ls.have_token <- false;
-  ls.next <- None;
-  let delay = ref 0 in
-  let charge =
-    match charge_delay with
-    | `Sleep -> fun ns -> Proc.sleep cl.engine ns
-    | `Delay -> fun ns -> delay := !delay + ns
-  in
-  end_interval cl node ~charge;
-  let intervals = collect_unseen cl node req_vc in
-  let send () =
-    cast cl ~src:node.id ~dst:requester (Msg.Lock_grant { lock; intervals })
-  in
-  if !delay = 0 then send () else Engine.schedule cl.engine ~delay:!delay send
-
-let handle_lock_forward cl node ~requester ~vc lock =
-  let ls = lock_state node ~home:(home_of_lock cl lock) lock in
-  if ls.have_token && not ls.held then
-    lock_grant_now cl node lock requester vc ~charge_delay:`Delay
-  else begin
-    assert (ls.next = None);
-    ls.next <- Some (requester, vc)
-  end
-
-let handle_lock_acquire cl node ~src ~vc lock =
-  (* We are the home: append [src] to the distributed queue. *)
-  let ls = lock_state node ~home:(home_of_lock cl lock) lock in
-  let prev = if ls.home_tail = -1 then node.id else ls.home_tail in
-  ls.home_tail <- src;
-  if prev = node.id then handle_lock_forward cl node ~requester:src ~vc lock
-  else
-    cast cl ~src:node.id ~dst:prev
-      (Msg.Lock_forward { lock; requester = src; vc })
-
-let lock cl node l =
-  let t0 = Engine.now cl.engine in
-  let ls = lock_state node ~home:(home_of_lock cl l) l in
-  if ls.have_token && not ls.held then ls.held <- true
-  else begin
-    end_interval_local cl node;
-    let ivar = Proc.Ivar.create () in
-    Hashtbl.replace node.lock_waits l ivar;
-    let vc = Vc.copy node.vc in
-    let home = home_of_lock cl l in
-    if home = node.id then handle_lock_acquire cl node ~src:node.id ~vc l
-    else cast cl ~src:node.id ~dst:home (Msg.Lock_acquire { lock = l; vc });
-    let intervals = Proc.Ivar.await ivar in
-    Hashtbl.remove node.lock_waits l;
-    apply_intervals cl node intervals;
-    ls.have_token <- true;
-    ls.held <- true
-  end;
-  Stats.add_time cl.stats ~node:node.id ~category:Stats.Lock
-    ~ns:(Engine.now cl.engine - t0)
-
-let unlock cl node l =
-  let ls = lock_state node ~home:(home_of_lock cl l) l in
-  if not ls.held then invalid_arg "Dsm.unlock: lock not held";
-  ls.held <- false;
-  match ls.next with
-  | Some (requester, vc) ->
-    lock_grant_now cl node l requester vc ~charge_delay:`Sleep
-  | None -> ()
-
-(* ------------------------------------------------------------------ *)
-(* Barriers and garbage collection                                    *)
-(* ------------------------------------------------------------------ *)
-
-(* Rule 3 (Section 3.1.2): at a barrier, a write notice that dominates all
-   other write notices — including this node's own recent writes — means
-   false sharing has stopped. *)
-let rule3_scan cl node =
-  if adaptive cl then
-    Array.iter
-      (fun (e : entry) ->
-        match e.notices with
-        | [] -> ()
-        | notices ->
-          let dominates (n : Notice.t) =
-            List.for_all
-              (fun (m : Notice.t) ->
-                Notice.same_write n m || Notice.covers ~by:n m)
-              notices
-            &&
-            match e.last_notice_vc.(node.id) with
-            | Some own -> Vc.leq own n.vc
-            | None -> true
-          in
-          if List.exists dominates notices then set_fs_active cl e false)
-      node.pages
-
-(* Pick the copy-fetch hint for a dropped page: the writer of the latest
-   pending notice (necessarily a GC validator, since its diff is live). *)
-let gc_fetch_hint (pending : Notice.t list) fallback =
-  match pending with
-  | [] -> fallback
-  | n :: rest ->
-    let best =
-      List.fold_left
-        (fun (acc : Notice.t) (m : Notice.t) ->
-          if Vc.order m.vc acc.vc > 0 then m else acc)
-        n rest
-    in
-    best.proc
-
-(* Validation phase of garbage collection (runs in process context inside
-   the barrier).  MW: every node with live own diffs for a page validates
-   its copy; the adaptive protocols: only the last owner validates.  All
-   other copies are dropped. *)
-let gc_validate cl node =
-  Array.iter
-    (fun (e : entry) ->
-      let pending = List.filter (still_needed node e) e.notices in
-      if pending = [] then e.notices <- []
-      else begin
-        let validator =
-          match cl.cfg.Config.protocol with
-          | Config.Mw ->
-            (e.own_diff_seqs <> [] || e.pending_diff <> None)
-            && e.data <> None
-          | Config.Sw | Config.Hlrc -> false
-            (* SW and HLRC keep no diff stores; GC never triggers. *)
-          | Config.Wfs | Config.Wfs_wg -> e.owner = node.id
-        in
-        if validator then begin
-          (* Bring the copy fully up to date. *)
-          if e.data = None then ignore (frame e);
-          fetch_and_apply_diffs cl node e;
-          e.perm <- Perm.Read_only;
-          e.content_version <- e.version;
-          e.committed_version <- e.version;
-          Array.iteri
-            (fun q _ -> e.reflected.(q) <- Vc.get node.vc q)
-            e.reflected
-        end
-        else begin
-          let hint = gc_fetch_hint pending e.owner in
-          e.data <- None;
-          e.has_base <- false;
-          e.perm <- Perm.No_access;
-          e.notices <- [];
-          e.content_version <- 0;
-          e.committed_version <- 0;
-          Array.fill e.reflected 0 (Array.length e.reflected) 0;
-          if not (adaptive cl) then e.owner <- hint
-        end
-      end)
-    node.pages
-
-(* Purge the diff store and twins after everyone has validated. *)
-let gc_purge cl node =
-  let bytes = ref 0 and count = ref 0 in
-  Hashtbl.iter
-    (fun _ (_, diff) ->
-      bytes := !bytes + Diff.size_bytes diff;
-      incr count)
-    node.diffs;
-  Hashtbl.reset node.diffs;
-  Stats.diffs_dropped cl.stats ~node:node.id ~bytes:!bytes ~count:!count
-    ~time:(Engine.now cl.engine);
-  Array.iter
-    (fun (e : entry) ->
-      e.own_diff_seqs <- [];
-      (* Lazily-pending diffs whose notices were just discarded will never
-         be requested: drop them uncreated (the lazy scheme's win). *)
-      match e.pending_diff with
-      | Some _ ->
-        e.pending_diff <- None;
-        if e.twin <> None then begin
-          e.twin <- None;
-          Stats.twin_freed cl.stats ~node:node.id
-        end
-      | None -> ())
-    node.pages;
-  (* Interval logs are globally known at this point; drop them so grants
-     stay small.  Vector clocks keep the ordering information. *)
-  Array.iteri (fun p _ -> node.intervals.(p) <- []) node.intervals
-
-let barrier_complete cl =
-  let mgr = cl.barrier_mgr in
-  let manager = cl.nodes.(0) in
-  (* Merge every arrival's intervals into the manager's knowledge in ONE
-     batch: applying them per arrival would merge one node's vector clock
-     (which covers other nodes' intervals) before those intervals' notices
-     have been applied, silently dropping them. *)
-  let all_intervals =
-    List.concat_map (fun (_, _, intervals, _) -> intervals) mgr.arrivals
-  in
-  apply_intervals cl manager all_intervals;
-  let gc_round = mgr.gc_requested in
-  if gc_round then Stats.gc_started cl.stats;
-  let epoch = mgr.epoch in
-  (* Release every node with the intervals it is missing. *)
-  List.iter
-    (fun (src, vc, _, _) ->
-      let intervals = collect_unseen cl manager vc in
-      let msg = Msg.Barrier_release { epoch; intervals; gc_round } in
-      if src = 0 then begin
-        match manager.barrier_wait with
-        | Some ivar ->
-          manager.barrier_wait <- None;
-          Proc.Ivar.fill cl.engine ivar msg
-        | None -> assert false
-      end
-      else cast cl ~src:0 ~dst:src msg)
-    (List.rev mgr.arrivals);
-  mgr.arrivals <- [];
-  mgr.arrived <- 0;
-  mgr.epoch <- epoch + 1;
-  mgr.gc_requested <- false;
-  if gc_round then mgr.gc_done_count <- 0
-
-let handle_barrier_arrive cl ~src ~vc ~intervals ~gc_wanted epoch =
-  let mgr = cl.barrier_mgr in
-  if epoch <> mgr.epoch then
-    failwith
-      (Printf.sprintf "Proto: barrier epoch mismatch (%d vs %d)" epoch
-         mgr.epoch);
-  mgr.arrivals <- (src, vc, intervals, gc_wanted) :: mgr.arrivals;
-  mgr.arrived <- mgr.arrived + 1;
-  if gc_wanted then mgr.gc_requested <- true;
-  if mgr.arrived = cl.cfg.Config.nprocs then barrier_complete cl
-
-let gc_complete_all cl =
-  for p = 1 to cl.cfg.Config.nprocs - 1 do
-    cast cl ~src:0 ~dst:p (Msg.Gc_complete { epoch = cl.barrier_mgr.epoch })
-  done;
-  let manager = cl.nodes.(0) in
-  match manager.gc_wait with
-  | Some ivar ->
-    manager.gc_wait <- None;
-    Proc.Ivar.fill cl.engine ivar ()
-  | None -> assert false
-
-let handle_gc_done cl =
-  let mgr = cl.barrier_mgr in
-  mgr.gc_done_count <- mgr.gc_done_count + 1;
-  if mgr.gc_done_count = cl.cfg.Config.nprocs then gc_complete_all cl
-
-let barrier cl node =
-  let t0 = Engine.now cl.engine in
-  end_interval_local cl node;
-  let gc_wanted =
-    Stats.diff_store_bytes cl.stats ~node:node.id
-    > cl.cfg.Config.gc_threshold_bytes
-  in
-  let ivar = Proc.Ivar.create () in
-  node.barrier_wait <- Some ivar;
-  let epoch = node.barrier_epoch in
-  node.barrier_epoch <- epoch + 1;
-  let own_intervals =
-    Interval.unseen_by node.last_barrier_vc node.intervals.(node.id)
-  in
-  let vc = Vc.copy node.vc in
-  if node.id = 0 then
-    handle_barrier_arrive cl ~src:0 ~vc ~intervals:own_intervals ~gc_wanted
-      epoch
-  else
-    cast cl ~src:node.id ~dst:0
-      (Msg.Barrier_arrive { epoch; vc; intervals = own_intervals; gc_wanted });
-  (match Proc.Ivar.await ivar with
-  | Msg.Barrier_release { intervals; gc_round; _ } ->
-    apply_intervals cl node intervals;
-    node.last_barrier_vc <- Vc.copy node.vc;
-    rule3_scan cl node;
-    if gc_round then begin
-      let gc_ivar = Proc.Ivar.create () in
-      node.gc_wait <- Some gc_ivar;
-      gc_validate cl node;
-      if node.id = 0 then handle_gc_done cl
-      else cast cl ~src:node.id ~dst:0 (Msg.Gc_done { epoch });
-      Proc.Ivar.await gc_ivar;
-      gc_purge cl node
-    end
-  | _ -> failwith "Proto: unexpected barrier reply");
-  Stats.add_time cl.stats ~node:node.id ~category:Stats.Barrier
-    ~ns:(Engine.now cl.engine - t0)
-
-(* ------------------------------------------------------------------ *)
-(* HLRC home-side handlers                                            *)
-(* ------------------------------------------------------------------ *)
-
-let hlrc_covered (e : entry) need =
-  List.for_all (fun (q, seq) -> e.reflected.(q) >= seq) need
-
-let hlrc_reply_now (e : entry) respond =
-  respond_msg respond
-    (Msg.Page_reply
-       {
-         page = e.page;
-         data = Page.copy (frame e);
-         version = 0;
-         committed = 0;
-         reflected = Array.copy e.reflected;
-       })
-
-(* A diff arrived at this home: apply it to the master copy and release
-   any fetches that were waiting for it. *)
-let handle_hlrc_diff node ~src ~page ~seq diff =
-  let e = node.pages.(page) in
-  Diff.apply diff (frame e);
-  if seq > e.reflected.(src) then e.reflected.(src) <- seq;
-  let ready, still_waiting =
-    List.partition
-      (fun (p, need, _) -> p = page && hlrc_covered e need)
-      node.hlrc_waiting
-  in
-  node.hlrc_waiting <- still_waiting;
-  List.iter (fun (_, _, respond) -> hlrc_reply_now e respond) ready
-
-let handle_hlrc_fetch node ~page ~need respond =
-  let e = node.pages.(page) in
-  if hlrc_covered e need then hlrc_reply_now e respond
-  else node.hlrc_waiting <- (page, need, respond) :: node.hlrc_waiting
-
-(* ------------------------------------------------------------------ *)
-(* Message dispatch                                                   *)
-(* ------------------------------------------------------------------ *)
 
 let handle_message cl ~node:node_id ~src msg respond =
   let node = cl.nodes.(node_id) in
   match (msg, respond) with
+  (* Synchronization traffic. *)
   | Msg.Lock_acquire { lock; vc }, None ->
-    handle_lock_acquire cl node ~src ~vc lock
+    Sync.handle_lock_acquire cl node ~src ~vc lock
   | Msg.Lock_forward { lock; requester; vc }, None ->
-    handle_lock_forward cl node ~requester ~vc lock
-  | Msg.Lock_grant { lock; intervals }, None -> (
-    match Hashtbl.find_opt node.lock_waits lock with
-    | Some ivar -> Proc.Ivar.fill cl.engine ivar intervals
-    | None -> failwith "Proto: unexpected lock grant")
+    Sync.handle_lock_forward cl node ~requester ~vc lock
+  | Msg.Lock_grant { lock; intervals }, None ->
+    Sync.handle_lock_grant cl node ~lock intervals
   | Msg.Barrier_arrive { epoch; vc; intervals; gc_wanted }, None ->
-    handle_barrier_arrive cl ~src ~vc ~intervals ~gc_wanted epoch
-  | Msg.Barrier_release _, None -> (
-    match node.barrier_wait with
-    | Some ivar ->
-      node.barrier_wait <- None;
-      Proc.Ivar.fill cl.engine ivar msg
-    | None -> failwith "Proto: unexpected barrier release")
-  | Msg.Gc_done _, None -> handle_gc_done cl
-  | Msg.Gc_complete _, None -> (
-    match node.gc_wait with
-    | Some ivar ->
-      node.gc_wait <- None;
-      Proc.Ivar.fill cl.engine ivar ()
-    | None -> failwith "Proto: unexpected gc complete")
+    Sync.handle_barrier_arrive cl ~src ~vc ~intervals ~gc_wanted epoch
+  | Msg.Barrier_release _, None -> Sync.handle_barrier_release cl node msg
+  | Msg.Gc_done _, None -> Sync.handle_gc_done cl
+  | Msg.Gc_complete _, None -> Sync.handle_gc_complete cl node
+  (* Shared paging/ownership requests, served per the protocol's policy. *)
   | Msg.Page_req { page }, Some respond ->
-    handle_page_req cl node ~src page respond
+    let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
+    P.handle_page_req cl node ~src page respond
   | Msg.Diff_req { page; seqs; sees_sw }, Some respond ->
-    handle_diff_req cl node ~src ~page ~seqs ~sees_sw respond
+    let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
+    P.handle_diff_req cl node ~src ~page ~seqs ~sees_sw respond
   | Msg.Own_req { page; version; want_data }, Some respond ->
-    handle_own_req cl node ~src ~page ~version ~want_data respond
-  | Msg.Sw_own_req { page; _ }, None -> sw_handle_home_req cl ~node:node_id ~src page
-  | Msg.Sw_own_forward { page; requester; version }, None ->
-    sw_handle_forward cl node ~requester ~version page
-  | Msg.Sw_own_transfer { page; _ }, None -> (
-    match Hashtbl.find_opt node.own_waits page with
-    | Some ivar -> Proc.Ivar.fill cl.engine ivar msg
-    | None -> failwith "Proto: unexpected ownership transfer")
-  | Msg.Hlrc_diff { page; seq; diff; _ }, None ->
-    handle_hlrc_diff node ~src ~page ~seq diff
-  | Msg.Hlrc_fetch { page; need }, Some respond ->
-    handle_hlrc_fetch node ~page ~need respond
-  | _ -> failwith "Proto: malformed message/response combination"
+    let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
+    P.handle_own_req cl node ~src ~page ~version ~want_data respond
+  (* Protocol-private traffic (SW forwarding, HLRC home messages). *)
+  | _ ->
+    let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
+    if not (P.handle_protocol_msg cl node ~src msg respond) then
+      failwith "Proto: malformed message/response combination"

@@ -1,0 +1,6 @@
+(** The adaptive protocols WFS and WFS+WG (paper Section 3): per-page
+    adaptation between single- and multiple-writer mode driven by the
+    ownership-refusal protocol, plus the write-granularity rule and the
+    migratory-detection extension. *)
+
+include Protocol_intf.PROTOCOL

@@ -1,0 +1,5 @@
+(** HLRC: the home-based LRC extension (related work of the paper).  Diffs
+    are flushed eagerly to each page's static home and discarded; faults
+    fetch whole current pages from the home. *)
+
+include Protocol_intf.PROTOCOL

@@ -1,0 +1,3 @@
+(** MW: TreadMarks-style twin/diff multiple writer (paper Section 2.2). *)
+
+include Protocol_intf.PROTOCOL

@@ -1,0 +1,5 @@
+(** SW: CVM-like single writer with version numbers, home-forwarded
+    ownership transfers and a minimum ownership quantum (paper
+    Section 2.3). *)
+
+include Protocol_intf.PROTOCOL

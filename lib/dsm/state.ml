@@ -59,9 +59,7 @@ type node = {
   mutable gc_wait : unit Proc.Ivar.t option;
   mutable last_barrier_vc : Vc.t;
   mutable barrier_epoch : int;
-  mutable hlrc_waiting :
-    (int * (int * int) list * (bytes:int -> kind:string -> Msg.t -> unit))
-    list;
+  mutable hlrc_waiting : (int * (int * int) list * Msg.t Adsm_net.Rpc.respond) list;
   rng : Rng.t;
 }
 

@@ -99,9 +99,7 @@ type node = {
   mutable last_barrier_vc : Vc.t;
       (** manager knowledge at the last barrier (bounds what we resend) *)
   mutable barrier_epoch : int;
-  mutable hlrc_waiting :
-    (int * (int * int) list * (bytes:int -> kind:string -> Msg.t -> unit))
-    list;
+  mutable hlrc_waiting : (int * (int * int) list * Msg.t Adsm_net.Rpc.respond) list;
       (** HLRC: deferred fetch replies (page, needed (proc,seq) pairs,
           respond closure) waiting for in-flight diffs to reach this home *)
   rng : Adsm_sim.Rng.t;

@@ -1,0 +1,320 @@
+(* Synchronization over the LRC substrate: distributed locks (a
+   home-rooted distributed queue), the global barrier (manager at node 0),
+   and diff garbage collection (piggybacked on a barrier round).
+
+   Protocol policy enters only through {!Dispatch.for_cluster}: interval
+   closure runs the protocol's [close_page], and the GC validation phase
+   asks the protocol which copies survive. *)
+
+module Perm = Adsm_mem.Perm
+module Engine = Adsm_sim.Engine
+module Proc = Adsm_sim.Proc
+open State
+
+let end_interval cl node ~charge =
+  Lrc_core.end_interval cl (Dispatch.for_cluster cl) node ~charge
+
+let end_interval_local cl node =
+  end_interval cl node ~charge:(fun ns -> Proc.sleep cl.engine ns)
+
+(* ------------------------------------------------------------------ *)
+(* Locks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Grant a lock to [requester]: close our interval (charging its cost as
+   extra latency on the grant when running in event context) and send every
+   interval the requester has not seen. *)
+let lock_grant_now cl node lock requester req_vc ~charge_delay =
+  (* Claim the token before any suspension point so no concurrent handler
+     can decide to grant the same lock again. *)
+  let ls = lock_state node ~home:(home_of_lock cl lock) lock in
+  ls.have_token <- false;
+  ls.next <- None;
+  let delay = ref 0 in
+  let charge =
+    match charge_delay with
+    | `Sleep -> fun ns -> Proc.sleep cl.engine ns
+    | `Delay -> fun ns -> delay := !delay + ns
+  in
+  end_interval cl node ~charge;
+  let intervals = Lrc_core.collect_unseen cl node req_vc in
+  let send () =
+    Lrc_core.cast cl ~src:node.id ~dst:requester
+      (Msg.Lock_grant { lock; intervals })
+  in
+  if !delay = 0 then send () else Engine.schedule cl.engine ~delay:!delay send
+
+let handle_lock_forward cl node ~requester ~vc lock =
+  let ls = lock_state node ~home:(home_of_lock cl lock) lock in
+  if ls.have_token && not ls.held then
+    lock_grant_now cl node lock requester vc ~charge_delay:`Delay
+  else begin
+    assert (ls.next = None);
+    ls.next <- Some (requester, vc)
+  end
+
+let handle_lock_acquire cl node ~src ~vc lock =
+  (* We are the home: append [src] to the distributed queue. *)
+  let ls = lock_state node ~home:(home_of_lock cl lock) lock in
+  let prev = if ls.home_tail = -1 then node.id else ls.home_tail in
+  ls.home_tail <- src;
+  if prev = node.id then handle_lock_forward cl node ~requester:src ~vc lock
+  else
+    Lrc_core.cast cl ~src:node.id ~dst:prev
+      (Msg.Lock_forward { lock; requester = src; vc })
+
+let handle_lock_grant cl node ~lock intervals =
+  match Hashtbl.find_opt node.lock_waits lock with
+  | Some ivar -> Proc.Ivar.fill cl.engine ivar intervals
+  | None -> failwith "Proto: unexpected lock grant"
+
+let lock cl node l =
+  let t0 = Engine.now cl.engine in
+  let ls = lock_state node ~home:(home_of_lock cl l) l in
+  if ls.have_token && not ls.held then ls.held <- true
+  else begin
+    end_interval_local cl node;
+    let ivar = Proc.Ivar.create () in
+    Hashtbl.replace node.lock_waits l ivar;
+    let vc = Vc.copy node.vc in
+    let home = home_of_lock cl l in
+    if home = node.id then handle_lock_acquire cl node ~src:node.id ~vc l
+    else
+      Lrc_core.cast cl ~src:node.id ~dst:home
+        (Msg.Lock_acquire { lock = l; vc });
+    let intervals = Proc.Ivar.await ivar in
+    Hashtbl.remove node.lock_waits l;
+    Lrc_core.apply_intervals cl node intervals;
+    ls.have_token <- true;
+    ls.held <- true
+  end;
+  Stats.add_time cl.stats ~node:node.id ~category:Stats.Lock
+    ~ns:(Engine.now cl.engine - t0)
+
+let unlock cl node l =
+  let ls = lock_state node ~home:(home_of_lock cl l) l in
+  if not ls.held then invalid_arg "Dsm.unlock: lock not held";
+  ls.held <- false;
+  match ls.next with
+  | Some (requester, vc) ->
+    lock_grant_now cl node l requester vc ~charge_delay:`Sleep
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Barriers and garbage collection                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Rule 3 (Section 3.1.2): at a barrier, a write notice that dominates all
+   other write notices — including this node's own recent writes — means
+   false sharing has stopped. *)
+let rule3_scan cl node =
+  if Mode.adaptive cl then
+    Array.iter
+      (fun (e : entry) ->
+        match e.notices with
+        | [] -> ()
+        | notices ->
+          let dominates (n : Notice.t) =
+            List.for_all
+              (fun (m : Notice.t) ->
+                Notice.same_write n m || Notice.covers ~by:n m)
+              notices
+            &&
+            match e.last_notice_vc.(node.id) with
+            | Some own -> Vc.leq own n.vc
+            | None -> true
+          in
+          if List.exists dominates notices then Mode.set_fs_active cl e false)
+      node.pages
+
+(* Pick the copy-fetch hint for a dropped page: the writer of the latest
+   pending notice (necessarily a GC validator, since its diff is live). *)
+let gc_fetch_hint (pending : Notice.t list) fallback =
+  match pending with
+  | [] -> fallback
+  | n :: rest ->
+    let best =
+      List.fold_left
+        (fun (acc : Notice.t) (m : Notice.t) ->
+          if Vc.order m.vc acc.vc > 0 then m else acc)
+        n rest
+    in
+    best.proc
+
+(* Validation phase of garbage collection (runs in process context inside
+   the barrier).  The protocol decides which copies survive: MW keeps every
+   copy whose node has live own diffs; the adaptive protocols keep only the
+   last owner's.  All other copies are dropped. *)
+let gc_validate cl node =
+  let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
+  Array.iter
+    (fun (e : entry) ->
+      let pending = List.filter (Lrc_core.still_needed node e) e.notices in
+      if pending = [] then e.notices <- []
+      else if P.gc_validator cl node e then begin
+        (* Bring the copy fully up to date. *)
+        if e.data = None then ignore (frame e);
+        Lrc_core.fetch_and_apply_diffs cl node e;
+        e.perm <- Perm.Read_only;
+        e.content_version <- e.version;
+        e.committed_version <- e.version;
+        Array.iteri
+          (fun q _ -> e.reflected.(q) <- Vc.get node.vc q)
+          e.reflected
+      end
+      else begin
+        let hint = gc_fetch_hint pending e.owner in
+        e.data <- None;
+        e.has_base <- false;
+        e.perm <- Perm.No_access;
+        e.notices <- [];
+        e.content_version <- 0;
+        e.committed_version <- 0;
+        Array.fill e.reflected 0 (Array.length e.reflected) 0;
+        if P.gc_retarget_owner_on_drop then e.owner <- hint
+      end)
+    node.pages
+
+(* Purge the diff store and twins after everyone has validated. *)
+let gc_purge cl node =
+  let bytes = ref 0 and count = ref 0 in
+  Hashtbl.iter
+    (fun _ (_, diff) ->
+      bytes := !bytes + Diff.size_bytes diff;
+      incr count)
+    node.diffs;
+  Hashtbl.reset node.diffs;
+  Stats.diffs_dropped cl.stats ~node:node.id ~bytes:!bytes ~count:!count
+    ~time:(Engine.now cl.engine);
+  Array.iter
+    (fun (e : entry) ->
+      e.own_diff_seqs <- [];
+      (* Lazily-pending diffs whose notices were just discarded will never
+         be requested: drop them uncreated (the lazy scheme's win). *)
+      match e.pending_diff with
+      | Some _ ->
+        e.pending_diff <- None;
+        if e.twin <> None then begin
+          e.twin <- None;
+          Stats.twin_freed cl.stats ~node:node.id
+        end
+      | None -> ())
+    node.pages;
+  (* Interval logs are globally known at this point; drop them so grants
+     stay small.  Vector clocks keep the ordering information. *)
+  Array.iteri (fun p _ -> node.intervals.(p) <- []) node.intervals
+
+let barrier_complete cl =
+  let mgr = cl.barrier_mgr in
+  let manager = cl.nodes.(0) in
+  (* Merge every arrival's intervals into the manager's knowledge in ONE
+     batch: applying them per arrival would merge one node's vector clock
+     (which covers other nodes' intervals) before those intervals' notices
+     have been applied, silently dropping them. *)
+  let all_intervals =
+    List.concat_map (fun (_, _, intervals, _) -> intervals) mgr.arrivals
+  in
+  Lrc_core.apply_intervals cl manager all_intervals;
+  let gc_round = mgr.gc_requested in
+  if gc_round then Stats.gc_started cl.stats;
+  let epoch = mgr.epoch in
+  (* Release every node with the intervals it is missing. *)
+  List.iter
+    (fun (src, vc, _, _) ->
+      let intervals = Lrc_core.collect_unseen cl manager vc in
+      let msg = Msg.Barrier_release { epoch; intervals; gc_round } in
+      if src = 0 then begin
+        match manager.barrier_wait with
+        | Some ivar ->
+          manager.barrier_wait <- None;
+          Proc.Ivar.fill cl.engine ivar msg
+        | None -> assert false
+      end
+      else Lrc_core.cast cl ~src:0 ~dst:src msg)
+    (List.rev mgr.arrivals);
+  mgr.arrivals <- [];
+  mgr.arrived <- 0;
+  mgr.epoch <- epoch + 1;
+  mgr.gc_requested <- false;
+  if gc_round then mgr.gc_done_count <- 0
+
+let handle_barrier_arrive cl ~src ~vc ~intervals ~gc_wanted epoch =
+  let mgr = cl.barrier_mgr in
+  if epoch <> mgr.epoch then
+    failwith
+      (Printf.sprintf "Proto: barrier epoch mismatch (%d vs %d)" epoch
+         mgr.epoch);
+  mgr.arrivals <- (src, vc, intervals, gc_wanted) :: mgr.arrivals;
+  mgr.arrived <- mgr.arrived + 1;
+  if gc_wanted then mgr.gc_requested <- true;
+  if mgr.arrived = cl.cfg.Config.nprocs then barrier_complete cl
+
+let handle_barrier_release cl node msg =
+  match node.barrier_wait with
+  | Some ivar ->
+    node.barrier_wait <- None;
+    Proc.Ivar.fill cl.engine ivar msg
+  | None -> failwith "Proto: unexpected barrier release"
+
+let gc_complete_all cl =
+  for p = 1 to cl.cfg.Config.nprocs - 1 do
+    Lrc_core.cast cl ~src:0 ~dst:p
+      (Msg.Gc_complete { epoch = cl.barrier_mgr.epoch })
+  done;
+  let manager = cl.nodes.(0) in
+  match manager.gc_wait with
+  | Some ivar ->
+    manager.gc_wait <- None;
+    Proc.Ivar.fill cl.engine ivar ()
+  | None -> assert false
+
+let handle_gc_done cl =
+  let mgr = cl.barrier_mgr in
+  mgr.gc_done_count <- mgr.gc_done_count + 1;
+  if mgr.gc_done_count = cl.cfg.Config.nprocs then gc_complete_all cl
+
+let handle_gc_complete cl node =
+  match node.gc_wait with
+  | Some ivar ->
+    node.gc_wait <- None;
+    Proc.Ivar.fill cl.engine ivar ()
+  | None -> failwith "Proto: unexpected gc complete"
+
+let barrier cl node =
+  let t0 = Engine.now cl.engine in
+  end_interval_local cl node;
+  let gc_wanted =
+    Stats.diff_store_bytes cl.stats ~node:node.id
+    > cl.cfg.Config.gc_threshold_bytes
+  in
+  let ivar = Proc.Ivar.create () in
+  node.barrier_wait <- Some ivar;
+  let epoch = node.barrier_epoch in
+  node.barrier_epoch <- epoch + 1;
+  let own_intervals =
+    Interval.unseen_by node.last_barrier_vc node.intervals.(node.id)
+  in
+  let vc = Vc.copy node.vc in
+  if node.id = 0 then
+    handle_barrier_arrive cl ~src:0 ~vc ~intervals:own_intervals ~gc_wanted
+      epoch
+  else
+    Lrc_core.cast cl ~src:node.id ~dst:0
+      (Msg.Barrier_arrive { epoch; vc; intervals = own_intervals; gc_wanted });
+  (match Proc.Ivar.await ivar with
+  | Msg.Barrier_release { intervals; gc_round; _ } ->
+    Lrc_core.apply_intervals cl node intervals;
+    node.last_barrier_vc <- Vc.copy node.vc;
+    rule3_scan cl node;
+    if gc_round then begin
+      let gc_ivar = Proc.Ivar.create () in
+      node.gc_wait <- Some gc_ivar;
+      gc_validate cl node;
+      if node.id = 0 then handle_gc_done cl
+      else Lrc_core.cast cl ~src:node.id ~dst:0 (Msg.Gc_done { epoch });
+      Proc.Ivar.await gc_ivar;
+      gc_purge cl node
+    end
+  | _ -> failwith "Proto: unexpected barrier reply");
+  Stats.add_time cl.stats ~node:node.id ~category:Stats.Barrier
+    ~ns:(Engine.now cl.engine - t0)

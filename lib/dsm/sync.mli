@@ -1,0 +1,46 @@
+(** Synchronization over the LRC substrate: distributed locks, the global
+    barrier (manager at node 0), and diff garbage collection.  Protocol
+    policy enters only via {!Dispatch.for_cluster} (interval closure and
+    the GC survival test). *)
+
+open State
+
+(** Close the node's current interval under the cluster's protocol; CPU
+    cost goes to [charge] once (sleep in process context, reply latency in
+    event context). *)
+val end_interval : cluster -> node -> charge:(int -> unit) -> unit
+
+(** [end_interval] charging by sleeping; process context only. *)
+val end_interval_local : cluster -> node -> unit
+
+(* --- locks (application side; process context) --- *)
+
+val lock : cluster -> node -> int -> unit
+
+val unlock : cluster -> node -> int -> unit
+
+(* --- barriers (application side; process context) --- *)
+
+(** Global barrier; runs garbage collection when any node's diff store
+    exceeded the threshold. *)
+val barrier : cluster -> node -> unit
+
+(* --- message handlers (event context: never block) --- *)
+
+val handle_lock_acquire : cluster -> node -> src:int -> vc:Vc.t -> int -> unit
+
+val handle_lock_forward :
+  cluster -> node -> requester:int -> vc:Vc.t -> int -> unit
+
+val handle_lock_grant : cluster -> node -> lock:int -> Interval.t list -> unit
+
+val handle_barrier_arrive :
+  cluster -> src:int -> vc:Vc.t -> intervals:Interval.t list ->
+  gc_wanted:bool -> int -> unit
+
+(** Wake the local barrier waiter with the release message. *)
+val handle_barrier_release : cluster -> node -> Msg.t -> unit
+
+val handle_gc_done : cluster -> unit
+
+val handle_gc_complete : cluster -> node -> unit

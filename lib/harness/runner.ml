@@ -12,6 +12,7 @@ type measurement = {
   time_ns : int;
   messages : int;
   data_bytes : int;
+  wire_bytes : int;
   own_requests : int;
   own_refusals : int;
   twins_created : int;
@@ -50,6 +51,7 @@ let run ?(seed = 0x5EEDL) ?(tweak = Fun.id) ?trace ~(app : Registry.entry)
     time_ns = report.Dsm.time_ns;
     messages = report.Dsm.messages;
     data_bytes = report.Dsm.payload_bytes;
+    wire_bytes = report.Dsm.wire_bytes;
     own_requests = Stats.ownership_requests stats;
     own_refusals = Stats.ownership_refusals stats;
     twins_created = Stats.twins_created_total stats;

@@ -9,6 +9,7 @@ type measurement = {
   time_ns : int;
   messages : int;
   data_bytes : int;  (** payload bytes, the paper's "Data" column *)
+  wire_bytes : int;  (** payload plus per-message headers on the wire *)
   own_requests : int;
   own_refusals : int;
   twins_created : int;

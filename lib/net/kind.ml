@@ -1,0 +1,32 @@
+type t = Lock | Barrier | Gc | Page | Diff | Own
+
+let count = 6
+
+let index = function
+  | Lock -> 0
+  | Barrier -> 1
+  | Gc -> 2
+  | Page -> 3
+  | Diff -> 4
+  | Own -> 5
+
+let all = [ Lock; Barrier; Gc; Page; Diff; Own ]
+
+let to_string = function
+  | Lock -> "lock"
+  | Barrier -> "barrier"
+  | Gc -> "gc"
+  | Page -> "page"
+  | Diff -> "diff"
+  | Own -> "own"
+
+let of_string = function
+  | "lock" -> Some Lock
+  | "barrier" -> Some Barrier
+  | "gc" -> Some Gc
+  | "page" -> Some Page
+  | "diff" -> Some Diff
+  | "own" -> Some Own
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

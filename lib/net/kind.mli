@@ -1,0 +1,33 @@
+(** Traffic classes for network accounting.
+
+    Every message on the simulated network carries one of these labels; the
+    network keeps per-kind message and byte counters that the experiment
+    harness reads out for the paper's Table 4.  A closed variant (instead of
+    the free-form strings it replaces) gives the counters a fixed dense
+    index and catches typos at compile time; the protocol layer derives the
+    label once, in [Msg.kind]. *)
+
+type t =
+  | Lock  (** lock acquires, forwards and grants *)
+  | Barrier  (** barrier arrivals and releases *)
+  | Gc  (** garbage-collection coordination *)
+  | Page  (** whole-page requests and copies *)
+  | Diff  (** diff requests, replies and HLRC diff flushes *)
+  | Own  (** ownership requests, transfers and refusals *)
+
+(** Number of kinds (the counter-array length). *)
+val count : int
+
+(** Dense index in [0, count). *)
+val index : t -> int
+
+(** Every kind, in index order. *)
+val all : t list
+
+(** Lowercase label used in reports ("lock", "barrier", "gc", "page",
+    "diff", "own"). *)
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -10,7 +10,8 @@ type 'msg t = {
   mutable messages : int;
   mutable payload_bytes : int;
   mutable wire_bytes : int;
-  kind_counts : (string, (int * int) ref) Hashtbl.t;
+  kind_msgs : int array;  (** indexed by [Kind.index] *)
+  kind_bytes : int array;
   sent : int array;
   received : int array;
 }
@@ -27,7 +28,8 @@ let create engine cfg ~nodes =
     messages = 0;
     payload_bytes = 0;
     wire_bytes = 0;
-    kind_counts = Hashtbl.create 16;
+    kind_msgs = Array.make Kind.count 0;
+    kind_bytes = Array.make Kind.count 0;
     sent = Array.make nodes 0;
     received = Array.make nodes 0;
   }
@@ -47,11 +49,9 @@ let count t ~src ~dst ~bytes ~kind =
   t.wire_bytes <- t.wire_bytes + bytes + t.cfg.Netcfg.header_bytes;
   t.sent.(src) <- t.sent.(src) + 1;
   t.received.(dst) <- t.received.(dst) + 1;
-  match Hashtbl.find_opt t.kind_counts kind with
-  | Some r ->
-    let m, b = !r in
-    r := (m + 1, b + bytes)
-  | None -> Hashtbl.replace t.kind_counts kind (ref (1, bytes))
+  let k = Kind.index kind in
+  t.kind_msgs.(k) <- t.kind_msgs.(k) + 1;
+  t.kind_bytes.(k) <- t.kind_bytes.(k) + bytes
 
 let send t ~src ~dst ~bytes ~kind msg =
   if src < 0 || src >= t.node_count then
@@ -90,8 +90,17 @@ let total_payload_bytes t = t.payload_bytes
 
 let total_wire_bytes t = t.wire_bytes
 
+let kind_counts t ~kind =
+  let k = Kind.index kind in
+  (t.kind_msgs.(k), t.kind_bytes.(k))
+
 let by_kind t =
-  Hashtbl.fold (fun kind r acc -> (kind, !r) :: acc) t.kind_counts []
+  List.filter_map
+    (fun kind ->
+      let k = Kind.index kind in
+      if t.kind_msgs.(k) = 0 then None
+      else Some (Kind.to_string kind, (t.kind_msgs.(k), t.kind_bytes.(k))))
+    Kind.all
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let node_counts t ~node =
@@ -103,6 +112,7 @@ let reset_counters t =
   t.messages <- 0;
   t.payload_bytes <- 0;
   t.wire_bytes <- 0;
-  Hashtbl.reset t.kind_counts;
+  Array.fill t.kind_msgs 0 Kind.count 0;
+  Array.fill t.kind_bytes 0 Kind.count 0;
   Array.fill t.sent 0 t.node_count 0;
   Array.fill t.received 0 t.node_count 0

@@ -21,7 +21,7 @@ val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
 (** [send t ~src ~dst ~bytes ~kind msg] transmits [msg] with a payload of
     [bytes] bytes.  [kind] labels the message for statistics.
     @raise Invalid_argument on self-sends or out-of-range nodes. *)
-val send : 'msg t -> src:int -> dst:int -> bytes:int -> kind:string -> 'msg -> unit
+val send : 'msg t -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> 'msg -> unit
 
 (** Total messages delivered or in flight. *)
 val total_messages : 'msg t -> int
@@ -32,7 +32,12 @@ val total_payload_bytes : 'msg t -> int
 (** Total bytes on the wire including per-message headers. *)
 val total_wire_bytes : 'msg t -> int
 
-(** Per-kind [(messages, payload_bytes)] counters, sorted by kind. *)
+(** [(messages, payload_bytes)] counters for one traffic kind. *)
+val kind_counts : 'msg t -> kind:Kind.t -> int * int
+
+(** Per-kind [(label, (messages, payload_bytes))] counters for every kind
+    with traffic, sorted by label — the report format the harness and the
+    Table 4 extraction consume. *)
 val by_kind : 'msg t -> (string * (int * int)) list
 
 (** [(sent, received)] message counts for [node]; received counts messages

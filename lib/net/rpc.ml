@@ -1,7 +1,7 @@
 module Engine = Adsm_sim.Engine
 module Proc = Adsm_sim.Proc
 
-type 'msg respond = bytes:int -> kind:string -> 'msg -> unit
+type 'msg respond = bytes:int -> kind:Kind.t -> 'msg -> unit
 
 type 'msg handler = src:int -> 'msg -> 'msg respond option -> unit
 

@@ -7,7 +7,7 @@
 
 type 'msg t
 
-type 'msg respond = bytes:int -> kind:string -> 'msg -> unit
+type 'msg respond = bytes:int -> kind:Kind.t -> 'msg -> unit
 
 (** What a node does with an incoming message. *)
 type 'msg handler = src:int -> 'msg -> 'msg respond option -> unit
@@ -24,14 +24,14 @@ val network : 'msg t -> ('msg Envelope.t) Network.t
 val set_handler : 'msg t -> node:int -> 'msg handler -> unit
 
 (** Blocking request; must run in process context.  Returns the reply. *)
-val call : 'msg t -> src:int -> dst:int -> bytes:int -> kind:string -> 'msg -> 'msg
+val call : 'msg t -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> 'msg -> 'msg
 
 (** Non-blocking request: returns immediately with a cell that the reply
     will fill.  Used to overlap several requests (e.g. fetching diffs from
     all writers of a page in parallel, as TreadMarks does). *)
 val call_async :
-  'msg t -> src:int -> dst:int -> bytes:int -> kind:string -> 'msg ->
+  'msg t -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> 'msg ->
   'msg Adsm_sim.Proc.Ivar.t
 
 (** Fire-and-forget message. *)
-val cast : 'msg t -> src:int -> dst:int -> bytes:int -> kind:string -> 'msg -> unit
+val cast : 'msg t -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> 'msg -> unit

@@ -273,11 +273,20 @@ let test_msg_sizes () =
 
 let test_msg_kinds () =
   let vc = vc_of_list [ 0 ] in
+  let kind_str m = Adsm_net.Kind.to_string (Msg.kind m) in
   Alcotest.(check string) "lock" "lock"
-    (Msg.kind (Msg.Lock_acquire { lock = 1; vc }));
+    (kind_str (Msg.Lock_acquire { lock = 1; vc }));
   Alcotest.(check string) "own" "own"
-    (Msg.kind (Msg.Own_req { page = 0; version = 0; want_data = false }));
-  Alcotest.(check string) "gc" "gc" (Msg.kind (Msg.Gc_done { epoch = 0 }))
+    (kind_str (Msg.Own_req { page = 0; version = 0; want_data = false }));
+  Alcotest.(check string) "gc" "gc" (kind_str (Msg.Gc_done { epoch = 0 }));
+  (* The typed kind round-trips through its label. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Adsm_net.Kind.to_string k ^ " roundtrips")
+        true
+        (Adsm_net.Kind.of_string (Adsm_net.Kind.to_string k) = Some k))
+    Adsm_net.Kind.all
 
 (* ------------------------------------------------------------------ *)
 (* Config                                                             *)

@@ -5,6 +5,7 @@ module Proc = Adsm_sim.Proc
 module Netcfg = Adsm_net.Netcfg
 module Network = Adsm_net.Network
 module Rpc = Adsm_net.Rpc
+module Kind = Adsm_net.Kind
 
 (* ------------------------------------------------------------------ *)
 (* Cost model calibration (paper Section 4)                           *)
@@ -47,7 +48,7 @@ let test_delivery_and_timing () =
   let got = ref None in
   Network.set_handler net ~node:1 (fun ~src msg ->
       got := Some (src, msg, Engine.now e));
-  Network.send net ~src:0 ~dst:1 ~bytes:0 ~kind:"test" "hello";
+  Network.send net ~src:0 ~dst:1 ~bytes:0 ~kind:Kind.Page "hello";
   ignore (Engine.run e);
   let expect = Netcfg.one_way_ns Netcfg.atm_155 ~bytes:0 in
   match !got with
@@ -63,8 +64,8 @@ let test_link_fifo () =
   let e, net = make_net () in
   let order = ref [] in
   Network.set_handler net ~node:1 (fun ~src:_ msg -> order := msg :: !order);
-  Network.send net ~src:0 ~dst:1 ~bytes:100_000 ~kind:"big" "big";
-  Network.send net ~src:0 ~dst:1 ~bytes:0 ~kind:"small" "small";
+  Network.send net ~src:0 ~dst:1 ~bytes:100_000 ~kind:Kind.Page "big";
+  Network.send net ~src:0 ~dst:1 ~bytes:0 ~kind:Kind.Diff "small";
   ignore (Engine.run e);
   Alcotest.(check (list string)) "fifo per link" [ "big"; "small" ]
     (List.rev !order)
@@ -76,8 +77,8 @@ let test_distinct_links_independent () =
   let handler node ~src:_ msg = Hashtbl.replace arrivals (node, msg) (Engine.now e) in
   Network.set_handler net ~node:1 (handler 1);
   Network.set_handler net ~node:2 (handler 2);
-  Network.send net ~src:0 ~dst:1 ~bytes:100_000 ~kind:"big" "big";
-  Network.send net ~src:3 ~dst:2 ~bytes:0 ~kind:"small" "small";
+  Network.send net ~src:0 ~dst:1 ~bytes:100_000 ~kind:Kind.Page "big";
+  Network.send net ~src:3 ~dst:2 ~bytes:0 ~kind:Kind.Diff "small";
   ignore (Engine.run e);
   let t_big = Hashtbl.find arrivals (1, "big") in
   let t_small = Hashtbl.find arrivals (2, "small") in
@@ -88,9 +89,9 @@ let test_counters () =
   let e, net = make_net () in
   Network.set_handler net ~node:1 (fun ~src:_ _ -> ());
   Network.set_handler net ~node:2 (fun ~src:_ _ -> ());
-  Network.send net ~src:0 ~dst:1 ~bytes:10 ~kind:"a" ();
-  Network.send net ~src:0 ~dst:2 ~bytes:20 ~kind:"a" ();
-  Network.send net ~src:1 ~dst:2 ~bytes:30 ~kind:"b" ();
+  Network.send net ~src:0 ~dst:1 ~bytes:10 ~kind:Kind.Diff ();
+  Network.send net ~src:0 ~dst:2 ~bytes:20 ~kind:Kind.Diff ();
+  Network.send net ~src:1 ~dst:2 ~bytes:30 ~kind:Kind.Page ();
   ignore (Engine.run e);
   Alcotest.(check int) "messages" 3 (Network.total_messages net);
   Alcotest.(check int) "payload" 60 (Network.total_payload_bytes net);
@@ -99,8 +100,12 @@ let test_counters () =
     (Network.total_wire_bytes net);
   Alcotest.(check (list (pair string (pair int int))))
     "by kind"
-    [ ("a", (2, 30)); ("b", (1, 30)) ]
+    [ ("diff", (2, 30)); ("page", (1, 30)) ]
     (Network.by_kind net);
+  Alcotest.(check (pair int int)) "diff kind counts" (2, 30)
+    (Network.kind_counts net ~kind:Kind.Diff);
+  Alcotest.(check (pair int int)) "unused kind counts" (0, 0)
+    (Network.kind_counts net ~kind:Kind.Own);
   Alcotest.(check (pair int int)) "node 0 counts" (2, 0)
     (Network.node_counts net ~node:0);
   Alcotest.(check (pair int int)) "node 2 counts" (0, 2)
@@ -111,7 +116,7 @@ let test_counters () =
 let test_self_send_rejected () =
   let _, net = make_net () in
   Alcotest.check_raises "self send" (Invalid_argument "Network.send: self-send")
-    (fun () -> Network.send net ~src:1 ~dst:1 ~bytes:0 ~kind:"x" ())
+    (fun () -> Network.send net ~src:1 ~dst:1 ~bytes:0 ~kind:Kind.Page ())
 
 (* ------------------------------------------------------------------ *)
 (* Endpoint serialization (NIC contention model)                      *)
@@ -127,8 +132,8 @@ let test_receiver_serialization () =
   Network.set_handler net ~node:2 (fun ~src _ ->
       arrivals := (src, Engine.now e) :: !arrivals);
   let payload = 40_000 in
-  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:"a" ();
-  Network.send net ~src:1 ~dst:2 ~bytes:payload ~kind:"b" ();
+  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:Kind.Diff ();
+  Network.send net ~src:1 ~dst:2 ~bytes:payload ~kind:Kind.Page ();
   ignore (Engine.run e);
   match List.rev !arrivals with
   | [ (_, t1); (_, t2) ] ->
@@ -148,8 +153,8 @@ let test_sender_serialization () =
   Network.set_handler net ~node:1 (handler 1);
   Network.set_handler net ~node:2 (handler 2);
   let payload = 40_000 in
-  Network.send net ~src:0 ~dst:1 ~bytes:payload ~kind:"a" ();
-  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:"b" ();
+  Network.send net ~src:0 ~dst:1 ~bytes:payload ~kind:Kind.Diff ();
+  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:Kind.Page ();
   ignore (Engine.run e);
   match List.rev !arrivals with
   | [ (_, t1); (_, t2) ] ->
@@ -165,8 +170,8 @@ let test_disjoint_paths_parallel () =
   Network.set_handler net ~node:2 (handler 2);
   Network.set_handler net ~node:3 (handler 3);
   let payload = 40_000 in
-  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:"a" ();
-  Network.send net ~src:1 ~dst:3 ~bytes:payload ~kind:"b" ();
+  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:Kind.Diff ();
+  Network.send net ~src:1 ~dst:3 ~bytes:payload ~kind:Kind.Page ();
   ignore (Engine.run e);
   match List.rev !arrivals with
   | [ (_, t1); (_, t2) ] ->
@@ -181,7 +186,7 @@ let test_uncontended_matches_cost_model () =
       let e, net = make_net () in
       let seen = ref (-1) in
       Network.set_handler net ~node:1 (fun ~src:_ _ -> seen := Engine.now e);
-      Network.send net ~src:0 ~dst:1 ~bytes:payload ~kind:"x" ();
+      Network.send net ~src:0 ~dst:1 ~bytes:payload ~kind:Kind.Page ();
       ignore (Engine.run e);
       Alcotest.(check int)
         (Printf.sprintf "%d bytes" payload)
@@ -198,12 +203,12 @@ let test_rpc_call_reply () =
   let rpc = Rpc.create e Netcfg.atm_155 ~nodes:2 in
   Rpc.set_handler rpc ~node:1 (fun ~src:_ msg respond ->
       match respond with
-      | Some r -> r ~bytes:4096 ~kind:"page-reply" (msg * 2)
+      | Some r -> r ~bytes:4096 ~kind:Kind.Page (msg * 2)
       | None -> Alcotest.fail "expected a request");
   Rpc.set_handler rpc ~node:0 (fun ~src:_ _ _ -> ());
   let result = ref 0 and finish = ref 0 in
   Proc.spawn e (fun () ->
-      result := Rpc.call rpc ~src:0 ~dst:1 ~bytes:0 ~kind:"page-req" 21;
+      result := Rpc.call rpc ~src:0 ~dst:1 ~bytes:0 ~kind:Kind.Page 21;
       finish := Engine.now e);
   ignore (Engine.run e);
   Alcotest.(check int) "reply value" 42 !result;
@@ -219,11 +224,11 @@ let test_rpc_delayed_reply () =
   let hold = 5_000_000 in
   Rpc.set_handler rpc ~node:1 (fun ~src:_ () respond ->
       match respond with
-      | Some r -> Engine.schedule e ~delay:hold (fun () -> r ~bytes:0 ~kind:"grant" ())
+      | Some r -> Engine.schedule e ~delay:hold (fun () -> r ~bytes:0 ~kind:Kind.Lock ())
       | None -> ());
   let finish = ref 0 in
   Proc.spawn e (fun () ->
-      Rpc.call rpc ~src:0 ~dst:1 ~bytes:0 ~kind:"req" ();
+      Rpc.call rpc ~src:0 ~dst:1 ~bytes:0 ~kind:Kind.Lock ();
       finish := Engine.now e);
   ignore (Engine.run e);
   let expect = hold + Netcfg.round_trip_ns Netcfg.atm_155 ~req_bytes:0 ~reply_bytes:0 in
@@ -236,7 +241,7 @@ let test_rpc_cast () =
   Rpc.set_handler rpc ~node:1 (fun ~src:_ () respond ->
       Alcotest.(check bool) "oneway has no respond" true (respond = None);
       got := true);
-  Rpc.cast rpc ~src:0 ~dst:1 ~bytes:8 ~kind:"notice" ();
+  Rpc.cast rpc ~src:0 ~dst:1 ~bytes:8 ~kind:Kind.Barrier ();
   ignore (Engine.run e);
   Alcotest.(check bool) "delivered" true !got
 
@@ -247,7 +252,7 @@ let test_rpc_concurrent_calls () =
   for node = 1 to 2 do
     Rpc.set_handler rpc ~node (fun ~src:_ x respond ->
         match respond with
-        | Some r -> r ~bytes:0 ~kind:"r" (x + (node * 100))
+        | Some r -> r ~bytes:0 ~kind:Kind.Page (x + (node * 100))
         | None -> ())
   done;
   Rpc.set_handler rpc ~node:0 (fun ~src:_ _ _ -> ());
@@ -255,7 +260,7 @@ let test_rpc_concurrent_calls () =
   for i = 0 to 3 do
     let dst = 1 + (i mod 2) in
     Proc.spawn e (fun () ->
-        results.(i) <- Rpc.call rpc ~src:0 ~dst ~bytes:0 ~kind:"q" i)
+        results.(i) <- Rpc.call rpc ~src:0 ~dst ~bytes:0 ~kind:Kind.Page i)
   done;
   ignore (Engine.run e);
   Alcotest.(check (array int)) "all correlated" [| 100; 201; 102; 203 |] results
