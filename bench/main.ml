@@ -148,6 +148,83 @@ let simcost (suite : Experiments.suite) =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Trace smoke test: run SOR with tracing on, validate the artifact   *)
+(* ------------------------------------------------------------------ *)
+
+let trace_smoke () =
+  let module Runner = Adsm_harness.Runner in
+  let module Trace = Adsm_trace in
+  let nprocs = 4 in
+  let app =
+    match Registry.find "SOR" with
+    | Some app -> app
+    | None -> failwith "trace-smoke: SOR not registered"
+  in
+  let path = Filename.temp_file "adsm_trace_smoke" ".json" in
+  let ring = Trace.Sink.ring () in
+  let tracer =
+    Trace.Tracer.create
+      [
+        Trace.Sink.file Trace.Sink.Chrome ~nodes:nprocs path;
+        Trace.Sink.ring_sink ring;
+      ]
+  in
+  let m =
+    Runner.run ~tracer ~app ~protocol:Config.Wfs ~nprocs
+      ~scale:Registry.Tiny ()
+  in
+  Trace.Tracer.close tracer;
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  (* The emitted Chrome trace must be a valid JSON document with a
+     non-empty traceEvents array covering every simulated node. *)
+  let json =
+    match Trace.Json.parse contents with
+    | Ok json -> json
+    | Error e -> failwith ("trace-smoke: chrome trace does not parse: " ^ e)
+  in
+  let records =
+    match Option.bind (Trace.Json.member "traceEvents" json) Trace.Json.to_list
+    with
+    | Some (_ :: _ as l) -> l
+    | _ -> failwith "trace-smoke: traceEvents missing or empty"
+  in
+  let pids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r -> Option.bind (Trace.Json.member "pid" r) Trace.Json.to_int)
+         records)
+  in
+  if pids <> List.init nprocs Fun.id then
+    failwith "trace-smoke: expected one Perfetto track per node";
+  let events = Trace.Sink.ring_contents ring in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Trace smoke test: SOR under WFS, %d processors, tiny inputs\n" nprocs);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  chrome artifact    %d bytes, %d records, valid JSON, pids 0..%d\n"
+       (String.length contents) (List.length records) (nprocs - 1));
+  Buffer.add_string buf
+    (Printf.sprintf "  events captured    %d (ring dropped %d)\n"
+       (List.length events)
+       (Trace.Sink.ring_dropped ring));
+  List.iter
+    (fun tag ->
+      let n = Trace.Query.count ~tag events in
+      if n > 0 then Buffer.add_string buf (Printf.sprintf "    %-14s %6d\n" tag n))
+    [
+      "read-fault"; "write-fault"; "own-request"; "own-grant"; "own-refuse";
+      "mode-change"; "twin-create"; "diff-create"; "diff-apply";
+      "barrier-enter"; "barrier-leave"; "msg-send"; "msg-deliver";
+    ];
+  Buffer.add_string buf
+    (Printf.sprintf "  run checksum       %.6f (%d messages)\n"
+       m.Runner.checksum m.Runner.messages);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Paper artifact regeneration                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -162,6 +239,7 @@ let artifacts suite =
     ("fig3", fun () -> Experiments.figure3 suite);
     ("breakdown", fun () -> Experiments.breakdown suite);
     ("simcost", fun () -> simcost suite);
+    ("trace-smoke", fun () -> trace_smoke ());
   ]
 
 let () =

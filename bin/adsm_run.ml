@@ -16,7 +16,7 @@ let scale_of_tiny tiny = if tiny then Registry.Tiny else Registry.Default
 
 (* --- run one configuration --- *)
 
-let run_one app_name protocol_name nprocs tiny seed trace =
+let run_one app_name protocol_name nprocs tiny seed trace_file trace_format =
   match Registry.find app_name with
   | None ->
     Printf.eprintf "unknown application %S; try `adsm_run list'\n" app_name;
@@ -28,17 +28,35 @@ let run_one app_name protocol_name nprocs tiny seed trace =
         "unknown protocol %S (MW, SW, WFS, WFS+WG, HLRC)\n"
         protocol_name;
       1
-    | Some protocol ->
+    | Some protocol -> (
       let scale = scale_of_tiny tiny in
-      let trace_hook =
-        if trace then
-          Some (fun node msg -> Printf.eprintf "[%d] %s\n" node msg)
-        else None
-      in
+      let module Trace = Adsm_trace in
+      match
+        match trace_file with
+        | None -> Ok None
+        | Some path -> (
+          try
+            Ok
+              (Some
+                 (Trace.Tracer.create
+                    [ Trace.Sink.file trace_format ~nodes:nprocs path ]))
+          with Sys_error msg -> Error msg)
+      with
+      | Error msg ->
+        Printf.eprintf "cannot open trace file: %s\n" msg;
+        1
+      | Ok tracer ->
       let m =
-        Runner.run ?trace:trace_hook ~seed:(Int64.of_int seed) ~app ~protocol
-          ~nprocs ~scale ()
+        Runner.run ?tracer ~seed:(Int64.of_int seed) ~app ~protocol ~nprocs
+          ~scale ()
       in
+      (match (tracer, trace_file) with
+      | Some tracer, Some path ->
+        Trace.Tracer.close tracer;
+        Printf.printf "wrote %d trace events to %s\n"
+          (Trace.Tracer.emitted tracer)
+          path
+      | _ -> ());
       let speedup = Runner.speedup m in
       Printf.printf "%s under %s on %d processor(s) [%s scale]\n"
         m.Runner.app
@@ -61,7 +79,7 @@ let run_one app_name protocol_name nprocs tiny seed trace =
         m.Runner.read_faults m.Runner.write_faults;
       Printf.printf "  GC runs          %d\n" m.Runner.gc_runs;
       Printf.printf "  checksum         %.6f\n" m.Runner.checksum;
-      0)
+      0))
 
 (* --- the full experiment suite --- *)
 
@@ -115,16 +133,30 @@ let apps_arg =
 
 let trace_arg =
   Arg.(
-    value & flag
-    & info [ "trace" ]
-        ~doc:"Print the protocol event trace (diffs, notices, ownership, \
-              validation) to stderr.")
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write the structured protocol event trace (faults, \
+              twins/diffs, mode transitions, ownership, synchronization, \
+              messages) to $(docv).  See TRACING.md.")
+
+let trace_format_arg =
+  let fmt =
+    Arg.enum
+      [ ("jsonl", Adsm_trace.Sink.Jsonl); ("chrome", Adsm_trace.Sink.Chrome) ]
+  in
+  Arg.(
+    value
+    & opt fmt Adsm_trace.Sink.Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Trace file format: $(b,jsonl) (one event per line) or \
+              $(b,chrome) (Chrome trace_event JSON, loadable in Perfetto).")
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one application under one protocol")
     Term.(
       const run_one $ app_arg $ protocol_arg $ procs_arg $ tiny_arg $ seed_arg
-      $ trace_arg)
+      $ trace_arg $ trace_format_arg)
 
 let out_arg =
   Arg.(

@@ -52,10 +52,33 @@ let fresh_lock t =
   t.next_lock <- l + 1;
   l
 
-let run ?trace t app =
+let run ?(tracer = Adsm_trace.Tracer.disabled) t app =
   let cfg = t.cfg in
   let engine = Engine.create ?schedule_seed:cfg.Config.schedule_fuzz () in
   let rpc = Rpc.create engine cfg.Config.net ~nodes:cfg.Config.nprocs in
+  if Adsm_trace.Tracer.enabled tracer then begin
+    (* Observation only: the monitor and probe run inside existing events
+       and schedule nothing, so a traced run is event-for-event identical
+       to an untraced one. *)
+    Rpc.set_monitor rpc
+      (Some
+         {
+           Network.on_send =
+             (fun ~now ~src ~dst ~bytes ~kind ->
+               Adsm_trace.Tracer.emit tracer ~time:now ~node:src
+                 (Adsm_trace.Event.Msg_send { dst; kind; bytes }));
+           on_deliver =
+             (fun ~now ~src ~dst ~bytes ~kind ->
+               Adsm_trace.Tracer.emit tracer ~time:now ~node:dst
+                 (Adsm_trace.Event.Msg_deliver { src; kind; bytes }));
+         });
+    Engine.set_probe engine
+      (Some
+         (fun ~time ~executed ->
+           if executed land 63 = 0 then
+             Adsm_trace.Tracer.emit tracer ~time ~node:0
+               (Adsm_trace.Event.Sim_events { executed })))
+  end;
   let total_pages = Layout.total_pages t.layout in
   let nodes =
     Array.init cfg.Config.nprocs (fun id ->
@@ -79,7 +102,7 @@ let run ?trace t app =
         };
       next_lock = t.next_lock;
       running = cfg.Config.nprocs;
-      trace;
+      tracer;
     }
   in
   t.cluster <- Some cluster;
@@ -164,6 +187,9 @@ let me ctx = ctx.node.State.id
 let nprocs ctx = ctx.cluster.State.cfg.Config.nprocs
 
 let compute ctx ns =
+  if State.tracing ctx.cluster then
+    State.emit ctx.cluster ~node:ctx.node.State.id
+      (Adsm_trace.Event.Compute { ns });
   Stats.add_time ctx.cluster.State.stats ~node:ctx.node.State.id
     ~category:Stats.Compute ~ns;
   Proc.sleep ctx.cluster.State.engine ns

@@ -60,9 +60,17 @@ val i32_len : i32s -> int
 val fresh_lock : t -> int
 
 (** Run the application on every simulated processor and drain the
-    simulation.  @raise Failure if the run deadlocks (processes blocked
-    when the event queue empties). *)
-val run : ?trace:(int -> string -> unit) -> t -> (ctx -> unit) -> report
+    simulation.
+
+    [tracer] (default: {!Adsm_trace.Tracer.disabled}) receives the
+    structured event stream — see [TRACING.md].  Tracing is purely
+    observational: a traced run executes the same events and moves the
+    same bytes as an untraced one.  The caller keeps ownership of the
+    tracer and must {!Adsm_trace.Tracer.close} it after [run] returns.
+
+    @raise Failure if the run deadlocks (processes blocked when the
+    event queue empties). *)
+val run : ?tracer:Adsm_trace.Tracer.t -> t -> (ctx -> unit) -> report
 
 (* --- operations available inside the application function --- *)
 

@@ -65,6 +65,17 @@ let materialize_pending_diff cl node (e : entry) =
       ~bytes:(Diff.size_bytes diff)
       ~modified:(Diff.modified_bytes diff)
       ~time:(Engine.now cl.engine);
+    if tracing cl then begin
+      emit cl ~node:node.id
+        (Adsm_trace.Event.Diff_create
+           {
+             page = e.page;
+             seq;
+             bytes = Diff.size_bytes diff;
+             modified = Diff.modified_bytes diff;
+           });
+      emit cl ~node:node.id (Adsm_trace.Event.Twin_free { page = e.page })
+    end;
     e.twin <- None;
     Stats.twin_freed cl.stats ~node:node.id;
     cl.cfg.Config.diff_create_ns
@@ -101,7 +112,10 @@ let close_owned cl node (e : entry) ~seq =
     e.drop_at_release <- false;
     e.is_owner <- false;
     e.owner <- node.id;
-    Stats.mode_switch cl.stats
+    Stats.mode_switch cl.stats;
+    if tracing cl then
+      emit cl ~node:node.id
+        (Adsm_trace.Event.Mode_change { page = e.page; mode = Adsm_trace.Event.Mw })
   end;
   Some v
 
@@ -141,10 +155,13 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
     charge cl.cfg.Config.diff_create_ns;
     let bytes = Diff.size_bytes diff in
     let modified = Diff.modified_bytes diff in
-    trace cl ~node:node.id
-      (Printf.sprintf "diff pg%d seq%d bytes=%d" e.page seq modified);
     Stats.diff_created cl.stats ~node:node.id ~page:e.page ~bytes ~modified
       ~time:(Engine.now cl.engine);
+    if tracing cl then begin
+      emit cl ~node:node.id
+        (Adsm_trace.Event.Diff_create { page = e.page; seq; bytes; modified });
+      emit cl ~node:node.id (Adsm_trace.Event.Twin_free { page = e.page })
+    end;
     sink cl node e ~seq ~vc diff;
     e.twin <- None;
     Stats.twin_freed cl.stats ~node:node.id;
@@ -164,6 +181,9 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
     let modified = Diff.modified_bytes diff in
     Stats.diff_created cl.stats ~node:node.id ~page:e.page ~bytes ~modified
       ~time:(Engine.now cl.engine);
+    if tracing cl then
+      emit cl ~node:node.id
+        (Adsm_trace.Event.Diff_create { page = e.page; seq; bytes; modified });
     sink cl node e ~seq ~vc diff;
     e.log_writes <- false;
     e.logged_ranges <- [];
@@ -222,13 +242,13 @@ let end_interval cl (module P : Protocol_intf.PROTOCOL) node ~charge =
 (* Notice application (acquire side)                                  *)
 (* ------------------------------------------------------------------ *)
 
-let note_concurrent_writers cl (e : entry) (n : Notice.t) =
+let note_concurrent_writers cl node (e : entry) (n : Notice.t) =
   Array.iteri
     (fun q vco ->
       match vco with
       | Some v when q <> n.proc && Vc.concurrent v n.vc ->
         Stats.note_false_sharing cl.stats ~page:n.page;
-        if Mode.adaptive cl then Mode.set_fs_active cl e true
+        if Mode.adaptive cl then Mode.set_fs_active cl ~node:node.id e true
       | Some _ | None -> ())
     e.last_notice_vc
 
@@ -244,11 +264,8 @@ let notice_relevant node (e : entry) (n : Notice.t) =
 
 let apply_notice cl node (n : Notice.t) =
   let e = node.pages.(n.page) in
-  trace cl ~node:node.id
-    (Printf.sprintf "apply_notice pg%d from p%d seq%d owner=%b relevant=%b"
-       n.page n.proc n.seq (Notice.is_owner n) (notice_relevant node e n));
   Stats.note_write cl.stats ~page:n.page ~proc:n.proc;
-  note_concurrent_writers cl e n;
+  note_concurrent_writers cl node e n;
   e.last_notice_vc.(n.proc) <- Some n.vc;
   if notice_relevant node e n then begin
     (match n.version with
@@ -279,7 +296,7 @@ let apply_notice cl node (n : Notice.t) =
                 (fun (m : Notice.t) ->
                   m.proc <> n.proc && Vc.concurrent m.vc n.vc)
                 e.notices)
-      then Mode.set_fs_active cl e false
+      then Mode.set_fs_active cl ~node:node.id e false
     | None -> ());
     if not (List.exists (Notice.same_write n) e.notices) then
       e.notices <- n :: e.notices;
@@ -391,7 +408,8 @@ let fetch_and_apply_diffs cl node (e : entry) =
             (fun (seq, vc, diff) ->
               Hashtbl.replace node.diffs (page, writer, seq) (vc, diff);
               Stats.diff_stored cl.stats ~node:node.id
-                ~bytes:(Diff.size_bytes diff))
+                ~bytes:(Diff.size_bytes diff)
+                ~time:(Engine.now cl.engine))
             diffs
         | _ -> failwith "Proto: unexpected reply to Diff_req")
       requests;
@@ -418,8 +436,9 @@ let fetch_and_apply_diffs cl node (e : entry) =
           (cl.cfg.Config.diff_apply_base_ns
           + (Diff.modified_bytes diff * cl.cfg.Config.diff_apply_byte_ns));
         Diff.apply diff target;
-        trace cl ~node:node.id
-          (Printf.sprintf "apply-diff pg%d from p%d seq%d" e.page proc seq);
+        if tracing cl then
+          emit cl ~node:node.id
+            (Adsm_trace.Event.Diff_apply { page = e.page; writer = proc; seq });
         if seq > e.reflected.(proc) then e.reflected.(proc) <- seq)
       to_apply
   end;
@@ -431,9 +450,6 @@ let fetch_and_apply_diffs cl node (e : entry) =
    protocol except HLRC, whose homes serve whole current pages instead. *)
 let validate cl node (e : entry) =
   if not (Perm.allows_read e.perm) then begin
-    trace cl ~node:node.id
-      (Printf.sprintf "validate pg%d notices=%d" e.page
-         (List.length e.notices));
     let pending = List.filter (still_needed node e) e.notices in
     let owner_notices = List.filter Notice.is_owner pending in
     (* The local frame (or the implicit initial zero page) is a valid diff
@@ -489,7 +505,9 @@ let make_twin cl node (e : entry) =
   assert (e.twin = None);
   Proc.sleep cl.engine cl.cfg.Config.twin_ns;
   e.twin <- Some (Page.copy (frame e));
-  Stats.twin_created cl.stats ~node:node.id
+  Stats.twin_created cl.stats ~node:node.id;
+  if tracing cl then
+    emit cl ~node:node.id (Adsm_trace.Event.Twin_create { page = e.page })
 
 (* Become (or re-become) owner locally: bump the version, as ownership is
    being (re)acquired (Section 2.3). *)
@@ -564,7 +582,7 @@ let serve_diffs ?(rule1 = false) cl node ~src ~page ~seqs ~sees_sw respond =
     Array.iteri
       (fun q in_set -> if in_set && not e.fs_view.(q) then all_sw := false)
       e.copyset;
-    if !all_sw then Mode.set_fs_active cl e false
+    if !all_sw then Mode.set_fs_active cl ~node:node.id e false
   end;
   let diffs =
     List.map

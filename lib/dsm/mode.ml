@@ -23,9 +23,18 @@ let prefers_sw cl (e : entry) =
 
 let sees_page_as_sw (e : entry) = not e.fs_active
 
-let set_fs_active cl (e : entry) value =
+let set_fs_active cl ~node (e : entry) value =
   if e.fs_active <> value then begin
-    if adaptive cl then Stats.mode_switch cl.stats;
+    if adaptive cl then begin
+      Stats.mode_switch cl.stats;
+      if tracing cl then
+        emit cl ~node
+          (Adsm_trace.Event.Mode_change
+             {
+               page = e.page;
+               mode = (if value then Adsm_trace.Event.Mw else Adsm_trace.Event.Sw);
+             })
+    end;
     e.fs_active <- value
   end
 

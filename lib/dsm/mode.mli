@@ -18,9 +18,10 @@ val prefers_sw : cluster -> entry -> bool
     (piggybacked on diff requests for WFS rule 1). *)
 val sees_page_as_sw : entry -> bool
 
-(** Set the page's false-sharing flag, counting the SW<->MW mode switch
-    when it actually changes under an adaptive protocol. *)
-val set_fs_active : cluster -> entry -> bool -> unit
+(** Set the page's false-sharing flag, counting (and tracing, as a
+    {!Adsm_trace.Event.Mode_change} attributed to [node]) the SW<->MW
+    mode switch when it actually changes under an adaptive protocol. *)
+val set_fs_active : cluster -> node:int -> entry -> bool -> unit
 
 (** The migratory-detection extension classifies the page as migratory at
     this node (read-then-write pattern, adaptive protocols only). *)

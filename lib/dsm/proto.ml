@@ -32,6 +32,8 @@ let barrier = Sync.barrier
 
 let read_fault cl node (e : entry) =
   let t0 = Engine.now cl.engine in
+  if tracing cl then
+    emit cl ~node:node.id (Adsm_trace.Event.Read_fault { page = e.page });
   Stats.page_fault cl.stats ~read:true;
   Proc.sleep cl.engine cl.cfg.Config.fault_ns;
   e.read_fault_seq <- Vc.get node.vc node.id;
@@ -51,6 +53,8 @@ let update_migratory_score cl node (e : entry) =
 
 let write_fault cl node (e : entry) =
   let t0 = Engine.now cl.engine in
+  if tracing cl then
+    emit cl ~node:node.id (Adsm_trace.Event.Write_fault { page = e.page });
   Stats.page_fault cl.stats ~read:false;
   Proc.sleep cl.engine cl.cfg.Config.fault_ns;
   update_migratory_score cl node e;

@@ -26,7 +26,11 @@ let wg_sharing_trigger cl node (e : entry) =
     else begin
       e.is_owner <- false;
       e.owner <- node.id;
-      Stats.mode_switch cl.stats
+      Stats.mode_switch cl.stats;
+      if tracing cl then
+        emit cl ~node:node.id
+          (Adsm_trace.Event.Mode_change
+             { page = e.page; mode = Adsm_trace.Event.Mw })
     end
   end
 
@@ -59,11 +63,19 @@ let rec adaptive_write_fault cl node (e : entry) =
       else begin
         Lrc_core.acquire_ownership_locally cl node e;
         Stats.mode_switch cl.stats;
+        if tracing cl then
+          emit cl ~node:node.id
+            (Adsm_trace.Event.Mode_change
+               { page = e.page; mode = Adsm_trace.Event.Sw });
         Lrc_core.mark_dirty node e
       end
     end
     else begin
       Stats.ownership_request cl.stats;
+      if tracing cl then
+        emit cl ~node:node.id
+          (Adsm_trace.Event.Own_request
+             { page = e.page; owner = e.owner; version = e.version });
       let want_data = (not (Perm.allows_read e.perm)) || e.notices <> [] in
       let req =
         Msg.Own_req { page = e.page; version = e.version; want_data }
@@ -86,7 +98,7 @@ let rec adaptive_write_fault cl node (e : entry) =
         | Msg.Refused_fs ->
           Stats.ownership_refused cl.stats;
           Stats.note_false_sharing cl.stats ~page:e.page;
-          Mode.set_fs_active cl e true;
+          Mode.set_fs_active cl ~node:node.id e true;
           adaptive_mw_write cl node e)
       | _ -> failwith "Proto: unexpected reply to Own_req"
     end
@@ -97,7 +109,11 @@ let rec adaptive_write_fault cl node (e : entry) =
          notices, or small measured diffs): drop ownership and diff. *)
       e.is_owner <- false;
       e.owner <- node.id;
-      Stats.mode_switch cl.stats
+      Stats.mode_switch cl.stats;
+      if tracing cl then
+        emit cl ~node:node.id
+          (Adsm_trace.Event.Mode_change
+             { page = e.page; mode = Adsm_trace.Event.Mw })
     end;
     adaptive_mw_write cl node e
   end
@@ -109,6 +125,10 @@ let write_fault = adaptive_write_fault
 let migratory_read_upgrade cl node (e : entry) =
   Stats.migratory_upgrade cl.stats;
   Stats.ownership_request cl.stats;
+  if tracing cl then
+    emit cl ~node:node.id
+      (Adsm_trace.Event.Own_request
+         { page = e.page; owner = e.owner; version = e.version });
   let req =
     Msg.Own_req { page = e.page; version = e.version; want_data = true }
   in
@@ -130,7 +150,7 @@ let migratory_read_upgrade cl node (e : entry) =
     | Msg.Refused_fs ->
       Stats.ownership_refused cl.stats;
       Stats.note_false_sharing cl.stats ~page:e.page;
-      Mode.set_fs_active cl e true;
+      Mode.set_fs_active cl ~node:node.id e true;
       Lrc_core.validate cl node e)
   | _ -> failwith "Proto: unexpected reply to migratory Own_req"
 
@@ -174,15 +194,23 @@ let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
   in
   let refuse_fs () =
     Stats.note_false_sharing cl.stats ~page;
-    Mode.set_fs_active cl e true;
+    Mode.set_fs_active cl ~node:node.id e true;
     if e.is_owner then begin
       if e.dirty then e.drop_at_release <- true
       else begin
         e.is_owner <- false;
         e.owner <- node.id;
-        Stats.mode_switch cl.stats
+        Stats.mode_switch cl.stats;
+        if tracing cl then
+          emit cl ~node:node.id
+            (Adsm_trace.Event.Mode_change
+               { page; mode = Adsm_trace.Event.Mw })
       end
     end;
+    if tracing cl then
+      emit cl ~node:node.id
+        (Adsm_trace.Event.Own_refuse
+           { page; requester = src; reason = Adsm_trace.Event.Fs });
     reply Msg.Refused_fs (committed ())
   in
   if e.is_owner then begin
@@ -193,8 +221,16 @@ let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
       else begin
         e.is_owner <- false;
         e.owner <- node.id;
-        Stats.mode_switch cl.stats
+        Stats.mode_switch cl.stats;
+        if tracing cl then
+          emit cl ~node:node.id
+            (Adsm_trace.Event.Mode_change
+               { page; mode = Adsm_trace.Event.Mw })
       end;
+      if tracing cl then
+        emit cl ~node:node.id
+          (Adsm_trace.Event.Own_refuse
+             { page; requester = src; reason = Adsm_trace.Event.Measure });
       reply Msg.Refused_measure (committed ())
     end
     else if e.version = v_req then begin
@@ -204,6 +240,10 @@ let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
          version; it reaches us through owner write notices. *)
       e.is_owner <- false;
       e.owner <- src;
+      if tracing cl then
+        emit cl ~node:node.id
+          (Adsm_trace.Event.Own_grant
+             { page; requester = src; version = e.version });
       reply Msg.Granted (committed ())
     end
     else refuse_fs ()
@@ -214,6 +254,13 @@ let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
        owner re-establishes single-writer mode. *)
     e.owner <- src;
     Stats.mode_switch cl.stats;
+    if tracing cl then begin
+      emit cl ~node:node.id
+        (Adsm_trace.Event.Mode_change { page; mode = Adsm_trace.Event.Sw });
+      emit cl ~node:node.id
+        (Adsm_trace.Event.Own_grant
+           { page; requester = src; version = e.version })
+    end;
     reply Msg.Granted (committed ())
   end
   else refuse_fs ()

@@ -102,9 +102,12 @@ let hlrc_reply_now (e : entry) respond =
 
 (* A diff arrived at this home: apply it to the master copy and release
    any fetches that were waiting for it. *)
-let handle_hlrc_diff node ~src ~page ~seq diff =
+let handle_hlrc_diff cl node ~src ~page ~seq diff =
   let e = node.pages.(page) in
   Diff.apply diff (frame e);
+  if tracing cl then
+    emit cl ~node:node.id
+      (Adsm_trace.Event.Diff_apply { page; writer = src; seq });
   if seq > e.reflected.(src) then e.reflected.(src) <- seq;
   let ready, still_waiting =
     List.partition
@@ -130,10 +133,10 @@ let handle_own_req _cl _node ~src:_ ~page ~version:_ ~want_data:_ _respond =
     (Printf.sprintf "Proto_hlrc: unexpected ownership request for page %d"
        page)
 
-let handle_protocol_msg _cl node ~src msg respond =
+let handle_protocol_msg cl node ~src msg respond =
   match (msg, respond) with
   | Msg.Hlrc_diff { page; seq; diff; _ }, None ->
-    handle_hlrc_diff node ~src ~page ~seq diff;
+    handle_hlrc_diff cl node ~src ~page ~seq diff;
     true
   | Msg.Hlrc_fetch { page; need }, Some respond ->
     handle_hlrc_fetch node ~page ~need respond;

@@ -21,9 +21,10 @@ let close_page cl node (e : entry) ~seq ~vc ~charge =
    the minimum ownership quantum, and re-forward any queued requests to the
    new owner. *)
 let sw_grant cl node (e : entry) requester =
-  trace cl ~node:node.id
-    (Printf.sprintf "t=%d sw-grant pg%d -> p%d v%d"
-       (Engine.now cl.engine) e.page requester e.version);
+  if tracing cl then
+    emit cl ~node:node.id
+      (Adsm_trace.Event.Own_grant
+         { page = e.page; requester; version = e.version });
   assert e.is_owner;
   assert (requester <> node.id);
   e.is_owner <- false;
@@ -56,12 +57,6 @@ let sw_grant cl node (e : entry) requester =
 
 let sw_handle_forward cl node ~requester ~version page =
   let e = node.pages.(page) in
-  trace cl ~node:node.id
-    (Printf.sprintf
-       "t=%d sw-forward pg%d req=p%d is_owner=%b waiting=%b owner=%d pend=%d"
-       (Engine.now cl.engine) page requester e.is_owner
-       (Hashtbl.mem node.own_waits page)
-       e.owner (List.length e.pending_own));
   if e.is_owner then sw_grant cl node e requester
   else if Hashtbl.mem node.own_waits page || e.owner = node.id then
     (* Either we are waiting for this page's ownership ourselves, or our
@@ -108,9 +103,10 @@ let write_fault cl node (e : entry) =
     let ivar = Proc.Ivar.create () in
     Hashtbl.replace node.own_waits e.page ivar;
     let home = home_of_page cl e.page in
-    trace cl ~node:node.id
-      (Printf.sprintf "t=%d sw-own-req pg%d v%d" (Engine.now cl.engine) e.page
-         e.version);
+    if tracing cl then
+      emit cl ~node:node.id
+        (Adsm_trace.Event.Own_request
+           { page = e.page; owner = e.owner; version = e.version });
     if home = node.id then
       (* We are the home: run the home logic locally (no message). *)
       sw_handle_home_req cl ~node:node.id ~src:node.id e.page
@@ -119,9 +115,6 @@ let write_fault cl node (e : entry) =
         (Msg.Sw_own_req { page = e.page; version = e.version });
     (match Proc.Ivar.await ivar with
     | Msg.Sw_own_transfer { data; version; committed; _ } ->
-      trace cl ~node:node.id
-        (Printf.sprintf "t=%d sw-transfer-recv pg%d v%d"
-           (Engine.now cl.engine) e.page version);
       (* Atomic state transition FIRST: a forward chasing the chain must
          never observe us neither waiting nor owning.  The install cost is
          charged afterwards. *)

@@ -1,19 +1,19 @@
-(* The interface every DSM protocol implements.
+(** The interface every DSM protocol implements.
 
-   The paper's thesis is that MW, SW and the adaptive protocols share one
-   lazy-release-consistency substrate and differ only in policy: what a
-   fault does, how a dirty page is closed at a release, and how page, diff
-   and ownership requests are served.  That policy surface is exactly this
-   signature; {!Lrc_core} provides the substrate, {!Sync} the locks,
-   barriers and garbage collection, and {!Dispatch} picks the module for a
-   cluster's configured protocol as a first-class value. *)
+    The paper's thesis is that MW, SW and the adaptive protocols share one
+    lazy-release-consistency substrate and differ only in policy: what a
+    fault does, how a dirty page is closed at a release, and how page, diff
+    and ownership requests are served.  That policy surface is exactly this
+    signature; {!Lrc_core} provides the substrate, {!Sync} the locks,
+    barriers and garbage collection, and {!Dispatch} picks the module for a
+    cluster's configured protocol as a first-class value. *)
 
 open State
 
 module type PROTOCOL = sig
   val name : string
 
-  (* --- application context (may block and charge simulated time) --- *)
+  (** {2 Application context (may block and charge simulated time)} *)
 
   (** Make the page readable.  Runs after the generic fault prologue
       (fault cost, statistics) in {!Proto.read_fault}. *)
@@ -22,7 +22,7 @@ module type PROTOCOL = sig
   (** Make the page writable and registered dirty. *)
   val write_fault : cluster -> node -> entry -> unit
 
-  (* --- release side --- *)
+  (** {2 Release side} *)
 
   (** Close one dirty page while ending an interval: create its diff or
       commit its single-writer interval.  [seq]/[vc] are the interval being
@@ -35,7 +35,7 @@ module type PROTOCOL = sig
     cluster -> node -> entry -> seq:int -> vc:Vc.t -> charge:(int -> unit) ->
     int option
 
-  (* --- server side (event context: must never block) --- *)
+  (** {2 Server side (event context: must never block)} *)
 
   val handle_page_req :
     cluster -> node -> src:int -> int -> Msg.t Adsm_net.Rpc.respond -> unit
@@ -57,7 +57,7 @@ module type PROTOCOL = sig
     cluster -> node -> src:int -> Msg.t -> Msg.t Adsm_net.Rpc.respond option ->
     bool
 
-  (* --- garbage collection policy --- *)
+  (** {2 Garbage-collection policy} *)
 
   (** Does this node keep (and bring up to date) its copy of the page at a
       GC round, rather than dropping it? *)

@@ -83,7 +83,7 @@ type cluster = {
   barrier_mgr : barrier_manager;
   mutable next_lock : int;
   mutable running : int;
-  trace : (int -> string -> unit) option;
+  tracer : Adsm_trace.Tracer.t;
 }
 
 let make_entry ~nprocs ~page ~home =
@@ -186,5 +186,11 @@ let home_of_page cluster page = page mod cluster.cfg.Config.nprocs
 
 let home_of_lock cluster lock = lock mod cluster.cfg.Config.nprocs
 
-let trace cluster ~node msg =
-  match cluster.trace with None -> () | Some f -> f node msg
+(* Emission guard: callers write
+     [if tracing cl then emit cl ~node (Event.X { ... })]
+   so the event payload is never even constructed when tracing is off. *)
+let tracing cluster = Adsm_trace.Tracer.enabled cluster.tracer
+
+let emit cluster ~node event =
+  Adsm_trace.Tracer.emit cluster.tracer ~time:(Engine.now cluster.engine) ~node
+    event

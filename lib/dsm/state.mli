@@ -126,7 +126,7 @@ type cluster = {
   barrier_mgr : barrier_manager;
   mutable next_lock : int;
   mutable running : int;  (** application processes still active *)
-  trace : (int -> string -> unit) option;  (** debug/trace hook: node, event *)
+  tracer : Adsm_trace.Tracer.t;  (** structured trace emission front-end *)
 }
 
 val make_entry : nprocs:int -> page:int -> home:int -> entry
@@ -148,4 +148,10 @@ val home_of_page : cluster -> int -> int
 
 val home_of_lock : cluster -> int -> int
 
-val trace : cluster -> node:int -> string -> unit
+(** Whether the cluster tracer is live.  Emission sites are guarded
+    with it — [if tracing cl then emit cl ~node (Event.X {...})] — so
+    event construction costs nothing when tracing is off. *)
+val tracing : cluster -> bool
+
+(** Emit a trace event stamped with the current simulated time. *)
+val emit : cluster -> node:int -> Adsm_trace.Event.t -> unit

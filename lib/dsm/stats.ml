@@ -78,11 +78,12 @@ let diff_created t ~node ~page ~bytes ~modified ~time =
   ignore page;
   record_live t ~time
 
-let diff_stored t ~node ~bytes =
+let diff_stored t ~node ~bytes ~time =
   t.diff_store.(node) <- t.diff_store.(node) + bytes;
   (* a fetched diff is another live copy; garbage collection drops it
      per node, so it must be counted per node too *)
-  t.diffs_live <- t.diffs_live + 1
+  t.diffs_live <- t.diffs_live + 1;
+  record_live t ~time
 
 let diffs_dropped t ~node ~bytes ~count ~time =
   t.diff_store.(node) <- t.diff_store.(node) - bytes;

@@ -30,10 +30,11 @@ val twin_bytes_total : t -> int
     [time]. *)
 val diff_created : t -> node:int -> page:int -> bytes:int -> modified:int -> time:int -> unit
 
-(** A fetched diff was added to [node]'s diff store (counts as another
-    live diff copy, as in the paper's Figure 3 which plots the total
-    number of diffs on all processors). *)
-val diff_stored : t -> node:int -> bytes:int -> unit
+(** A fetched diff was added to [node]'s diff store at simulated [time]
+    (counts as another live diff copy, as in the paper's Figure 3 which
+    plots the total number of diffs on all processors — so the live
+    series must record a point here just as it does on creation). *)
+val diff_stored : t -> node:int -> bytes:int -> time:int -> unit
 
 (** [node] dropped [bytes] of diff store and [count] diffs at [time]
     (garbage collection). *)

@@ -88,12 +88,16 @@ let lock cl node l =
     ls.have_token <- true;
     ls.held <- true
   end;
+  if tracing cl then
+    emit cl ~node:node.id (Adsm_trace.Event.Lock_acquire { lock = l });
   Stats.add_time cl.stats ~node:node.id ~category:Stats.Lock
     ~ns:(Engine.now cl.engine - t0)
 
 let unlock cl node l =
   let ls = lock_state node ~home:(home_of_lock cl l) l in
   if not ls.held then invalid_arg "Dsm.unlock: lock not held";
+  if tracing cl then
+    emit cl ~node:node.id (Adsm_trace.Event.Lock_release { lock = l });
   ls.held <- false;
   match ls.next with
   | Some (requester, vc) ->
@@ -124,7 +128,8 @@ let rule3_scan cl node =
             | Some own -> Vc.leq own n.vc
             | None -> true
           in
-          if List.exists dominates notices then Mode.set_fs_active cl e false)
+          if List.exists dominates notices then
+            Mode.set_fs_active cl ~node:node.id e false)
       node.pages
 
 (* Pick the copy-fetch hint for a dropped page: the writer of the latest
@@ -164,6 +169,8 @@ let gc_validate cl node =
       end
       else begin
         let hint = gc_fetch_hint pending e.owner in
+        if tracing cl then
+          emit cl ~node:node.id (Adsm_trace.Event.Gc_drop { page = e.page });
         e.data <- None;
         e.has_base <- false;
         e.perm <- Perm.No_access;
@@ -186,6 +193,9 @@ let gc_purge cl node =
   Hashtbl.reset node.diffs;
   Stats.diffs_dropped cl.stats ~node:node.id ~bytes:!bytes ~count:!count
     ~time:(Engine.now cl.engine);
+  if tracing cl then
+    emit cl ~node:node.id
+      (Adsm_trace.Event.Diff_gc { count = !count; bytes = !bytes });
   Array.iter
     (fun (e : entry) ->
       e.own_diff_seqs <- [];
@@ -282,6 +292,9 @@ let handle_gc_complete cl node =
 
 let barrier cl node =
   let t0 = Engine.now cl.engine in
+  if tracing cl then
+    emit cl ~node:node.id
+      (Adsm_trace.Event.Barrier_enter { epoch = node.barrier_epoch });
   end_interval_local cl node;
   let gc_wanted =
     Stats.diff_store_bytes cl.stats ~node:node.id
@@ -316,5 +329,7 @@ let barrier cl node =
       gc_purge cl node
     end
   | _ -> failwith "Proto: unexpected barrier reply");
+  if tracing cl then
+    emit cl ~node:node.id (Adsm_trace.Event.Barrier_leave { epoch });
   Stats.add_time cl.stats ~node:node.id ~category:Stats.Barrier
     ~ns:(Engine.now cl.engine - t0)

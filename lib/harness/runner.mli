@@ -37,7 +37,7 @@ type measurement = {
 val run :
   ?seed:int64 ->
   ?tweak:(Adsm_dsm.Config.t -> Adsm_dsm.Config.t) ->
-  ?trace:(int -> string -> unit) ->
+  ?tracer:Adsm_trace.Tracer.t ->
   app:Adsm_apps.Registry.entry ->
   protocol:Adsm_dsm.Config.protocol ->
   nprocs:int ->
@@ -45,7 +45,8 @@ val run :
   unit ->
   measurement
 (** [tweak] post-processes the configuration (e.g. a smaller GC threshold
-    for the Figure 3 runs, matching the scaled-down data set). *)
+    for the Figure 3 runs, matching the scaled-down data set); [tracer]
+    receives the structured event stream (the caller closes it). *)
 
 (** Sequential baseline: one processor under SW (no twins, no diffs, no
     messages), as the paper obtains its Table 1 baselines by stripping

@@ -1,5 +1,10 @@
 module Engine = Adsm_sim.Engine
 
+type monitor = {
+  on_send : now:int -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> unit;
+  on_deliver : now:int -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> unit;
+}
+
 type 'msg t = {
   engine : Engine.t;
   cfg : Netcfg.t;
@@ -14,6 +19,7 @@ type 'msg t = {
   kind_bytes : int array;
   sent : int array;
   received : int array;
+  mutable monitor : monitor option;
 }
 
 let create engine cfg ~nodes =
@@ -32,7 +38,10 @@ let create engine cfg ~nodes =
     kind_bytes = Array.make Kind.count 0;
     sent = Array.make nodes 0;
     received = Array.make nodes 0;
+    monitor = None;
   }
+
+let set_monitor t monitor = t.monitor <- monitor
 
 let nodes t = t.node_count
 
@@ -61,6 +70,9 @@ let send t ~src ~dst ~bytes ~kind msg =
   if src = dst then invalid_arg "Network.send: self-send";
   if bytes < 0 then invalid_arg "Network.send: negative size";
   count t ~src ~dst ~bytes ~kind;
+  (match t.monitor with
+  | None -> ()
+  | Some m -> m.on_send ~now:(Engine.now t.engine) ~src ~dst ~bytes ~kind);
   (* Endpoint-serialized transfer: the payload occupies the sender's NIC,
      crosses the wire, then occupies the receiver's NIC.  Uncontended this
      reduces exactly to [Netcfg.one_way_ns]; under contention concurrent
@@ -79,6 +91,9 @@ let send t ~src ~dst ~bytes ~kind msg =
   t.rx_free.(dst) <- rx_done;
   let delivery = rx_done + cfg.Netcfg.recv_overhead_ns in
   Engine.schedule_at t.engine ~time:delivery (fun () ->
+      (match t.monitor with
+      | None -> ()
+      | Some m -> m.on_deliver ~now:delivery ~src ~dst ~bytes ~kind);
       match t.handlers.(dst) with
       | Some handler -> handler ~src msg
       | None ->

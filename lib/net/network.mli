@@ -8,7 +8,21 @@
 
 type 'msg t
 
+(** Passive observation hooks, called synchronously from inside [send]
+    (after counters are updated) and from inside the delivery event
+    (before the receive handler runs).  A monitor must not send messages
+    or schedule events — it exists so an upper layer (e.g. tracing) can
+    watch traffic without the network depending on it, and without
+    perturbing delivery order or cost. *)
+type monitor = {
+  on_send : now:int -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> unit;
+  on_deliver : now:int -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> unit;
+}
+
 val create : Adsm_sim.Engine.t -> Netcfg.t -> nodes:int -> 'msg t
+
+(** Install or remove the traffic monitor (at most one at a time). *)
+val set_monitor : 'msg t -> monitor option -> unit
 
 val nodes : 'msg t -> int
 

@@ -53,6 +53,8 @@ let nodes t = Network.nodes t.net
 
 let network t = t.net
 
+let set_monitor t monitor = Network.set_monitor t.net monitor
+
 let set_handler t ~node h = t.handlers.(node) <- Some h
 
 let call_async t ~src ~dst ~bytes ~kind msg =

@@ -21,6 +21,11 @@ val nodes : 'msg t -> int
 (** The underlying network (for statistics). *)
 val network : 'msg t -> ('msg Envelope.t) Network.t
 
+(** Install or remove a {!Network.monitor} on the underlying network.
+    Requests, replies and casts are all observed (each as one message,
+    with its [kind] label and payload size). *)
+val set_monitor : 'msg t -> Network.monitor option -> unit
+
 val set_handler : 'msg t -> node:int -> 'msg handler -> unit
 
 (** Blocking request; must run in process context.  Returns the reply. *)

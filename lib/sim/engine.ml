@@ -4,6 +4,7 @@ type t = {
   mutable executed : int;
   queue : (unit -> unit) Eheap.t;
   tiebreak : int -> int;
+  mutable probe : (time:int -> executed:int -> unit) option;
 }
 
 (* SplitMix64 finalizer: a bijection on 64-bit integers, used to permute
@@ -21,7 +22,16 @@ let create ?schedule_seed () =
     | None -> Fun.id
     | Some seed -> mix64 (Int64.of_int seed)
   in
-  { clock = 0; next_seq = 0; executed = 0; queue = Eheap.create (); tiebreak }
+  {
+    clock = 0;
+    next_seq = 0;
+    executed = 0;
+    queue = Eheap.create ();
+    tiebreak;
+    probe = None;
+  }
+
+let set_probe t probe = t.probe <- probe
 
 let now t = t.clock
 
@@ -45,6 +55,9 @@ let run t =
     | Some (time, _, f) ->
       t.clock <- time;
       t.executed <- t.executed + 1;
+      (match t.probe with
+      | None -> ()
+      | Some probe -> probe ~time ~executed:t.executed);
       f ();
       loop ()
   in

@@ -31,6 +31,13 @@ val run : t -> int
 (** Number of events executed so far. *)
 val events_executed : t -> int
 
+(** [set_probe t (Some f)] arranges for [f ~time ~executed] to run just
+    before each event fires; [set_probe t None] removes it.  The probe
+    must not schedule events or otherwise touch the engine — it exists
+    so an observer (e.g. the tracing subsystem) can sample progress
+    without perturbing the simulation. *)
+val set_probe : t -> (time:int -> executed:int -> unit) option -> unit
+
 (** Time helpers (nanosecond arithmetic). *)
 val ns : int -> int
 

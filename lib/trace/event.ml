@@ -1,0 +1,237 @@
+module Kind = Adsm_net.Kind
+
+type mode = Sw | Mw
+
+type refusal = Fs | Measure
+
+type t =
+  | Read_fault of { page : int }
+  | Write_fault of { page : int }
+  | Twin_create of { page : int }
+  | Twin_free of { page : int }
+  | Diff_create of { page : int; seq : int; bytes : int; modified : int }
+  | Diff_apply of { page : int; writer : int; seq : int }
+  | Diff_gc of { count : int; bytes : int }
+  | Gc_drop of { page : int }
+  | Mode_change of { page : int; mode : mode }
+  | Own_request of { page : int; owner : int; version : int }
+  | Own_grant of { page : int; requester : int; version : int }
+  | Own_refuse of { page : int; requester : int; reason : refusal }
+  | Lock_acquire of { lock : int }
+  | Lock_release of { lock : int }
+  | Barrier_enter of { epoch : int }
+  | Barrier_leave of { epoch : int }
+  | Msg_send of { dst : int; kind : Kind.t; bytes : int }
+  | Msg_deliver of { src : int; kind : Kind.t; bytes : int }
+  | Compute of { ns : int }
+  | Sim_events of { executed : int }
+
+type stamped = { time : int; node : int; event : t }
+
+let mode_label = function Sw -> "sw" | Mw -> "mw"
+
+let mode_of_label = function "sw" -> Some Sw | "mw" -> Some Mw | _ -> None
+
+let refusal_label = function Fs -> "fs" | Measure -> "measure"
+
+let refusal_of_label = function
+  | "fs" -> Some Fs
+  | "measure" -> Some Measure
+  | _ -> None
+
+let tag = function
+  | Read_fault _ -> "read-fault"
+  | Write_fault _ -> "write-fault"
+  | Twin_create _ -> "twin-create"
+  | Twin_free _ -> "twin-free"
+  | Diff_create _ -> "diff-create"
+  | Diff_apply _ -> "diff-apply"
+  | Diff_gc _ -> "diff-gc"
+  | Gc_drop _ -> "gc-drop"
+  | Mode_change _ -> "mode-change"
+  | Own_request _ -> "own-request"
+  | Own_grant _ -> "own-grant"
+  | Own_refuse _ -> "own-refuse"
+  | Lock_acquire _ -> "lock-acquire"
+  | Lock_release _ -> "lock-release"
+  | Barrier_enter _ -> "barrier-enter"
+  | Barrier_leave _ -> "barrier-leave"
+  | Msg_send _ -> "msg-send"
+  | Msg_deliver _ -> "msg-deliver"
+  | Compute _ -> "compute"
+  | Sim_events _ -> "sim-events"
+
+let page = function
+  | Read_fault { page }
+  | Write_fault { page }
+  | Twin_create { page }
+  | Twin_free { page }
+  | Diff_create { page; _ }
+  | Diff_apply { page; _ }
+  | Gc_drop { page }
+  | Mode_change { page; _ }
+  | Own_request { page; _ }
+  | Own_grant { page; _ }
+  | Own_refuse { page; _ } ->
+    Some page
+  | Diff_gc _ | Lock_acquire _ | Lock_release _ | Barrier_enter _
+  | Barrier_leave _ | Msg_send _ | Msg_deliver _ | Compute _ | Sim_events _ ->
+    None
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Payload fields only (tag/time/node are added by [to_json]). *)
+let args = function
+  | Read_fault { page } | Write_fault { page } | Twin_create { page }
+  | Twin_free { page } | Gc_drop { page } ->
+    [ ("page", Json.Int page) ]
+  | Diff_create { page; seq; bytes; modified } ->
+    [
+      ("page", Json.Int page);
+      ("seq", Json.Int seq);
+      ("bytes", Json.Int bytes);
+      ("modified", Json.Int modified);
+    ]
+  | Diff_apply { page; writer; seq } ->
+    [ ("page", Json.Int page); ("writer", Json.Int writer); ("seq", Json.Int seq) ]
+  | Diff_gc { count; bytes } ->
+    [ ("count", Json.Int count); ("bytes", Json.Int bytes) ]
+  | Mode_change { page; mode } ->
+    [ ("page", Json.Int page); ("mode", Json.String (mode_label mode)) ]
+  | Own_request { page; owner; version } ->
+    [ ("page", Json.Int page); ("owner", Json.Int owner); ("version", Json.Int version) ]
+  | Own_grant { page; requester; version } ->
+    [
+      ("page", Json.Int page);
+      ("requester", Json.Int requester);
+      ("version", Json.Int version);
+    ]
+  | Own_refuse { page; requester; reason } ->
+    [
+      ("page", Json.Int page);
+      ("requester", Json.Int requester);
+      ("reason", Json.String (refusal_label reason));
+    ]
+  | Lock_acquire { lock } | Lock_release { lock } -> [ ("lock", Json.Int lock) ]
+  | Barrier_enter { epoch } | Barrier_leave { epoch } ->
+    [ ("epoch", Json.Int epoch) ]
+  | Msg_send { dst; kind; bytes } ->
+    [
+      ("dst", Json.Int dst);
+      ("kind", Json.String (Kind.to_string kind));
+      ("bytes", Json.Int bytes);
+    ]
+  | Msg_deliver { src; kind; bytes } ->
+    [
+      ("src", Json.Int src);
+      ("kind", Json.String (Kind.to_string kind));
+      ("bytes", Json.Int bytes);
+    ]
+  | Compute { ns } -> [ ("ns", Json.Int ns) ]
+  | Sim_events { executed } -> [ ("executed", Json.Int executed) ]
+
+let to_json { time; node; event } =
+  Json.Obj
+    (("t", Json.Int time)
+    :: ("node", Json.Int node)
+    :: ("ev", Json.String (tag event))
+    :: args event)
+
+let of_json json =
+  let ( let* ) o f = Option.bind o f in
+  let field key conv = let* v = Json.member key json in conv v in
+  let int key = field key Json.to_int in
+  let str key = field key Json.to_str in
+  let kind key = let* s = str key in Kind.of_string s in
+  let event =
+    let* tag = str "ev" in
+    match tag with
+    | "read-fault" ->
+      let* page = int "page" in
+      Some (Read_fault { page })
+    | "write-fault" ->
+      let* page = int "page" in
+      Some (Write_fault { page })
+    | "twin-create" ->
+      let* page = int "page" in
+      Some (Twin_create { page })
+    | "twin-free" ->
+      let* page = int "page" in
+      Some (Twin_free { page })
+    | "diff-create" ->
+      let* page = int "page" in
+      let* seq = int "seq" in
+      let* bytes = int "bytes" in
+      let* modified = int "modified" in
+      Some (Diff_create { page; seq; bytes; modified })
+    | "diff-apply" ->
+      let* page = int "page" in
+      let* writer = int "writer" in
+      let* seq = int "seq" in
+      Some (Diff_apply { page; writer; seq })
+    | "diff-gc" ->
+      let* count = int "count" in
+      let* bytes = int "bytes" in
+      Some (Diff_gc { count; bytes })
+    | "gc-drop" ->
+      let* page = int "page" in
+      Some (Gc_drop { page })
+    | "mode-change" ->
+      let* page = int "page" in
+      let* mode = let* s = str "mode" in mode_of_label s in
+      Some (Mode_change { page; mode })
+    | "own-request" ->
+      let* page = int "page" in
+      let* owner = int "owner" in
+      let* version = int "version" in
+      Some (Own_request { page; owner; version })
+    | "own-grant" ->
+      let* page = int "page" in
+      let* requester = int "requester" in
+      let* version = int "version" in
+      Some (Own_grant { page; requester; version })
+    | "own-refuse" ->
+      let* page = int "page" in
+      let* requester = int "requester" in
+      let* reason = let* s = str "reason" in refusal_of_label s in
+      Some (Own_refuse { page; requester; reason })
+    | "lock-acquire" ->
+      let* lock = int "lock" in
+      Some (Lock_acquire { lock })
+    | "lock-release" ->
+      let* lock = int "lock" in
+      Some (Lock_release { lock })
+    | "barrier-enter" ->
+      let* epoch = int "epoch" in
+      Some (Barrier_enter { epoch })
+    | "barrier-leave" ->
+      let* epoch = int "epoch" in
+      Some (Barrier_leave { epoch })
+    | "msg-send" ->
+      let* dst = int "dst" in
+      let* kind = kind "kind" in
+      let* bytes = int "bytes" in
+      Some (Msg_send { dst; kind; bytes })
+    | "msg-deliver" ->
+      let* src = int "src" in
+      let* kind = kind "kind" in
+      let* bytes = int "bytes" in
+      Some (Msg_deliver { src; kind; bytes })
+    | "compute" ->
+      let* ns = int "ns" in
+      Some (Compute { ns })
+    | "sim-events" ->
+      let* executed = int "executed" in
+      Some (Sim_events { executed })
+    | _ -> None
+  in
+  let* time = int "t" in
+  let* node = int "node" in
+  let* event = event in
+  Some { time; node; event }
+
+let pp ppf { time; node; event } =
+  Format.fprintf ppf "[%d @%dns] %s" node time
+    (Json.to_string (Json.Obj (("ev", Json.String (tag event)) :: args event)))

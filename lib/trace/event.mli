@@ -1,0 +1,91 @@
+(** The typed trace-event vocabulary.
+
+    Every observable protocol action emits exactly one of these
+    constructors, stamped ({!stamped}) with the simulated time and the
+    node it happened on; the page (where one is involved) lives inside
+    the constructor and is recovered uniformly with {!page}.  The
+    vocabulary deliberately mirrors the page-level narratives of the
+    paper's Section 6 — mode transitions, diff creation and collection,
+    ownership traffic — so a run's account of "why protocol X wins on
+    application Y" can be read (and asserted, via {!Query}) straight off
+    the event stream.
+
+    See [TRACING.md] at the repository root for the emission points, the
+    sink formats and a worked Perfetto walkthrough. *)
+
+module Kind = Adsm_net.Kind
+
+(** Which per-page protocol mode a {!Mode_change} lands in: [Sw] means
+    exclusive ownership (whole-page transfers), [Mw] means twin/diff. *)
+type mode = Sw | Mw
+
+(** Why an ownership request was refused: write-write false sharing
+    ([Fs], the paper's ownership-refusal test) or a forced
+    granularity-measurement round ([Measure], WFS+WG only). *)
+type refusal = Fs | Measure
+
+type t =
+  | Read_fault of { page : int }  (** read access miss entered the runtime *)
+  | Write_fault of { page : int }  (** write to a protected page *)
+  | Twin_create of { page : int }  (** MW write path captured a twin *)
+  | Twin_free of { page : int }  (** twin discarded (diffed or GC'd) *)
+  | Diff_create of { page : int; seq : int; bytes : int; modified : int }
+      (** interval [seq]'s diff was materialized: [bytes] encoded size,
+          [modified] bytes actually changed (the write granularity) *)
+  | Diff_apply of { page : int; writer : int; seq : int }
+      (** diff [writer]/[seq] merged into the local frame *)
+  | Diff_gc of { count : int; bytes : int }
+      (** this node purged its diff store at a garbage-collection round *)
+  | Gc_drop of { page : int }
+      (** this node dropped its copy of the page at a GC round *)
+  | Mode_change of { page : int; mode : mode }
+      (** the page's protocol mode flipped (SW{%html:&harr;%}MW) at this node *)
+  | Own_request of { page : int; owner : int; version : int }
+      (** ownership requested from [owner] at page version [version] *)
+  | Own_grant of { page : int; requester : int; version : int }
+      (** the (serving) owner granted ownership to [requester] *)
+  | Own_refuse of { page : int; requester : int; reason : refusal }
+      (** the owner refused — the adaptation trigger *)
+  | Lock_acquire of { lock : int }  (** critical section entered *)
+  | Lock_release of { lock : int }
+  | Barrier_enter of { epoch : int }  (** arrived at the barrier *)
+  | Barrier_leave of { epoch : int }  (** released (incl. any GC round) *)
+  | Msg_send of { dst : int; kind : Kind.t; bytes : int }
+      (** payload handed to this node's NIC *)
+  | Msg_deliver of { src : int; kind : Kind.t; bytes : int }
+      (** payload delivered to this node's handler *)
+  | Compute of { ns : int }  (** application compute slice of [ns] ns *)
+  | Sim_events of { executed : int }
+      (** engine probe sample: events executed so far (a counter track) *)
+
+(** An event stamped with simulated time (ns) and the emitting node. *)
+type stamped = { time : int; node : int; event : t }
+
+(** Stable lowercase label of the constructor ("read-fault",
+    "diff-create", ...) — the [ev] field of the JSONL encoding and the
+    key {!Query} filters on. *)
+val tag : t -> string
+
+(** The page an event concerns, when it concerns one. *)
+val page : t -> int option
+
+val mode_label : mode -> string
+
+val mode_of_label : string -> mode option
+
+val refusal_label : refusal -> string
+
+val refusal_of_label : string -> refusal option
+
+(** Payload fields of the event as JSON (without the [t]/[node]/[ev]
+    stamp) — what the Chrome sink puts in [args]. *)
+val args : t -> (string * Json.t) list
+
+(** Flat-object JSONL encoding:
+    [{"t":<ns>,"node":<id>,"ev":"<tag>",<payload fields>}]. *)
+val to_json : stamped -> Json.t
+
+(** Inverse of {!to_json}; [None] on unknown tags or missing fields. *)
+val of_json : Json.t -> stamped option
+
+val pp : Format.formatter -> stamped -> unit

@@ -1,0 +1,43 @@
+(** Minimal JSON tree: enough to emit and parse the trace formats.
+
+    The tracing subsystem must not pull a JSON dependency into the core
+    libraries, so this module implements the small subset the {!Sink}
+    writers ({{!Sink.jsonl} JSONL} and Chrome [trace_event]) and the
+    test-side parse-back need: a value tree, an encoder with correct
+    string escaping, and a strict recursive-descent parser.  Integers and
+    floats are kept distinct ([Int] vs [Float]) so event fields round-trip
+    exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in emission order *)
+
+(** Append the encoding of a value to a buffer (no trailing newline). *)
+val add_to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+(** Strict parse of a complete JSON document ([Error] carries the offset
+    of the first syntax error).  [\uXXXX] escapes are decoded to UTF-8
+    (basic multilingual plane only — all the trace emits is ASCII). *)
+val parse : string -> (t, string) result
+
+(** Raising variant of {!parse}.
+    @raise Parse_error on malformed input. *)
+val parse_exn : string -> t
+
+exception Parse_error of string
+
+(** [member key json] is the field [key] of an [Obj], if present. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_list : t -> t list option

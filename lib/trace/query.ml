@@ -1,0 +1,37 @@
+let matches ?node ?page ?tag ?since ?until (ev : Event.stamped) =
+  (match node with None -> true | Some n -> ev.node = n)
+  && (match page with None -> true | Some p -> Event.page ev.event = Some p)
+  && (match tag with None -> true | Some t -> Event.tag ev.event = t)
+  && (match since with None -> true | Some t -> ev.time >= t)
+  && match until with None -> true | Some t -> ev.time <= t
+
+let filter ?node ?page ?tag ?since ?until events =
+  List.filter (matches ?node ?page ?tag ?since ?until) events
+
+let count ?node ?page ?tag ?since ?until events =
+  List.fold_left
+    (fun acc ev -> if matches ?node ?page ?tag ?since ?until ev then acc + 1 else acc)
+    0 events
+
+let first ?node ?page ?tag ?since ?until events =
+  List.find_opt (matches ?node ?page ?tag ?since ?until) events
+
+let last ?node ?page ?tag ?since ?until events =
+  List.fold_left
+    (fun acc ev -> if matches ?node ?page ?tag ?since ?until ev then Some ev else acc)
+    None events
+
+let nodes events =
+  List.sort_uniq compare (List.map (fun (ev : Event.stamped) -> ev.node) events)
+
+let pages events =
+  List.sort_uniq compare
+    (List.filter_map (fun (ev : Event.stamped) -> Event.page ev.event) events)
+
+let of_jsonl text =
+  String.split_on_char '\n' text
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.filter_map (fun line ->
+         match Json.parse line with
+         | Ok json -> Event.of_json json
+         | Error _ -> None)

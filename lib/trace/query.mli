@@ -1,0 +1,65 @@
+(** Querying a captured event stream.
+
+    Operates on plain [Event.stamped list]s — typically
+    {!Sink.ring_contents} of a ring sink, or {!of_jsonl} on a trace file
+    read back from disk.  All combinators take the same optional
+    predicate set and combine the given criteria conjunctively:
+
+    - [node]: emitted on this node;
+    - [page]: concerns this page ({!Event.page});
+    - [tag]: constructor label ({!Event.tag}, e.g. ["diff-create"]);
+    - [since]/[until]: inclusive simulated-time window (ns).
+
+    Example — "no diffs were ever made for page 3 after 2 µs":
+
+    {[
+      assert (Query.count ~page:3 ~tag:"diff-create" ~since:2_000 evs = 0)
+    ]} *)
+
+val filter :
+  ?node:int ->
+  ?page:int ->
+  ?tag:string ->
+  ?since:int ->
+  ?until:int ->
+  Event.stamped list ->
+  Event.stamped list
+
+val count :
+  ?node:int ->
+  ?page:int ->
+  ?tag:string ->
+  ?since:int ->
+  ?until:int ->
+  Event.stamped list ->
+  int
+
+(** Earliest matching event (the list is assumed in emission order). *)
+val first :
+  ?node:int ->
+  ?page:int ->
+  ?tag:string ->
+  ?since:int ->
+  ?until:int ->
+  Event.stamped list ->
+  Event.stamped option
+
+(** Latest matching event. *)
+val last :
+  ?node:int ->
+  ?page:int ->
+  ?tag:string ->
+  ?since:int ->
+  ?until:int ->
+  Event.stamped list ->
+  Event.stamped option
+
+(** Distinct node ids appearing in the stream, ascending. *)
+val nodes : Event.stamped list -> int list
+
+(** Distinct pages referenced by the stream, ascending. *)
+val pages : Event.stamped list -> int list
+
+(** Parse the contents of a JSONL trace file back into events.
+    Unparseable lines are skipped. *)
+val of_jsonl : string -> Event.stamped list

@@ -1,0 +1,28 @@
+type t = {
+  on : bool;
+  sinks : Sink.t array;
+  mutable emitted : int;
+  mutable closed : bool;
+}
+
+let disabled = { on = false; sinks = [||]; emitted = 0; closed = true }
+
+let create sinks =
+  { on = true; sinks = Array.of_list sinks; emitted = 0; closed = false }
+
+let enabled t = t.on
+
+let emit t ~time ~node event =
+  if t.on then begin
+    let stamped = { Event.time; node; event } in
+    Array.iter (fun (s : Sink.t) -> s.emit stamped) t.sinks;
+    t.emitted <- t.emitted + 1
+  end
+
+let emitted t = t.emitted
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter (fun (s : Sink.t) -> s.close ()) t.sinks
+  end

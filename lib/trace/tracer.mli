@@ -1,0 +1,39 @@
+(** The emission front-end: a guard bit plus a fan-out to sinks.
+
+    Instrumented code holds a [Tracer.t] and wraps every emission in
+
+    {[
+      if Tracer.enabled tracer then
+        Tracer.emit tracer ~time ~node (Event.Diff_create { ... })
+    ]}
+
+    The [enabled] guard is the whole zero-cost story: when tracing is
+    off ({!disabled}) the event constructor argument is never built, so
+    the instrumented hot paths allocate nothing and the simulation's
+    observable numbers (events executed, wire bytes) are bit-identical
+    to an uninstrumented build.  [test/test_trace.ml] pins this with a
+    minor-words check.
+
+    Emission never perturbs the simulation either way: the tracer only
+    appends to sinks, it never schedules engine events or advances
+    time. *)
+
+type t
+
+(** The off tracer: {!enabled} is [false], {!emit} does nothing. *)
+val disabled : t
+
+(** A live tracer fanning out to the given sinks. *)
+val create : Sink.t list -> t
+
+val enabled : t -> bool
+
+(** [emit t ~time ~node ev] stamps [ev] and hands it to every sink.
+    No-op when [t] is {!disabled}. *)
+val emit : t -> time:int -> node:int -> Event.t -> unit
+
+(** Number of events emitted so far. *)
+val emitted : t -> int
+
+(** Close all sinks (flush file footers etc.).  Idempotent. *)
+val close : t -> unit

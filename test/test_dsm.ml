@@ -361,6 +361,45 @@ let test_wg_keeps_small_writes_in_mw () =
     (Stats.mean_diff_size report.Dsm.stats)
 
 (* ------------------------------------------------------------------ *)
+(* Figure 3 live-diff series                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_live_diff_series_counts_stored_copies () =
+  (* Producer/consumer on one page under MW: p0 creates one diff per
+     iteration and p1 fetches (and stores) a copy of each.  Both sides
+     count toward the live-diff population that GC eventually collects,
+     so the Figure 3 series must sample at both kinds of event — the
+     fetched copies used to be counted but never sampled, leaving the
+     even plateaus invisible. *)
+  let cfg = Config.make ~protocol:Config.Mw ~nprocs:2 () in
+  let t = Dsm.create cfg in
+  let a = Dsm.alloc_f64 t ~name:"a" ~len:512 in
+  let report =
+    Dsm.run t (fun ctx ->
+        for iter = 1 to 3 do
+          if Dsm.me ctx = 0 then Dsm.f64_set ctx a 0 (float_of_int iter);
+          Dsm.barrier ctx;
+          if Dsm.me ctx = 1 then ignore (Dsm.f64_get ctx a 0);
+          Dsm.barrier ctx
+        done)
+  in
+  Alcotest.(check int) "three diffs created" 3
+    (Stats.diffs_created_total report.Dsm.stats);
+  let series =
+    Adsm_sim.Series.to_list (Stats.live_diff_series report.Dsm.stats)
+  in
+  let values =
+    List.sort_uniq compare (List.map (fun (_, v) -> v) series)
+  in
+  Alcotest.(check (list (float 0.)))
+    "series samples every creation and every stored copy"
+    [ 1.; 2.; 3.; 4.; 5.; 6. ]
+    values;
+  let times = List.map fst series in
+  Alcotest.(check bool) "timestamps nondecreasing" true
+    (List.sort compare times = times)
+
+(* ------------------------------------------------------------------ *)
 (* Deadlock detection                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -455,6 +494,8 @@ let () =
         [
           Alcotest.test_case "MW GC preserves data" `Quick
             test_mw_gc_triggers_and_preserves_data;
+          Alcotest.test_case "live-diff series counts stored copies" `Quick
+            test_live_diff_series_counts_stored_copies;
         ] );
       ( "runtime",
         [
