@@ -11,15 +11,22 @@ module Config = Adsm_dsm.Config
 module Registry = Adsm_apps.Registry
 module Runner = Adsm_harness.Runner
 module Experiments = Adsm_harness.Experiments
+module Fuzz = Adsm_harness.Fuzz
+module Oracle = Adsm_check.Oracle
+module Recorder = Adsm_check.Recorder
 
 let scale_of_tiny tiny = if tiny then Registry.Tiny else Registry.Default
 
 (* --- run one configuration --- *)
 
-let run_one app_name protocol_name nprocs tiny seed trace_file trace_format =
+let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
+    check =
   match Registry.find app_name with
   | None ->
     Printf.eprintf "unknown application %S; try `adsm_run list'\n" app_name;
+    1
+  | Some _ when trace_format <> None && trace_file = None ->
+    Printf.eprintf "--trace-format requires --trace\n";
     1
   | Some app -> (
     match Config.protocol_of_string protocol_name with
@@ -31,6 +38,9 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format =
     | Some protocol -> (
       let scale = scale_of_tiny tiny in
       let module Trace = Adsm_trace in
+      let trace_format =
+        Option.value trace_format ~default:Trace.Sink.Jsonl
+      in
       match
         match trace_file with
         | None -> Ok None
@@ -46,9 +56,10 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format =
         Printf.eprintf "cannot open trace file: %s\n" msg;
         1
       | Ok tracer ->
+      let recorder = if check then Recorder.create () else Recorder.disabled in
       let m =
-        Runner.run ?tracer ~seed:(Int64.of_int seed) ~app ~protocol ~nprocs
-          ~scale ()
+        Runner.run ?tracer ~recorder ~seed:(Int64.of_int seed) ~app ~protocol
+          ~nprocs ~scale ()
       in
       (match (tracer, trace_file) with
       | Some tracer, Some path ->
@@ -79,7 +90,19 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format =
         m.Runner.read_faults m.Runner.write_faults;
       Printf.printf "  GC runs          %d\n" m.Runner.gc_runs;
       Printf.printf "  checksum         %.6f\n" m.Runner.checksum;
-      0))
+      if not check then 0
+      else begin
+        let report = Oracle.check ~nprocs (Recorder.stream recorder) in
+        Format.printf "%a@." Oracle.pp_report report;
+        if Oracle.ok report then 0
+        else begin
+          List.iter
+            (fun v ->
+              Format.printf "%a@." Oracle.pp_violation v)
+            report.Oracle.violations;
+          1
+        end
+      end))
 
 (* --- the full experiment suite --- *)
 
@@ -147,16 +170,120 @@ let trace_format_arg =
   in
   Arg.(
     value
-    & opt fmt Adsm_trace.Sink.Jsonl
+    & opt (some fmt) None
     & info [ "trace-format" ] ~docv:"FMT"
-        ~doc:"Trace file format: $(b,jsonl) (one event per line) or \
-              $(b,chrome) (Chrome trace_event JSON, loadable in Perfetto).")
+        ~doc:"Trace file format: $(b,jsonl) (one event per line, the \
+              default) or $(b,chrome) (Chrome trace_event JSON, loadable \
+              in Perfetto).  Requires $(b,--trace).")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Record every shared access and synchronization operation \
+              and validate the run against the release-consistency \
+              oracle afterwards (see TESTING.md).  Exits non-zero on a \
+              consistency violation.")
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one application under one protocol")
     Term.(
       const run_one $ app_arg $ protocol_arg $ procs_arg $ tiny_arg $ seed_arg
-      $ trace_arg $ trace_format_arg)
+      $ trace_arg $ trace_format_arg $ check_arg)
+
+(* --- oracle-checked workload fuzzing --- *)
+
+let run_fuzz protocol_name nprocs seeds seed mutation_name =
+  match Config.protocol_of_string protocol_name with
+  | None ->
+    Printf.eprintf
+      "unknown protocol %S (MW, SW, WFS, WFS+WG, HLRC)\n"
+      protocol_name;
+    1
+  | Some protocol -> (
+    let mutation =
+      match mutation_name with
+      | None -> Ok None
+      | Some s -> (
+        match Config.mutation_of_string s with
+        | Some m -> Ok (Some m)
+        | None -> Error s)
+    in
+    match mutation with
+    | Error s ->
+      Printf.eprintf "unknown mutation %S (available: %s)\n" s
+        (String.concat ", " (List.map Config.mutation_name Config.all_mutations));
+      1
+    | Ok mutation ->
+      let failures = ref 0 in
+      for i = 0 to seeds - 1 do
+        let seed64 = Int64.of_int (seed + i) in
+        match Fuzz.fuzz_once ?mutation ~protocol ~nprocs ~seed:seed64 () with
+        | exception e ->
+          incr failures;
+          Printf.printf "seed %d: CRASH (%s)\n" (seed + i)
+            (Printexc.to_string e)
+        | o ->
+          if Oracle.ok o.Fuzz.report then
+            Printf.printf "seed %d: ok (%d observations, %d reads)\n"
+              (seed + i) o.Fuzz.report.Oracle.observations
+              o.Fuzz.report.Oracle.reads
+          else begin
+            incr failures;
+            Printf.printf "seed %d: %d violation(s), shrinking...\n" (seed + i)
+              (List.length o.Fuzz.report.Oracle.violations);
+            let minimal =
+              match
+                Fuzz.shrink_failing ?mutation ~protocol ~seed:seed64 o.Fuzz.program
+              with
+              | Some shrunk -> shrunk
+              | None -> o
+            in
+            match Fuzz.counterexample minimal with
+            | Some text -> print_string text
+            | None -> ()
+          end
+      done;
+      match mutation with
+      | Some m ->
+        (* Mutation runs invert the exit logic: the oracle MUST notice. *)
+        if !failures > 0 then begin
+          Printf.printf "mutation %s: detected (%d of %d seeds)\n"
+            (Config.mutation_name m) !failures seeds;
+          0
+        end
+        else begin
+          Printf.printf "mutation %s: NOT detected in %d seeds\n"
+            (Config.mutation_name m) seeds;
+          1
+        end
+      | None -> if !failures = 0 then 0 else 1)
+
+let seeds_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "seeds" ] ~docv:"N" ~doc:"Number of consecutive seeds to run.")
+
+let mutation_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mutation" ] ~docv:"NAME"
+        ~doc:"Inject a deliberately broken protocol variant \
+              (skip-diff-apply, drop-write-notice, \
+              stale-ownership-grant); the run then $(i,fails) unless the \
+              oracle detects the bug.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate random data-race-free workloads and validate every \
+          read against the release-consistency oracle, shrinking any \
+          failure to a minimal counterexample")
+    Term.(
+      const run_fuzz $ protocol_arg $ procs_arg $ seeds_arg $ seed_arg
+      $ mutation_arg)
 
 let out_arg =
   Arg.(
@@ -261,6 +388,6 @@ let main =
        ~doc:
          "Adaptive software DSM (WFS / WFS+WG) protocol simulator - \
           reproduction of Amza et al., HPCA 1997")
-    [ run_cmd; experiments_cmd; ablations_cmd; verify_cmd; list_cmd ]
+    [ run_cmd; experiments_cmd; ablations_cmd; verify_cmd; fuzz_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,35 @@
+(* The oracle's own happens-before machinery.
+
+   Deliberately independent of the protocol's [Vc] in lib/dsm: the
+   oracle must derive happens-before purely from the observation stream
+   (program order, lock release->acquire chains, barriers), so a bug in
+   the protocol's vector-clock plumbing cannot silently agree with
+   itself here.
+
+   Clocks tick on every observation, giving each event a unique
+   per-node component; [e1 happens-before e2] iff e1's snapshot is
+   componentwise <= e2's. *)
+
+type t = int array
+
+let zero ~nprocs = Array.make nprocs 0
+
+let copy = Array.copy
+
+let tick t ~node = t.(node) <- t.(node) + 1
+
+let get (t : t) node = t.(node)
+
+(* Merge [src] into [dst] (componentwise max). *)
+let join_into ~dst ~src =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let leq (a : t) (b : t) =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let to_string (t : t) =
+  "<" ^ String.concat "," (Array.to_list (Array.map string_of_int t)) ^ ">"

@@ -1,0 +1,24 @@
+(** Vector clocks for the oracle's happens-before order, derived purely
+    from the observation stream (independent of the protocol's [Vc]). *)
+
+type t = int array
+
+val zero : nprocs:int -> t
+
+val copy : t -> t
+
+(** Advance [node]'s component by one (every observation ticks). *)
+val tick : t -> node:int -> unit
+
+val get : t -> int -> int
+
+(** Componentwise max of [src] into [dst]. *)
+val join_into : dst:t -> src:t -> unit
+
+(** [leq a b] — the event stamped [a] happens-before (or equals) the
+    event stamped [b]. *)
+val leq : t -> t -> bool
+
+val concurrent : t -> t -> bool
+
+val to_string : t -> string

@@ -1,0 +1,117 @@
+(* The memory-model observation vocabulary.
+
+   An observation is what the *application* did to the shared store —
+   a word read or written with its value, a lock acquired or released, a
+   barrier crossed — as opposed to a trace event, which records what the
+   *protocol* did about it.  The oracle replays a run's observation
+   stream and checks it against lazy release consistency without looking
+   at any protocol state, which is what makes it an independent check:
+   the same stream semantics must hold whichever protocol produced it. *)
+
+module Json = Adsm_trace.Json
+
+type t =
+  | Read of { page : int; off : int; width : int; bits : int64 }
+  | Write of { page : int; off : int; width : int; bits : int64 }
+  | Acquire of { lock : int }
+  | Release of { lock : int }
+  | Barrier_enter of { epoch : int }
+  | Barrier_leave of { epoch : int }
+
+(* Stamped in global recording order; the simulator is single-threaded,
+   so stream order is the real-time order in which the operations
+   completed. *)
+type stamped = { time : int; node : int; obs : t }
+
+let tag = function
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Acquire _ -> "acquire"
+  | Release _ -> "release"
+  | Barrier_enter _ -> "barrier-enter"
+  | Barrier_leave _ -> "barrier-leave"
+
+(* The word a memory observation touches, as a (page, offset) pair. *)
+let location = function
+  | Read { page; off; _ } | Write { page; off; _ } -> Some (page, off)
+  | Acquire _ | Release _ | Barrier_enter _ | Barrier_leave _ -> None
+
+let value_string ~width bits =
+  if width = 8 then Printf.sprintf "%.17g" (Int64.float_of_bits bits)
+  else Printf.sprintf "%ld" (Int64.to_int32 bits)
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [bits] is a full 64-bit pattern (e.g. the sign bit of a negative
+   float), which does not fit OCaml's 63-bit [Json.Int]: encode it as a
+   hex string instead. *)
+let bits_to_json bits = Json.String (Printf.sprintf "0x%Lx" bits)
+
+let bits_of_json = function
+  | Json.String s -> Int64.of_string_opt s
+  | _ -> None
+
+let args = function
+  | Read { page; off; width; bits } | Write { page; off; width; bits } ->
+    [
+      ("page", Json.Int page);
+      ("off", Json.Int off);
+      ("width", Json.Int width);
+      ("bits", bits_to_json bits);
+    ]
+  | Acquire { lock } | Release { lock } -> [ ("lock", Json.Int lock) ]
+  | Barrier_enter { epoch } | Barrier_leave { epoch } ->
+    [ ("epoch", Json.Int epoch) ]
+
+let to_json { time; node; obs } =
+  Json.Obj
+    (("t", Json.Int time)
+    :: ("node", Json.Int node)
+    :: ("ob", Json.String (tag obs))
+    :: args obs)
+
+let of_json json =
+  let ( let* ) o f = Option.bind o f in
+  let field key conv = let* v = Json.member key json in conv v in
+  let int key = field key Json.to_int in
+  let obs =
+    let* tag = field "ob" Json.to_str in
+    match tag with
+    | "read" | "write" ->
+      let* page = int "page" in
+      let* off = int "off" in
+      let* width = int "width" in
+      let* bits = field "bits" bits_of_json in
+      Some
+        (if tag = "read" then Read { page; off; width; bits }
+         else Write { page; off; width; bits })
+    | "acquire" | "release" ->
+      let* lock = int "lock" in
+      Some (if tag = "acquire" then Acquire { lock } else Release { lock })
+    | "barrier-enter" | "barrier-leave" ->
+      let* epoch = int "epoch" in
+      Some
+        (if tag = "barrier-enter" then Barrier_enter { epoch }
+         else Barrier_leave { epoch })
+    | _ -> None
+  in
+  let* time = int "t" in
+  let* node = int "node" in
+  let* obs = obs in
+  Some { time; node; obs }
+
+let pp ppf { time; node; obs } =
+  let body =
+    match obs with
+    | Read { page; off; width; bits } ->
+      Printf.sprintf "read  %d:%d = %s" page off (value_string ~width bits)
+    | Write { page; off; width; bits } ->
+      Printf.sprintf "write %d:%d = %s" page off (value_string ~width bits)
+    | Acquire { lock } -> Printf.sprintf "acquire lock %d" lock
+    | Release { lock } -> Printf.sprintf "release lock %d" lock
+    | Barrier_enter { epoch } -> Printf.sprintf "barrier enter (epoch %d)" epoch
+    | Barrier_leave { epoch } -> Printf.sprintf "barrier leave (epoch %d)" epoch
+  in
+  Format.fprintf ppf "[node %d @%dns] %s" node time body

@@ -1,0 +1,32 @@
+(** Memory-model observations: what the application did to the shared
+    store.  The {!Oracle} replays a run's observation stream against the
+    lazy-release-consistency contract; the {!Recorder} collects it. *)
+
+type t =
+  | Read of { page : int; off : int; width : int; bits : int64 }
+      (** a shared-word read returning the value [bits] (f64 bit pattern
+          when [width = 8], sign-extended i32 when [width = 4]) *)
+  | Write of { page : int; off : int; width : int; bits : int64 }
+  | Acquire of { lock : int }  (** lock acquisition completed *)
+  | Release of { lock : int }  (** lock release started *)
+  | Barrier_enter of { epoch : int }
+  | Barrier_leave of { epoch : int }
+
+type stamped = { time : int; node : int; obs : t }
+(** Stamped with simulated time and recorded in global completion
+    order (the simulator is single-threaded). *)
+
+val tag : t -> string
+
+(** The (page, offset) word a memory observation touches. *)
+val location : t -> (int * int) option
+
+(** Render a value for humans: a float when [width = 8], an int32
+    otherwise. *)
+val value_string : width:int -> int64 -> string
+
+val to_json : stamped -> Adsm_trace.Json.t
+
+val of_json : Adsm_trace.Json.t -> stamped option
+
+val pp : Format.formatter -> stamped -> unit

@@ -1,0 +1,192 @@
+(* The release-consistency oracle.
+
+   Replays an observation stream (see {!Obs}) and checks every read
+   against the lazy-release-consistency contract, using only the stream
+   itself — program order, lock release->acquire chains and barriers —
+   to build happens-before:
+
+   - a read must return the value of a write that is not stale: either
+     the (unique, for data-race-free programs) happens-before-latest
+     write to that word, or — LRC permits it — a write concurrent with
+     the read that no hb-ordered write supersedes;
+   - a word never written in the read's causal past may still hold its
+     initial zero;
+   - returning a value that some visible write has overwritten (a diff
+     not applied, a notice never delivered, an ownership grant serving
+     stale data, a lost update under concurrent writers) is a violation.
+
+   Per word the oracle keeps only the hb-antichain of live writes: a new
+   write prunes every write it dominates, so the history stays as small
+   as the number of genuinely concurrent writers.  [first_write] keeps,
+   per node, the node-local timestamp of its first write to the word, so
+   "is the initial value still legal?" remains answerable after
+   pruning. *)
+
+type write = {
+  w_vc : Hb.t;
+  w_bits : int64;
+  w_node : int;
+  w_index : int;  (** position in the observation stream *)
+}
+
+type location = {
+  mutable history : write list;  (** hb-antichain, newest first *)
+  first_write : int array;
+      (** per node: [Hb] self-component of its first write here; 0 = none *)
+}
+
+type violation = {
+  v_index : int;  (** stream position of the offending read *)
+  v_node : int;
+  v_page : int;
+  v_off : int;
+  v_width : int;
+  v_got : int64;
+  v_candidates : (int * int64) list;
+      (** legal (writer stream index, value) pairs; index -1 = initial *)
+}
+
+type report = {
+  nprocs : int;
+  observations : int;
+  reads : int;
+  writes : int;
+  racy_reads : int;
+      (** reads with more than one legal value (word-granularity data
+          race): accepted leniently, counted for visibility *)
+  violations : violation list;  (** oldest first *)
+}
+
+let ok report = report.violations = []
+
+let check ~nprocs (stream : Obs.stamped array) =
+  let vcs = Array.init nprocs (fun _ -> Hb.zero ~nprocs) in
+  let last_release : (int, Hb.t) Hashtbl.t = Hashtbl.create 16 in
+  let barrier_acc : (int, Hb.t) Hashtbl.t = Hashtbl.create 16 in
+  let locations : (int * int, location) Hashtbl.t = Hashtbl.create 256 in
+  let location key =
+    match Hashtbl.find_opt locations key with
+    | Some l -> l
+    | None ->
+      let l = { history = []; first_write = Array.make nprocs 0 } in
+      Hashtbl.add locations key l;
+      l
+  in
+  let reads = ref 0 in
+  let writes = ref 0 in
+  let racy = ref 0 in
+  let violations = ref [] in
+  Array.iteri
+    (fun index { Obs.node; obs; _ } ->
+      let vc = vcs.(node) in
+      Hb.tick vc ~node;
+      match obs with
+      | Obs.Write { page; off; bits; _ } ->
+        incr writes;
+        let l = location (page, off) in
+        l.history <-
+          { w_vc = Hb.copy vc; w_bits = bits; w_node = node; w_index = index }
+          :: List.filter (fun w -> not (Hb.leq w.w_vc vc)) l.history;
+        if l.first_write.(node) = 0 then
+          l.first_write.(node) <- Hb.get vc node
+      | Obs.Read { page; off; width; bits } ->
+        incr reads;
+        let l = location (page, off) in
+        (* The initial zero is legal only while no write to the word is
+           in the read's causal past. *)
+        let init_legal =
+          Array.for_all Fun.id
+            (Array.mapi
+               (fun n first -> first = 0 || first > Hb.get vc n)
+               l.first_write)
+        in
+        let candidates =
+          List.map (fun w -> (w.w_index, w.w_bits)) l.history
+          @ (if init_legal then [ (-1, 0L) ] else [])
+        in
+        let distinct =
+          List.sort_uniq compare (List.map snd candidates)
+        in
+        if List.length distinct > 1 then incr racy;
+        if not (List.mem bits distinct) then
+          violations :=
+            {
+              v_index = index;
+              v_node = node;
+              v_page = page;
+              v_off = off;
+              v_width = width;
+              v_got = bits;
+              v_candidates = candidates;
+            }
+            :: !violations
+      | Obs.Acquire { lock } -> (
+        match Hashtbl.find_opt last_release lock with
+        | Some rel -> Hb.join_into ~dst:vc ~src:rel
+        | None -> ())
+      | Obs.Release { lock } ->
+        Hashtbl.replace last_release lock (Hb.copy vc)
+      | Obs.Barrier_enter { epoch } -> (
+        match Hashtbl.find_opt barrier_acc epoch with
+        | Some acc -> Hb.join_into ~dst:acc ~src:vc
+        | None -> Hashtbl.add barrier_acc epoch (Hb.copy vc))
+      | Obs.Barrier_leave { epoch } -> (
+        match Hashtbl.find_opt barrier_acc epoch with
+        | Some acc -> Hb.join_into ~dst:vc ~src:acc
+        | None -> ()))
+    stream;
+  {
+    nprocs;
+    observations = Array.length stream;
+    reads = !reads;
+    writes = !writes;
+    racy_reads = !racy;
+    violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample formatting                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pp_violation ppf v =
+  let value = Obs.value_string ~width:v.v_width in
+  let candidate (idx, bits) =
+    if idx = -1 then Printf.sprintf "%s (initial)" (value bits)
+    else Printf.sprintf "%s (write #%d)" (value bits) idx
+  in
+  Format.fprintf ppf
+    "node %d read %s from page %d offset %d (observation #%d); legal: %s"
+    v.v_node (value v.v_got) v.v_page v.v_off v.v_index
+    (match v.v_candidates with
+    | [] -> "none recorded"
+    | cs -> String.concat " | " (List.map candidate cs))
+
+(* The trace window worth reading around a violation: the candidate
+   writes, every synchronization operation, and every access to the
+   violating word, ending at the offending read. *)
+let pp_counterexample ppf (stream : Obs.stamped array) v =
+  Format.fprintf ppf "VIOLATION: %a@." pp_violation v;
+  Format.fprintf ppf "relevant observations:@.";
+  let candidate_indices = List.map fst v.v_candidates in
+  for i = 0 to v.v_index do
+    let s = stream.(i) in
+    let relevant =
+      i = v.v_index
+      || List.mem i candidate_indices
+      || Obs.location s.Obs.obs = Some (v.v_page, v.v_off)
+      || Obs.location s.Obs.obs = None
+    in
+    if relevant then
+      Format.fprintf ppf "  #%-4d %a%s@." i Obs.pp s
+        (if i = v.v_index then "   <-- violation"
+         else if List.mem i candidate_indices then "   <-- legal candidate"
+         else "")
+  done
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "oracle: %d observations (%d reads, %d writes, %d racy) on %d nodes — %s"
+    r.observations r.reads r.writes r.racy_reads r.nprocs
+    (match r.violations with
+    | [] -> "no violations"
+    | vs -> Printf.sprintf "%d VIOLATION(S)" (List.length vs))

@@ -1,0 +1,45 @@
+(** The release-consistency oracle: replays an observation stream and
+    validates every read against the LRC contract, deriving
+    happens-before purely from the stream (program order, lock
+    release→acquire chains, barriers) — independent of any protocol
+    state.
+
+    The single read rule subsumes the interesting invariants: writes
+    must propagate completely at acquires and barriers, no update may be
+    lost under concurrent writers, and a mode transition (SW↔MW) that
+    drops a diff or a write notice surfaces as a stale read. *)
+
+type violation = {
+  v_index : int;  (** stream position of the offending read *)
+  v_node : int;
+  v_page : int;
+  v_off : int;
+  v_width : int;
+  v_got : int64;
+  v_candidates : (int * int64) list;
+      (** legal (writer stream index, value) pairs; index -1 = initial *)
+}
+
+type report = {
+  nprocs : int;
+  observations : int;
+  reads : int;
+  writes : int;
+  racy_reads : int;
+      (** reads with more than one legal value (word-granularity data
+          race) — accepted leniently, as LRC allows, but counted *)
+  violations : violation list;  (** oldest first *)
+}
+
+val check : nprocs:int -> Obs.stamped array -> report
+
+val ok : report -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Print the violation plus the trace window worth reading: candidate
+    writes, synchronization operations, and every access to the
+    violating word up to the offending read. *)
+val pp_counterexample : Format.formatter -> Obs.stamped array -> violation -> unit
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,32 @@
+(* Observation collection front-end, following the Tracer pattern from
+   lib/trace: a phantom [disabled] recorder whose [enabled] test guards
+   every emission site, so observation payloads are never constructed —
+   and the run is event- and byte-identical — when checking is off. *)
+
+type t = {
+  on : bool;
+  mutable observations : Obs.stamped list;  (* newest first *)
+  mutable count : int;
+}
+
+let disabled = { on = false; observations = []; count = 0 }
+
+let create () = { on = true; observations = []; count = 0 }
+
+let enabled t = t.on
+
+let record t ~time ~node obs =
+  if t.on then begin
+    t.observations <- { Obs.time; node; obs } :: t.observations;
+    t.count <- t.count + 1
+  end
+
+let count t = t.count
+
+let stream t = Array.of_list (List.rev t.observations)
+
+let reset t =
+  if t.on then begin
+    t.observations <- [];
+    t.count <- 0
+  end

@@ -1,0 +1,26 @@
+(** Collects a run's observation stream for the {!Oracle}.
+
+    Mirrors the zero-cost-when-disabled discipline of
+    {!Adsm_trace.Tracer}: recording sites are guarded with {!enabled}, so
+    a run with the {!disabled} recorder constructs no observation values
+    and executes identically to an unobserved one. *)
+
+type t
+
+(** The inert recorder: {!enabled} is false, {!record} is a no-op. *)
+val disabled : t
+
+val create : unit -> t
+
+val enabled : t -> bool
+
+val record : t -> time:int -> node:int -> Obs.t -> unit
+
+val count : t -> int
+
+(** The recorded observations, oldest first. *)
+val stream : t -> Obs.stamped array
+
+(** Drop everything recorded so far (for reusing a recorder across
+    runs). *)
+val reset : t -> unit

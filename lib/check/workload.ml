@@ -1,0 +1,230 @@
+(* Property-based workload generation for the consistency oracle.
+
+   A workload is a tiny page-access program: per node, per barrier-
+   separated phase, a list of reads/writes on abstract shared words and
+   lock-protected critical sections.  Programs are data-race-free *by
+   construction* — every word follows one of three disciplines:
+
+   - [Phased]: in phase p only the word's phase-owner ((word + p) mod
+     nprocs) touches it, so each phase hands the word to the next node
+     across a barrier (exercising ownership migration, diffs and owner
+     write notices);
+   - [Locked l]: touched only inside critical sections of lock l
+     (exercising release->acquire interval propagation and lost-update
+     detection);
+   - [Private n]: only node n ever touches it (padding that creates
+     false sharing when several words share a page).
+
+   Under DRF the oracle's read rule is exact: every read has a unique
+   legal value.  Words map to f64 slots [word * stride], so small
+   strides pack several disciplines into one page (false sharing, the
+   paper's central stressor) while [stride = 512] isolates each word on
+   its own page.
+
+   The shrinker only removes things — whole phases, units of one node's
+   phase program, single ops inside a critical section — and each
+   removal preserves the DRF disciplines, so a shrunk counterexample is
+   still a valid workload. *)
+
+module Rng = Adsm_sim.Rng
+
+type op =
+  | R of int  (** read word *)
+  | W of int  (** write word (the interpreter assigns a unique value) *)
+  | C of int  (** local compute, ns (interleaving variety) *)
+
+type unit_ =
+  | Plain of op
+  | Crit of int * op list  (** lock; acquire, run ops, release *)
+
+type program = {
+  nprocs : int;
+  words : int;
+  stride : int;  (** word [i] lives at f64 index [i * stride] *)
+  nlocks : int;
+  phases : unit_ list array array;
+      (** [phases.(p).(node)] = node's program for phase [p]; a barrier
+          separates consecutive phases *)
+}
+
+type discipline = Phased | Locked of int | Private of int
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type params = {
+  p_nprocs : int;
+  p_max_words : int;
+  p_max_phases : int;
+  p_max_units : int;  (** per node per phase *)
+}
+
+let default_params ~nprocs =
+  { p_nprocs = nprocs; p_max_words = 16; p_max_phases = 4; p_max_units = 6 }
+
+let strides = [| 1; 3; 7; 64; 512 |]
+
+let generate rng params =
+  let nprocs = params.p_nprocs in
+  let words = 2 + Rng.int rng (max 1 (params.p_max_words - 1)) in
+  let stride = strides.(Rng.int rng (Array.length strides)) in
+  let nlocks = 1 + Rng.int rng 3 in
+  let nphases = 1 + Rng.int rng params.p_max_phases in
+  let discipline =
+    Array.init words (fun w ->
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 -> Phased
+        | 5 | 6 | 7 -> Locked (w mod nlocks)
+        | _ -> Private (w mod nprocs))
+  in
+  let locked_words lock =
+    List.filter
+      (fun w -> discipline.(w) = Locked lock)
+      (List.init words Fun.id)
+  in
+  let plain_words node phase =
+    List.filter
+      (fun w ->
+        match discipline.(w) with
+        | Phased -> (w + phase) mod nprocs = node
+        | Private n -> n = node
+        | Locked _ -> false)
+      (List.init words Fun.id)
+  in
+  let pick rng l = List.nth l (Rng.int rng (List.length l)) in
+  let gen_op rng word =
+    if Rng.int rng 2 = 0 then R word else W word
+  in
+  let gen_unit rng node phase =
+    let plain = plain_words node phase in
+    let roll = Rng.int rng 10 in
+    if roll = 0 then Some (Plain (C (100 + Rng.int rng 5_000)))
+    else if roll <= 6 && plain <> [] then
+      Some (Plain (gen_op rng (pick rng plain)))
+    else begin
+      let lock = Rng.int rng nlocks in
+      match locked_words lock with
+      | [] ->
+        if plain = [] then None else Some (Plain (gen_op rng (pick rng plain)))
+      | lw ->
+        let n_ops = 1 + Rng.int rng 3 in
+        Some (Crit (lock, List.init n_ops (fun _ -> gen_op rng (pick rng lw))))
+    end
+  in
+  let phases =
+    Array.init nphases (fun phase ->
+        Array.init nprocs (fun node ->
+            let n_units = Rng.int rng (params.p_max_units + 1) in
+            List.filter_map
+              (fun _ -> gen_unit rng node phase)
+              (List.init n_units Fun.id)))
+  in
+  { nprocs; words; stride; nlocks; phases }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ops_count p =
+  Array.fold_left
+    (fun acc phase ->
+      Array.fold_left
+        (fun acc units ->
+          List.fold_left
+            (fun acc -> function
+              | Plain _ -> acc + 1
+              | Crit (_, ops) -> acc + 1 + List.length ops)
+            acc units)
+        acc phase)
+    0 p.phases
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* Candidate reductions, biggest cuts first: drop a phase, drop a unit
+   of one node's phase program, drop one op inside a critical section.
+   Each preserves the per-word access disciplines, hence DRF. *)
+let shrink p =
+  let drop_phase =
+    Seq.init (Array.length p.phases) (fun i ->
+        {
+          p with
+          phases =
+            Array.of_list
+              (List.filteri
+                 (fun j _ -> j <> i)
+                 (Array.to_list p.phases));
+        })
+  in
+  let with_units ~phase ~node units =
+    let phases = Array.map Array.copy p.phases in
+    phases.(phase).(node) <- units;
+    { p with phases }
+  in
+  let drop_unit =
+    Seq.concat_map
+      (fun phase ->
+        Seq.concat_map
+          (fun node ->
+            let units = p.phases.(phase).(node) in
+            Seq.init (List.length units) (fun i ->
+                with_units ~phase ~node (drop_nth units i)))
+          (Seq.init p.nprocs Fun.id))
+      (Seq.init (Array.length p.phases) Fun.id)
+  in
+  let drop_crit_op =
+    Seq.concat_map
+      (fun phase ->
+        Seq.concat_map
+          (fun node ->
+            let units = p.phases.(phase).(node) in
+            Seq.concat_map
+              (fun i ->
+                match List.nth units i with
+                | Plain _ -> Seq.empty
+                | Crit (lock, ops) when List.length ops > 1 ->
+                  Seq.init (List.length ops) (fun j ->
+                      let units' =
+                        List.mapi
+                          (fun k u ->
+                            if k = i then Crit (lock, drop_nth ops j) else u)
+                          units
+                      in
+                      with_units ~phase ~node units')
+                | Crit _ -> Seq.empty)
+              (Seq.init (List.length units) Fun.id))
+          (Seq.init p.nprocs Fun.id))
+      (Seq.init (Array.length p.phases) Fun.id)
+  in
+  Seq.append drop_phase (Seq.append drop_unit drop_crit_op)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let op_string = function
+  | R w -> Printf.sprintf "R%d" w
+  | W w -> Printf.sprintf "W%d" w
+  | C ns -> Printf.sprintf "C%d" ns
+
+let unit_string = function
+  | Plain op -> op_string op
+  | Crit (lock, ops) ->
+    Printf.sprintf "lock%d{%s}" lock (String.concat ";" (List.map op_string ops))
+
+let pp ppf p =
+  Format.fprintf ppf
+    "workload: %d nodes, %d words (stride %d), %d locks, %d phases@." p.nprocs
+    p.words p.stride p.nlocks (Array.length p.phases);
+  Array.iteri
+    (fun i phase ->
+      Format.fprintf ppf "phase %d:@." i;
+      Array.iteri
+        (fun node units ->
+          Format.fprintf ppf "  node %d: %s@." node
+            (if units = [] then "(idle)"
+             else String.concat "; " (List.map unit_string units)))
+        phase)
+    p.phases
+
+let to_string p = Format.asprintf "%a" pp p

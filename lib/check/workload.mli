@@ -1,0 +1,45 @@
+(** Property-based workload generation for the consistency oracle:
+    random page-access programs that are data-race-free by construction
+    (so every read has a unique legal value), a shrinker that only
+    removes structure (preserving DRF), and a human-readable printer
+    for counterexamples. *)
+
+type op =
+  | R of int  (** read word *)
+  | W of int  (** write word (the interpreter assigns a unique value) *)
+  | C of int  (** local compute, ns *)
+
+type unit_ =
+  | Plain of op
+  | Crit of int * op list  (** lock; acquire, run ops, release *)
+
+type program = {
+  nprocs : int;
+  words : int;
+  stride : int;  (** word [i] lives at f64 index [i * stride] *)
+  nlocks : int;
+  phases : unit_ list array array;
+      (** [phases.(p).(node)]; a barrier separates consecutive phases *)
+}
+
+type params = {
+  p_nprocs : int;
+  p_max_words : int;
+  p_max_phases : int;
+  p_max_units : int;
+}
+
+val default_params : nprocs:int -> params
+
+val generate : Adsm_sim.Rng.t -> params -> program
+
+(** Candidate reductions, biggest cuts first; every candidate is a
+    valid DRF workload. *)
+val shrink : program -> program Seq.t
+
+(** Total op count (shrinking progress metric). *)
+val ops_count : program -> int
+
+val pp : Format.formatter -> program -> unit
+
+val to_string : program -> string

@@ -20,6 +20,25 @@ let all_protocols = [ Mw; Wfs_wg; Wfs; Sw ]
 
 let extended_protocols = [ Mw; Wfs_wg; Wfs; Sw; Hlrc ]
 
+type mutation =
+  | Skip_diff_apply
+  | Drop_write_notice
+  | Stale_ownership_grant
+
+let mutation_name = function
+  | Skip_diff_apply -> "skip-diff-apply"
+  | Drop_write_notice -> "drop-write-notice"
+  | Stale_ownership_grant -> "stale-ownership-grant"
+
+let mutation_of_string s =
+  match String.lowercase_ascii s with
+  | "skip-diff-apply" -> Some Skip_diff_apply
+  | "drop-write-notice" -> Some Drop_write_notice
+  | "stale-ownership-grant" -> Some Stale_ownership_grant
+  | _ -> None
+
+let all_mutations = [ Skip_diff_apply; Drop_write_notice; Stale_ownership_grant ]
+
 type t = {
   protocol : protocol;
   nprocs : int;
@@ -38,6 +57,7 @@ type t = {
   write_log_ns : int;
   lazy_diffing : bool;
   schedule_fuzz : int option;
+  mutation : mutation option;
   seed : int64;
 }
 
@@ -61,5 +81,6 @@ let make ?(seed = 0x5EEDL) ~protocol ~nprocs () =
     write_log_ns = 250;
     lazy_diffing = false;
     schedule_fuzz = None;
+    mutation = None;
     seed;
   }

@@ -25,6 +25,28 @@ val all_protocols : protocol list
 val extended_protocols : protocol list
 (** The paper's four plus the HLRC extension. *)
 
+(** Deliberately-broken protocol variants for the mutation-detection
+    suite (see TESTING.md): each silently corrupts consistency in a way
+    the {!Adsm_check.Oracle} must flag, certifying that a green oracle
+    run has detection power, not vacuity.  [None] (the default) is the
+    correct protocol; mutations never change message flow, only data. *)
+type mutation =
+  | Skip_diff_apply
+      (** apply no remote diff to the local frame (fetches and
+          bookkeeping proceed normally) *)
+  | Drop_write_notice
+      (** omit odd-numbered pages' write notices from closed intervals *)
+  | Stale_ownership_grant
+      (** ownership grants (SW transfers and adaptive [Own_reply]s)
+          carry a stale version, so the new owner's write notices are
+          ignored by peers that already hold the previous version *)
+
+val mutation_name : mutation -> string
+
+val mutation_of_string : string -> mutation option
+
+val all_mutations : mutation list
+
 type t = {
   protocol : protocol;
   nprocs : int;
@@ -65,6 +87,9 @@ type t = {
           protocols must produce bit-identical application results under
           every seed (property-tested); costs and message counts may
           legitimately vary. *)
+  mutation : mutation option;
+      (** inject a deliberate protocol bug (testing only; default
+          [None]) *)
   seed : int64;  (** root seed for all application randomness *)
 }
 

@@ -52,7 +52,8 @@ let fresh_lock t =
   t.next_lock <- l + 1;
   l
 
-let run ?(tracer = Adsm_trace.Tracer.disabled) t app =
+let run ?(tracer = Adsm_trace.Tracer.disabled)
+    ?(recorder = Adsm_check.Recorder.disabled) t app =
   let cfg = t.cfg in
   let engine = Engine.create ?schedule_seed:cfg.Config.schedule_fuzz () in
   let rpc = Rpc.create engine cfg.Config.net ~nodes:cfg.Config.nprocs in
@@ -103,6 +104,7 @@ let run ?(tracer = Adsm_trace.Tracer.disabled) t app =
       next_lock = t.next_lock;
       running = cfg.Config.nprocs;
       tracer;
+      recorder;
     }
   in
   t.cluster <- Some cluster;
@@ -245,19 +247,35 @@ let rec write_page ctx page off ~len ~set =
 
 let f64_get ctx a i =
   let page, off = locate_f64 a i in
-  read_page ctx page off ~get:Page.get_f64
+  let v = read_page ctx page off ~get:Page.get_f64 in
+  if State.checking ctx.cluster then
+    State.observe ctx.cluster ~node:ctx.node.State.id
+      (Adsm_check.Obs.Read { page; off; width = 8; bits = Int64.bits_of_float v });
+  v
 
 let f64_set ctx a i v =
   let page, off = locate_f64 a i in
-  write_page ctx page off ~len:8 ~set:(fun p o -> Page.set_f64 p o v)
+  write_page ctx page off ~len:8 ~set:(fun p o -> Page.set_f64 p o v);
+  if State.checking ctx.cluster then
+    State.observe ctx.cluster ~node:ctx.node.State.id
+      (Adsm_check.Obs.Write { page; off; width = 8; bits = Int64.bits_of_float v })
 
 let i32_get ctx a i =
   let page, off = locate_i32 a i in
-  read_page ctx page off ~get:Page.get_i32
+  let v = read_page ctx page off ~get:Page.get_i32 in
+  if State.checking ctx.cluster then
+    State.observe ctx.cluster ~node:ctx.node.State.id
+      (Adsm_check.Obs.Read
+         { page; off; width = 4; bits = Int64.of_int32 v });
+  v
 
 let i32_set ctx a i v =
   let page, off = locate_i32 a i in
-  write_page ctx page off ~len:4 ~set:(fun p o -> Page.set_i32 p o v)
+  write_page ctx page off ~len:4 ~set:(fun p o -> Page.set_i32 p o v);
+  if State.checking ctx.cluster then
+    State.observe ctx.cluster ~node:ctx.node.State.id
+      (Adsm_check.Obs.Write
+         { page; off; width = 4; bits = Int64.of_int32 v })
 
 let i32_add ctx a i v =
   let current = i32_get ctx a i in

@@ -68,9 +68,22 @@ val fresh_lock : t -> int
     same bytes as an untraced one.  The caller keeps ownership of the
     tracer and must {!Adsm_trace.Tracer.close} it after [run] returns.
 
+    [recorder] (default: {!Adsm_check.Recorder.disabled}) receives the
+    consistency oracle's observation stream — every shared read/write
+    and every lock/barrier synchronization operation, in completion
+    order — see [TESTING.md].  Like tracing it is purely observational:
+    a checked run executes the same events and moves the same bytes as
+    an unchecked one.  Validate afterwards with
+    {!Adsm_check.Oracle.check}.
+
     @raise Failure if the run deadlocks (processes blocked when the
     event queue empties). *)
-val run : ?tracer:Adsm_trace.Tracer.t -> t -> (ctx -> unit) -> report
+val run :
+  ?tracer:Adsm_trace.Tracer.t ->
+  ?recorder:Adsm_check.Recorder.t ->
+  t ->
+  (ctx -> unit) ->
+  report
 
 (* --- operations available inside the application function --- *)
 

@@ -224,9 +224,14 @@ let end_interval cl (module P : Protocol_intf.PROTOCOL) node ~charge =
         let version =
           P.close_page cl node e ~seq ~vc:vc_snapshot ~charge:charge_later
         in
-        notices :=
-          { Notice.page; proc = node.id; seq; vc = vc_snapshot; version }
-          :: !notices
+        (* Mutation seam (testing only): lose odd pages' write notices —
+           the modification happened and was diffed, but nobody is told. *)
+        if cl.cfg.Config.mutation <> Some Config.Drop_write_notice
+           || page land 1 = 0
+        then
+          notices :=
+            { Notice.page; proc = node.id; seq; vc = vc_snapshot; version }
+            :: !notices
       end
     in
     List.iter close_page node.dirty_pages;
@@ -435,7 +440,12 @@ let fetch_and_apply_diffs cl node (e : entry) =
         Proc.sleep cl.engine
           (cl.cfg.Config.diff_apply_base_ns
           + (Diff.modified_bytes diff * cl.cfg.Config.diff_apply_byte_ns));
-        Diff.apply diff target;
+        (* Mutation seam (testing only): skip the memory effect of remote
+           diffs while keeping every cost, message and bookkeeping step, so
+           only the consistency oracle can tell the difference. *)
+        if cl.cfg.Config.mutation <> Some Config.Skip_diff_apply
+           || proc = node.id
+        then Diff.apply diff target;
         if tracing cl then
           emit cl ~node:node.id
             (Adsm_trace.Event.Diff_apply { page = e.page; writer = proc; seq });

@@ -180,17 +180,25 @@ let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
   let committed () =
     if want_data then Option.map Page.copy (committed_copy e) else None
   in
-  let reply result data =
+  let reply ?version:(v = e.version) result data =
     Lrc_core.respond_msg respond
       (Msg.Own_reply
          {
            page;
            result;
-           version = e.version;
+           version = v;
            committed = e.committed_version;
            data;
            reflected = Array.copy e.reflected;
          })
+  in
+  (* Mutation seam (testing only): grants carry a stale version, so the
+     new owner's bumped version collides with what peers already hold and
+     its owner write notices are silently discarded as dominated. *)
+  let grant_version () =
+    if cl.cfg.Config.mutation = Some Config.Stale_ownership_grant then
+      e.version - 1
+    else e.version
   in
   let refuse_fs () =
     Stats.note_false_sharing cl.stats ~page;
@@ -244,7 +252,7 @@ let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
         emit cl ~node:node.id
           (Adsm_trace.Event.Own_grant
              { page; requester = src; version = e.version });
-      reply Msg.Granted (committed ())
+      reply ~version:(grant_version ()) Msg.Granted (committed ())
     end
     else refuse_fs ()
   end
@@ -261,7 +269,7 @@ let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
         (Adsm_trace.Event.Own_grant
            { page; requester = src; version = e.version })
     end;
-    reply Msg.Granted (committed ())
+    reply ~version:(grant_version ()) Msg.Granted (committed ())
   end
   else refuse_fs ()
 

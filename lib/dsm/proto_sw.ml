@@ -32,12 +32,20 @@ let sw_grant cl node (e : entry) requester =
     e.owner <- requester;
     if cl.cfg.Config.nprocs > 1 && Perm.allows_write e.perm then
       e.perm <- Perm.Read_only;
+    (* Mutation seam (testing only): transfer a stale version so the new
+       owner's version bump collides with peers' existing knowledge and
+       its write notices are silently discarded as dominated. *)
+    let version =
+      if cl.cfg.Config.mutation = Some Config.Stale_ownership_grant then
+        e.version - 1
+      else e.version
+    in
     Lrc_core.cast cl ~src:node.id ~dst:requester
       (Msg.Sw_own_transfer
          {
            page = e.page;
            data = Page.copy (frame e);
-           version = e.version;
+           version;
            committed = e.committed_version;
          });
     (* Anyone queued behind this transfer chases the new owner. *)

@@ -84,6 +84,7 @@ type cluster = {
   mutable next_lock : int;
   mutable running : int;
   tracer : Adsm_trace.Tracer.t;
+  recorder : Adsm_check.Recorder.t;
 }
 
 let make_entry ~nprocs ~page ~home =
@@ -194,3 +195,12 @@ let tracing cluster = Adsm_trace.Tracer.enabled cluster.tracer
 let emit cluster ~node event =
   Adsm_trace.Tracer.emit cluster.tracer ~time:(Engine.now cluster.engine) ~node
     event
+
+(* Same guard pattern for the consistency oracle's observation stream:
+     [if checking cl then observe cl ~node (Obs.X { ... })]
+   keeps the disabled path allocation-free and byte-identical. *)
+let checking cluster = Adsm_check.Recorder.enabled cluster.recorder
+
+let observe cluster ~node obs =
+  Adsm_check.Recorder.record cluster.recorder
+    ~time:(Engine.now cluster.engine) ~node obs

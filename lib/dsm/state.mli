@@ -127,6 +127,8 @@ type cluster = {
   mutable next_lock : int;
   mutable running : int;  (** application processes still active *)
   tracer : Adsm_trace.Tracer.t;  (** structured trace emission front-end *)
+  recorder : Adsm_check.Recorder.t;
+      (** consistency-oracle observation stream front-end *)
 }
 
 val make_entry : nprocs:int -> page:int -> home:int -> entry
@@ -155,3 +157,11 @@ val tracing : cluster -> bool
 
 (** Emit a trace event stamped with the current simulated time. *)
 val emit : cluster -> node:int -> Adsm_trace.Event.t -> unit
+
+(** Whether the consistency-oracle recorder is live.  Same guard idiom as
+    {!tracing}: [if checking cl then observe cl ~node (Obs.X {...})], so
+    the disabled path never constructs observations. *)
+val checking : cluster -> bool
+
+(** Record an oracle observation stamped with the current simulated time. *)
+val observe : cluster -> node:int -> Adsm_check.Obs.t -> unit

@@ -90,6 +90,7 @@ let lock cl node l =
   end;
   if tracing cl then
     emit cl ~node:node.id (Adsm_trace.Event.Lock_acquire { lock = l });
+  if checking cl then observe cl ~node:node.id (Adsm_check.Obs.Acquire { lock = l });
   Stats.add_time cl.stats ~node:node.id ~category:Stats.Lock
     ~ns:(Engine.now cl.engine - t0)
 
@@ -98,6 +99,7 @@ let unlock cl node l =
   if not ls.held then invalid_arg "Dsm.unlock: lock not held";
   if tracing cl then
     emit cl ~node:node.id (Adsm_trace.Event.Lock_release { lock = l });
+  if checking cl then observe cl ~node:node.id (Adsm_check.Obs.Release { lock = l });
   ls.held <- false;
   match ls.next with
   | Some (requester, vc) ->
@@ -295,6 +297,9 @@ let barrier cl node =
   if tracing cl then
     emit cl ~node:node.id
       (Adsm_trace.Event.Barrier_enter { epoch = node.barrier_epoch });
+  if checking cl then
+    observe cl ~node:node.id
+      (Adsm_check.Obs.Barrier_enter { epoch = node.barrier_epoch });
   end_interval_local cl node;
   let gc_wanted =
     Stats.diff_store_bytes cl.stats ~node:node.id
@@ -331,5 +336,7 @@ let barrier cl node =
   | _ -> failwith "Proto: unexpected barrier reply");
   if tracing cl then
     emit cl ~node:node.id (Adsm_trace.Event.Barrier_leave { epoch });
+  if checking cl then
+    observe cl ~node:node.id (Adsm_check.Obs.Barrier_leave { epoch });
   Stats.add_time cl.stats ~node:node.id ~category:Stats.Barrier
     ~ns:(Engine.now cl.engine - t0)

@@ -1,0 +1,110 @@
+(* Bridge between the pure workload AST (lib/check has no view of the
+   DSM runtime) and an actual simulated run: interpret a program under a
+   protocol with the oracle's recorder attached, validate the stream,
+   and on failure shrink to a minimal failing program.
+
+   Written values are unique per run — (node, per-node counter) encoded
+   as a float — so a stale read can never be masked by value
+   coincidence. *)
+
+module Config = Adsm_dsm.Config
+module Dsm = Adsm_dsm.Dsm
+module Registry = Adsm_apps.Registry
+module Rng = Adsm_sim.Rng
+module Obs = Adsm_check.Obs
+module Recorder = Adsm_check.Recorder
+module Oracle = Adsm_check.Oracle
+module Workload = Adsm_check.Workload
+
+type outcome = {
+  program : Workload.program;
+  report : Oracle.report;
+  stream : Obs.stamped array;
+}
+
+let run_program ?mutation ?(protocol = Config.Mw) ?(seed = 0x5EEDL)
+    (p : Workload.program) =
+  let cfg = Config.make ~seed ~protocol ~nprocs:p.Workload.nprocs () in
+  let cfg = { cfg with Config.mutation } in
+  let t = Dsm.create cfg in
+  let arr =
+    Dsm.alloc_f64 t ~name:"fuzz"
+      ~len:(((p.Workload.words - 1) * p.Workload.stride) + 1)
+  in
+  let locks = Array.init p.Workload.nlocks (fun _ -> Dsm.fresh_lock t) in
+  let recorder = Recorder.create () in
+  let counters = Array.make p.Workload.nprocs 0 in
+  let program ctx =
+    let me = Dsm.me ctx in
+    let do_op = function
+      | Workload.R w -> ignore (Dsm.f64_get ctx arr (w * p.Workload.stride))
+      | Workload.W w ->
+        counters.(me) <- counters.(me) + 1;
+        let v = float_of_int ((me * 1_000_000) + counters.(me)) in
+        Dsm.f64_set ctx arr (w * p.Workload.stride) v
+      | Workload.C ns -> Dsm.compute ctx ns
+    in
+    let do_unit = function
+      | Workload.Plain op -> do_op op
+      | Workload.Crit (l, ops) ->
+        Dsm.lock ctx locks.(l);
+        List.iter do_op ops;
+        Dsm.unlock ctx locks.(l)
+    in
+    Array.iter
+      (fun phase ->
+        List.iter do_unit phase.(me);
+        Dsm.barrier ctx)
+      p.Workload.phases
+  in
+  ignore (Dsm.run ~recorder t program);
+  let stream = Recorder.stream recorder in
+  { program = p; report = Oracle.check ~nprocs:p.Workload.nprocs stream; stream }
+
+(* A candidate "fails" only if the oracle flags it; a crash (e.g. a
+   mutated protocol deadlocking on a reduced program) is a different
+   failure mode and would derail the shrink, so it does not count. *)
+let shrink_failing ?mutation ?protocol ?seed (p : Workload.program) =
+  let try_run q =
+    match run_program ?mutation ?protocol ?seed q with
+    | o when not (Oracle.ok o.report) -> Some o
+    | _ -> None
+    | exception _ -> None
+  in
+  let rec first_failing seq =
+    match seq () with
+    | Seq.Nil -> None
+    | Seq.Cons (cand, rest) -> (
+      match try_run cand with
+      | Some o -> Some o
+      | None -> first_failing rest)
+  in
+  let rec go current =
+    match first_failing (Workload.shrink current.program) with
+    | Some smaller -> go smaller
+    | None -> current
+  in
+  match try_run p with None -> None | Some o -> Some (go o)
+
+let fuzz_once ?mutation ?protocol ~nprocs ~seed () =
+  let rng = Rng.create seed in
+  let p = Workload.generate rng (Workload.default_params ~nprocs) in
+  run_program ?mutation ?protocol ~seed p
+
+let counterexample outcome =
+  match outcome.report.Oracle.violations with
+  | [] -> None
+  | v :: _ ->
+    Some
+      (Format.asprintf "%a@.--- workload ---@.%a"
+         (fun ppf (stream, v) -> Oracle.pp_counterexample ppf stream v)
+         (outcome.stream, v) Workload.pp outcome.program)
+
+let check_app ?seed ?mutation ~(app : Registry.entry) ~protocol ~nprocs
+    ~scale () =
+  let recorder = Recorder.create () in
+  let tweak cfg = { cfg with Config.mutation } in
+  let (_ : Runner.measurement) =
+    Runner.run ?seed ~tweak ~recorder ~app ~protocol ~nprocs ~scale ()
+  in
+  Oracle.check ~nprocs (Recorder.stream recorder)

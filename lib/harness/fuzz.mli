@@ -1,0 +1,60 @@
+(** Drive the consistency oracle: interpret {!Adsm_check.Workload}
+    programs on the simulated DSM with the observation recorder
+    attached, validate the stream, shrink failures, and check the real
+    benchmark applications.
+
+    Lives in the harness (not [lib/check]) because the workload AST is
+    deliberately runtime-free — this module is the one place that knows
+    how to execute it under {!Adsm_dsm.Dsm}. *)
+
+type outcome = {
+  program : Adsm_check.Workload.program;
+  report : Adsm_check.Oracle.report;
+  stream : Adsm_check.Obs.stamped array;
+}
+
+(** Run one workload program under [protocol] (default MW) with the
+    oracle recording.  [mutation] injects a deliberate protocol bug
+    (see {!Adsm_dsm.Config.mutation}). *)
+val run_program :
+  ?mutation:Adsm_dsm.Config.mutation ->
+  ?protocol:Adsm_dsm.Config.protocol ->
+  ?seed:int64 ->
+  Adsm_check.Workload.program ->
+  outcome
+
+(** If the program fails the oracle, greedily shrink it to a minimal
+    failing program and return that outcome; [None] if the full program
+    passes.  Candidates that crash instead of failing the oracle are
+    skipped. *)
+val shrink_failing :
+  ?mutation:Adsm_dsm.Config.mutation ->
+  ?protocol:Adsm_dsm.Config.protocol ->
+  ?seed:int64 ->
+  Adsm_check.Workload.program ->
+  outcome option
+
+(** Generate a random workload from [seed] and run it checked. *)
+val fuzz_once :
+  ?mutation:Adsm_dsm.Config.mutation ->
+  ?protocol:Adsm_dsm.Config.protocol ->
+  nprocs:int ->
+  seed:int64 ->
+  unit ->
+  outcome
+
+(** Human-readable counterexample (first violation's trace window plus
+    the workload program); [None] if the outcome passed. *)
+val counterexample : outcome -> string option
+
+(** Run a registry application with the oracle recording and validate
+    the whole run. *)
+val check_app :
+  ?seed:int64 ->
+  ?mutation:Adsm_dsm.Config.mutation ->
+  app:Adsm_apps.Registry.entry ->
+  protocol:Adsm_dsm.Config.protocol ->
+  nprocs:int ->
+  scale:Adsm_apps.Registry.scale ->
+  unit ->
+  Adsm_check.Oracle.report

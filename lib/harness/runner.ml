@@ -36,12 +36,12 @@ type measurement = {
   barrier_time_ns : int;
 }
 
-let run ?(seed = 0x5EEDL) ?(tweak = Fun.id) ?tracer ~(app : Registry.entry)
-    ~protocol ~nprocs ~scale () =
+let run ?(seed = 0x5EEDL) ?(tweak = Fun.id) ?tracer ?recorder
+    ~(app : Registry.entry) ~protocol ~nprocs ~scale () =
   let cfg = tweak (Config.make ~seed ~protocol ~nprocs ()) in
   let t = Dsm.create cfg in
   let program, result = app.Registry.instantiate scale t in
-  let report = Dsm.run ?tracer t program in
+  let report = Dsm.run ?tracer ?recorder t program in
   let stats = report.Dsm.stats in
   {
     app = app.Registry.name;

@@ -38,6 +38,7 @@ val run :
   ?seed:int64 ->
   ?tweak:(Adsm_dsm.Config.t -> Adsm_dsm.Config.t) ->
   ?tracer:Adsm_trace.Tracer.t ->
+  ?recorder:Adsm_check.Recorder.t ->
   app:Adsm_apps.Registry.entry ->
   protocol:Adsm_dsm.Config.protocol ->
   nprocs:int ->
@@ -46,7 +47,9 @@ val run :
   measurement
 (** [tweak] post-processes the configuration (e.g. a smaller GC threshold
     for the Figure 3 runs, matching the scaled-down data set); [tracer]
-    receives the structured event stream (the caller closes it). *)
+    receives the structured event stream (the caller closes it);
+    [recorder] captures the consistency oracle's observation stream
+    (validate with {!Adsm_check.Oracle.check} afterwards). *)
 
 (** Sequential baseline: one processor under SW (no twins, no diffs, no
     messages), as the paper obtains its Table 1 baselines by stripping

@@ -1,0 +1,102 @@
+(* Error-path coverage for the adsm_run executable: bad names, bad
+   paths and conflicting flags must fail fast with a non-zero exit code
+   and a diagnostic on stderr, never start a simulation.
+
+   The binary is a declared dune dependency, so it is always freshly
+   built; resolving it relative to this test executable keeps the suite
+   independent of the working directory it is launched from. *)
+
+let exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/adsm_run.exe"
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+(* Run through /bin/sh to get exit code, stdout and stderr separately. *)
+let run_capture args =
+  let out = Filename.temp_file "adsm_cli" ".out" in
+  let err = Filename.temp_file "adsm_cli" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s >%s 2>%s" (Filename.quote exe) args
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  (code, slurp out, slurp err)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  at 0
+
+let check_failure name args ~code ~stderr_has =
+  let got_code, _out, err = run_capture args in
+  Alcotest.(check int) (name ^ ": exit code") code got_code;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: stderr mentions %S (got %S)" name stderr_has err)
+    true
+    (contains ~needle:stderr_has err)
+
+let test_unknown_app () =
+  check_failure "unknown app" "run --app NOPE --tiny --procs 2" ~code:1
+    ~stderr_has:"unknown application"
+
+let test_unknown_protocol () =
+  check_failure "unknown protocol" "run --protocol BOGUS --tiny --procs 2"
+    ~code:1 ~stderr_has:"unknown protocol"
+
+let test_unknown_verify_app () =
+  check_failure "verify unknown app" "verify --app NOPE --tiny" ~code:1
+    ~stderr_has:"unknown application"
+
+let test_bad_trace_path () =
+  check_failure "bad trace path"
+    "run --app TSP --tiny --procs 2 --trace /nonexistent-dir/sub/t.jsonl"
+    ~code:1 ~stderr_has:"cannot open trace file"
+
+let test_trace_format_without_trace () =
+  check_failure "conflicting flags" "run --tiny --procs 2 --trace-format chrome"
+    ~code:1 ~stderr_has:"--trace-format requires --trace"
+
+let test_bad_trace_format_value () =
+  (* Rejected by the cmdliner enum converter: cli-error exit code 124. *)
+  check_failure "bad trace format" "run --tiny --trace x.out --trace-format xml"
+    ~code:124 ~stderr_has:"trace-format"
+
+let test_unknown_mutation () =
+  check_failure "unknown mutation" "fuzz --seeds 1 --mutation bogus" ~code:1
+    ~stderr_has:"unknown mutation"
+
+let test_unknown_ablation () =
+  check_failure "unknown ablation" "ablations nosuchstudy" ~code:1
+    ~stderr_has:"unknown study"
+
+let test_list_ok () =
+  let code, out, _err = run_capture "list" in
+  Alcotest.(check int) "list: exit code" 0 code;
+  Alcotest.(check bool) "list: mentions SOR" true (contains ~needle:"SOR" out)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "unknown application" `Quick test_unknown_app;
+          Alcotest.test_case "unknown protocol" `Quick test_unknown_protocol;
+          Alcotest.test_case "verify: unknown application" `Quick
+            test_unknown_verify_app;
+          Alcotest.test_case "unwritable trace path" `Quick test_bad_trace_path;
+          Alcotest.test_case "--trace-format without --trace" `Quick
+            test_trace_format_without_trace;
+          Alcotest.test_case "invalid --trace-format value" `Quick
+            test_bad_trace_format_value;
+          Alcotest.test_case "unknown fuzz mutation" `Quick
+            test_unknown_mutation;
+          Alcotest.test_case "unknown ablation study" `Quick
+            test_unknown_ablation;
+        ] );
+      ("smoke", [ Alcotest.test_case "list exits zero" `Quick test_list_ok ]);
+    ]

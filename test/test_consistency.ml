@@ -1,0 +1,232 @@
+(* The release-consistency oracle and its workload fuzzer (TESTING.md).
+
+   Three legs hold this suite up:
+
+   - fuzzing: random data-race-free programs run on every protocol at
+     several node counts must produce zero oracle violations;
+   - real applications: whole benchmark runs recorded and validated;
+   - mutation detection: deliberately-broken protocol variants MUST be
+     flagged, with the failure shrunk to a minimal counterexample —
+     otherwise a green oracle proves nothing.
+
+   Plus the observation codec round-trip and the guarantee that an
+   oracle-enabled run is event-identical to a plain one. *)
+
+module Config = Adsm_dsm.Config
+module Dsm = Adsm_dsm.Dsm
+module Registry = Adsm_apps.Registry
+module Runner = Adsm_harness.Runner
+module Fuzz = Adsm_harness.Fuzz
+module Obs = Adsm_check.Obs
+module Oracle = Adsm_check.Oracle
+module Recorder = Adsm_check.Recorder
+module Workload = Adsm_check.Workload
+
+let case name protocol = Printf.sprintf "%s/%s" name (Config.protocol_name protocol)
+
+let assert_clean name (report : Oracle.report) =
+  if not (Oracle.ok report) then
+    Alcotest.failf "%s: %s" name (Format.asprintf "%a" Oracle.pp_report report);
+  Alcotest.(check bool) (name ^ ": observed something") true (report.Oracle.observations > 0)
+
+(* --- fuzzing: every protocol, several node counts, 10+ seeds --- *)
+
+let test_fuzz_protocols () =
+  List.iter
+    (fun protocol ->
+      for seed = 1 to 10 do
+        let o = Fuzz.fuzz_once ~protocol ~nprocs:4 ~seed:(Int64.of_int seed) () in
+        assert_clean
+          (Printf.sprintf "%s seed %d" (case "fuzz" protocol) seed)
+          o.Fuzz.report
+      done)
+    Config.all_protocols
+
+let test_fuzz_node_counts () =
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun protocol ->
+          for seed = 40 to 42 do
+            let o =
+              Fuzz.fuzz_once ~protocol ~nprocs ~seed:(Int64.of_int seed) ()
+            in
+            assert_clean
+              (Printf.sprintf "%s %dp seed %d" (case "fuzz" protocol) nprocs
+                 seed)
+              o.Fuzz.report
+          done)
+        [ Config.Mw; Config.Wfs_wg ])
+    [ 2; 8 ]
+
+(* --- real applications, whole runs validated --- *)
+
+let test_apps_oracle () =
+  List.iter
+    (fun app_name ->
+      let app = Option.get (Registry.find app_name) in
+      List.iter
+        (fun protocol ->
+          let report =
+            Fuzz.check_app ~app ~protocol ~nprocs:4 ~scale:Registry.Tiny ()
+          in
+          assert_clean (case app_name protocol) report)
+        Config.all_protocols)
+    [ "SOR"; "TSP"; "IS"; "Water" ]
+
+(* --- mutation detection: the oracle must have teeth --- *)
+
+(* For each broken protocol variant, some seed in a small budget must
+   produce a violation, and the shrinker must deliver a smaller (or
+   equal) still-failing program with a printable counterexample.  A
+   mutated run that crashes outright does not count as detection. *)
+let test_mutations_detected () =
+  List.iter
+    (fun (mutation, protocol) ->
+      let name =
+        Printf.sprintf "%s under %s"
+          (Config.mutation_name mutation)
+          (Config.protocol_name protocol)
+      in
+      let detected = ref false in
+      let seed = ref 1 in
+      while (not !detected) && !seed <= 25 do
+        let seed64 = Int64.of_int !seed in
+        (match Fuzz.fuzz_once ~mutation ~protocol ~nprocs:4 ~seed:seed64 () with
+        | exception _ -> ()
+        | o when Oracle.ok o.Fuzz.report -> ()
+        | o -> (
+          match Fuzz.shrink_failing ~mutation ~protocol ~seed:seed64 o.Fuzz.program with
+          | None ->
+            Alcotest.failf "%s: seed %d failed but shrink lost the failure"
+              name !seed
+          | Some minimal ->
+            Alcotest.(check bool)
+              (name ^ ": shrunk program is no larger") true
+              (Workload.ops_count minimal.Fuzz.program
+              <= Workload.ops_count o.Fuzz.program);
+            (match Fuzz.counterexample minimal with
+            | None -> Alcotest.failf "%s: no counterexample rendered" name
+            | Some text ->
+              Alcotest.(check bool)
+                (name ^ ": counterexample names the violation") true
+                (String.length text > 0));
+            detected := true));
+        incr seed
+      done;
+      if not !detected then
+        Alcotest.failf "%s: not detected in 25 fuzz seeds" name)
+    [
+      (Config.Skip_diff_apply, Config.Mw);
+      (Config.Drop_write_notice, Config.Mw);
+      (Config.Stale_ownership_grant, Config.Sw);
+      (Config.Stale_ownership_grant, Config.Wfs);
+    ]
+
+(* --- the clean protocols pass the exact workloads that catch mutants --- *)
+
+(* Control for the mutation leg: the same seeds on the unmutated
+   protocols stay clean, so detection is the mutation's doing. *)
+let test_mutation_seeds_clean_without_mutation () =
+  List.iter
+    (fun protocol ->
+      for seed = 1 to 25 do
+        let o = Fuzz.fuzz_once ~protocol ~nprocs:4 ~seed:(Int64.of_int seed) () in
+        assert_clean
+          (Printf.sprintf "control %s seed %d" (Config.protocol_name protocol)
+             seed)
+          o.Fuzz.report
+      done)
+    [ Config.Mw; Config.Sw ]
+
+(* --- observation codec --- *)
+
+let stamped_testable =
+  Alcotest.testable Obs.pp (fun (a : Obs.stamped) b -> a = b)
+
+let test_codec_roundtrip () =
+  let samples =
+    [
+      { Obs.time = 0; node = 0;
+        obs = Obs.Read { page = 3; off = 8; width = 8;
+                         bits = Int64.bits_of_float (-1.5e-300) } };
+      { Obs.time = 17; node = 2;
+        obs = Obs.Write { page = 0; off = 4088; width = 8;
+                          bits = Int64.bits_of_float Float.nan } };
+      { Obs.time = 99; node = 1;
+        obs = Obs.Read { page = 12; off = 0; width = 4;
+                         bits = Int64.of_int32 (-7l) } };
+      { Obs.time = 100; node = 1;
+        obs = Obs.Write { page = 12; off = 0; width = 4;
+                          bits = Int64.of_int32 Int32.max_int } };
+      { Obs.time = 5; node = 3; obs = Obs.Acquire { lock = 2 } };
+      { Obs.time = 6; node = 3; obs = Obs.Release { lock = 2 } };
+      { Obs.time = 7; node = 0; obs = Obs.Barrier_enter { epoch = 4 } };
+      { Obs.time = 8; node = 0; obs = Obs.Barrier_leave { epoch = 4 } };
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Obs.of_json (Obs.to_json s) with
+      | Some back -> Alcotest.(check stamped_testable) "round-trip" s back
+      | None -> Alcotest.failf "codec rejected its own output for %s"
+                  (Obs.tag s.Obs.obs))
+    samples;
+  (* Unknown tags and missing fields decode to None, not an exception. *)
+  let module Json = Adsm_trace.Json in
+  Alcotest.(check bool) "garbage tag rejected" true
+    (Obs.of_json
+       (Json.Obj [ ("t", Json.Int 0); ("node", Json.Int 0);
+                   ("ob", Json.String "flush") ])
+    = None);
+  Alcotest.(check bool) "missing field rejected" true
+    (Obs.of_json
+       (Json.Obj [ ("t", Json.Int 0); ("node", Json.Int 0);
+                   ("ob", Json.String "read"); ("page", Json.Int 1) ])
+    = None)
+
+(* --- enabling the oracle is purely observational --- *)
+
+let test_recorder_is_observational () =
+  let app = Option.get (Registry.find "SOR") in
+  let run recorder =
+    Runner.run ?recorder ~app ~protocol:Config.Wfs_wg ~nprocs:4
+      ~scale:Registry.Tiny ()
+  in
+  let plain = run None in
+  let recorder = Recorder.create () in
+  let checked = run (Some recorder) in
+  Alcotest.(check bool) "observations collected" true (Recorder.count recorder > 0);
+  Alcotest.(check int) "same simulated events" plain.Runner.events checked.Runner.events;
+  Alcotest.(check int) "same simulated time" plain.Runner.time_ns checked.Runner.time_ns;
+  Alcotest.(check int) "same messages" plain.Runner.messages checked.Runner.messages;
+  Alcotest.(check int) "same wire bytes" plain.Runner.wire_bytes checked.Runner.wire_bytes;
+  Alcotest.(check (float 0.0)) "same result" plain.Runner.checksum checked.Runner.checksum
+
+let () =
+  Alcotest.run "consistency"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "all protocols, 10 seeds" `Quick
+            test_fuzz_protocols;
+          Alcotest.test_case "node counts 2 and 8" `Quick
+            test_fuzz_node_counts;
+          Alcotest.test_case "control seeds stay clean" `Quick
+            test_mutation_seeds_clean_without_mutation;
+        ] );
+      ( "apps",
+        [ Alcotest.test_case "four apps, four protocols" `Quick test_apps_oracle ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "every mutant detected and shrunk" `Quick
+            test_mutations_detected;
+        ] );
+      ( "codec",
+        [ Alcotest.test_case "observation round-trip" `Quick test_codec_roundtrip ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "recorder is observational" `Quick
+            test_recorder_is_observational;
+        ] );
+    ]

@@ -77,6 +77,66 @@ let baselines =
     ("TSP", Config.Wfs_wg, 3, 165., 336, 78628,
      [ ("barrier", (18, 1384)); ("diff", (188, 4630)); ("lock", (94, 5300));
        ("own", (10, 210)); ("page", (26, 53664)) ]);
+    (* Water (lock-heavy) and Shallow (barrier-only) rows were recorded
+       from the split stack once it matched the monolith on SOR and TSP;
+       they pin the remaining synchronization mixes against drift. *)
+    ("Water", Config.Mw, 1, 1.5938376384442554, 410, 56818,
+     [ ("barrier", (48, 6008)); ("diff", (308, 31666)); ("lock", (54, 2744)) ]);
+    ("Water", Config.Mw, 2, 1.5938376384442554, 410, 56818,
+     [ ("barrier", (48, 6008)); ("diff", (308, 31666)); ("lock", (54, 2744)) ]);
+    ("Water", Config.Mw, 3, 1.5938376384442554, 410, 56818,
+     [ ("barrier", (48, 6008)); ("diff", (308, 31666)); ("lock", (54, 2744)) ]);
+    ("Water", Config.Sw, 1, 1.5938376384442554, 428, 613716,
+     [ ("barrier", (48, 7152)); ("lock", (54, 3112)); ("own", (182, 289116));
+       ("page", (144, 297216)) ]);
+    ("Water", Config.Sw, 2, 1.5938376384442554, 428, 613716,
+     [ ("barrier", (48, 7152)); ("lock", (54, 3112)); ("own", (182, 289116));
+       ("page", (144, 297216)) ]);
+    ("Water", Config.Sw, 3, 1.5938376384442554, 428, 613716,
+     [ ("barrier", (48, 7152)); ("lock", (54, 3112)); ("own", (182, 289116));
+       ("page", (144, 297216)) ]);
+    ("Water", Config.Wfs, 1, 1.5938376384442554, 394, 267055,
+     [ ("barrier", (48, 6432)); ("diff", (106, 9233)); ("lock", (54, 2908));
+       ("own", (74, 1554)); ("page", (112, 231168)) ]);
+    ("Water", Config.Wfs, 2, 1.5938376384442554, 394, 267055,
+     [ ("barrier", (48, 6432)); ("diff", (106, 9233)); ("lock", (54, 2908));
+       ("own", (74, 1554)); ("page", (112, 231168)) ]);
+    ("Water", Config.Wfs, 3, 1.5938376384442554, 394, 267055,
+     [ ("barrier", (48, 6432)); ("diff", (106, 9233)); ("lock", (54, 2908));
+       ("own", (74, 1554)); ("page", (112, 231168)) ]);
+    ("Water", Config.Wfs_wg, 1, 1.5938376384442554, 406, 159918,
+     [ ("barrier", (48, 6256)); ("diff", (216, 22436)); ("lock", (54, 2816));
+       ("own", (34, 714)); ("page", (54, 111456)) ]);
+    ("Water", Config.Wfs_wg, 2, 1.5938376384442554, 406, 159918,
+     [ ("barrier", (48, 6256)); ("diff", (216, 22436)); ("lock", (54, 2816));
+       ("own", (34, 714)); ("page", (54, 111456)) ]);
+    ("Water", Config.Wfs_wg, 3, 1.5938376384442554, 406, 159918,
+     [ ("barrier", (48, 6256)); ("diff", (216, 22436)); ("lock", (54, 2816));
+       ("own", (34, 714)); ("page", (54, 111456)) ]);
+    ("Shallow", Config.Mw, 1, 141.43544026792017, 134, 188387,
+     [ ("barrier", (48, 5184)); ("diff", (86, 177843)) ]);
+    ("Shallow", Config.Mw, 2, 141.43544026792017, 134, 188387,
+     [ ("barrier", (48, 5184)); ("diff", (86, 177843)) ]);
+    ("Shallow", Config.Mw, 3, 141.43544026792017, 134, 188387,
+     [ ("barrier", (48, 5184)); ("diff", (86, 177843)) ]);
+    ("Shallow", Config.Sw, 1, 141.43544026792017, 134, 189152,
+     [ ("barrier", (48, 6288)); ("page", (86, 177504)) ]);
+    ("Shallow", Config.Sw, 2, 141.43544026792017, 134, 189152,
+     [ ("barrier", (48, 6288)); ("page", (86, 177504)) ]);
+    ("Shallow", Config.Sw, 3, 141.43544026792017, 134, 189152,
+     [ ("barrier", (48, 6288)); ("page", (86, 177504)) ]);
+    ("Shallow", Config.Wfs, 1, 141.43544026792017, 134, 189152,
+     [ ("barrier", (48, 6288)); ("page", (86, 177504)) ]);
+    ("Shallow", Config.Wfs, 2, 141.43544026792017, 134, 189152,
+     [ ("barrier", (48, 6288)); ("page", (86, 177504)) ]);
+    ("Shallow", Config.Wfs, 3, 141.43544026792017, 134, 189152,
+     [ ("barrier", (48, 6288)); ("page", (86, 177504)) ]);
+    ("Shallow", Config.Wfs_wg, 1, 141.43544026792017, 134, 189172,
+     [ ("barrier", (48, 6048)); ("diff", (40, 82820)); ("page", (46, 94944)) ]);
+    ("Shallow", Config.Wfs_wg, 2, 141.43544026792017, 134, 189172,
+     [ ("barrier", (48, 6048)); ("diff", (40, 82820)); ("page", (46, 94944)) ]);
+    ("Shallow", Config.Wfs_wg, 3, 141.43544026792017, 134, 189172,
+     [ ("barrier", (48, 6048)); ("diff", (40, 82820)); ("page", (46, 94944)) ]);
   ]
 
 let run_case (app_name, protocol, seed, result, messages, wire_bytes, by_kind) =
@@ -131,7 +191,7 @@ let test_all_protocols_agree () =
             Alcotest.(check (float 0.0))
               (app_name ^ ": protocols agree") r0 r)
           rest)
-    [ "SOR"; "TSP" ]
+    [ "SOR"; "TSP"; "Water"; "Shallow" ]
 
 let () =
   Alcotest.run "proto-split"

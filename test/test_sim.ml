@@ -60,6 +60,75 @@ let prop_heap_sorts =
       in
       drain min_int)
 
+(* Model-based check under randomized push/pop interleavings: the heap
+   must agree, element for element, with a sorted-list reference — not
+   just on final drain order, but at every intermediate pop, with
+   pending pushes mixed in.  Times are drawn from a tiny range so equal
+   keys are the common case and tie-stability is exercised hard. *)
+let test_heap_random_interleaving () =
+  let r = Rng.create 2024L in
+  let h = Eheap.create () in
+  let model = ref [] in
+  let seq = ref 0 in
+  let insert_model entry =
+    let rec go = function
+      | [] -> [ entry ]
+      | e :: rest -> if entry < e then entry :: e :: rest else e :: go rest
+    in
+    model := go !model
+  in
+  let expect_check = Alcotest.(triple int int int) in
+  for step = 1 to 5_000 do
+    if !model = [] || Rng.int r 3 < 2 then begin
+      let time = Rng.int r 40 in
+      Eheap.push h ~time ~seq:!seq step;
+      insert_model (time, !seq, step);
+      incr seq
+    end
+    else begin
+      match (Eheap.pop_min h, !model) with
+      | Some got, expect :: rest ->
+        model := rest;
+        Alcotest.(check expect_check) "pop matches model" expect got
+      | None, _ -> Alcotest.fail "heap empty while model holds elements"
+      | Some _, [] -> Alcotest.fail "heap holds elements while model empty"
+    end
+  done;
+  List.iter
+    (fun expect ->
+      match Eheap.pop_min h with
+      | Some got -> Alcotest.(check expect_check) "drain matches model" expect got
+      | None -> Alcotest.fail "heap drained before model")
+    !model;
+  Alcotest.(check bool) "both empty" true (Eheap.is_empty h)
+
+(* Insertion order of equal keys must survive pops happening in between
+   the pushes, not only a push-everything-then-drain pattern. *)
+let test_heap_ties_stable_under_interleaving () =
+  let h = Eheap.create () in
+  let seq = ref 0 in
+  let push v =
+    Eheap.push h ~time:3 ~seq:!seq v;
+    incr seq
+  in
+  let pop () =
+    match Eheap.pop_min h with
+    | Some (_, _, v) -> v
+    | None -> Alcotest.fail "unexpected empty heap"
+  in
+  push 0;
+  push 1;
+  push 2;
+  Alcotest.(check int) "first tie" 0 (pop ());
+  push 3;
+  push 4;
+  Alcotest.(check int) "second tie" 1 (pop ());
+  Alcotest.(check int) "third tie" 2 (pop ());
+  push 5;
+  Alcotest.(check (list int)) "remaining ties in insertion order" [ 3; 4; 5 ]
+    (List.init 3 (fun _ -> pop ()));
+  Alcotest.(check bool) "empty" true (Eheap.is_empty h)
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -232,6 +301,58 @@ let test_rng_split_independent () =
   let a = Rng.next64 r and b = Rng.next64 s in
   Alcotest.(check bool) "split streams differ" true (a <> b)
 
+(* Splitting is itself deterministic: the same construction sequence
+   yields the same parent AND child streams, and drawing from one must
+   not perturb the other. *)
+let test_rng_split_replay () =
+  let mk () =
+    let r = Rng.create 5L in
+    ignore (Rng.next64 r);
+    let s = Rng.split r in
+    (r, s)
+  in
+  let r1, s1 = mk () in
+  let r2, s2 = mk () in
+  (* Interleave differently on purpose: drain the child of one pair
+     first, the parent of the other first. *)
+  let s1_draws = List.init 50 (fun _ -> Rng.next64 s1) in
+  let r1_draws = List.init 50 (fun _ -> Rng.next64 r1) in
+  let r2_draws = List.init 50 (fun _ -> Rng.next64 r2) in
+  let s2_draws = List.init 50 (fun _ -> Rng.next64 s2) in
+  Alcotest.(check (list int64)) "parent stream replays" r1_draws r2_draws;
+  Alcotest.(check (list int64)) "child stream replays" s1_draws s2_draws
+
+(* The per-node streams the DSM derives (seed + id * 7919, as in
+   State.make_node) must be pairwise distinct essentially everywhere —
+   a correlated pair would silently synchronize "random" workloads. *)
+let test_rng_derived_streams_independent () =
+  let streams =
+    Array.init 8 (fun id ->
+        Rng.create (Int64.add 0x5EEDL (Int64.of_int (id * 7919))))
+  in
+  let draws = Array.map (fun r -> Array.init 200 (fun _ -> Rng.next64 r)) streams in
+  for i = 0 to 7 do
+    for j = i + 1 to 7 do
+      let equal = ref 0 in
+      for k = 0 to 199 do
+        if draws.(i).(k) = draws.(j).(k) then incr equal
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "streams %d and %d nearly disjoint" i j)
+        true (!equal <= 1)
+    done
+  done
+
+let prop_rng_seeds_give_distinct_streams =
+  QCheck.Test.make ~name:"distinct seeds give distinct streams" ~count:200
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let ra = Rng.create a and rb = Rng.create b in
+      let da = List.init 8 (fun _ -> Rng.next64 ra) in
+      let db = List.init 8 (fun _ -> Rng.next64 rb) in
+      da <> db)
+
 let test_rng_shuffle_permutation () =
   let r = Rng.create 7L in
   let a = Array.init 50 Fun.id in
@@ -298,6 +419,10 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "order" `Quick test_heap_order;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "random interleaving vs model" `Quick
+            test_heap_random_interleaving;
+          Alcotest.test_case "ties stable under interleaved pops" `Quick
+            test_heap_ties_stable_under_interleaving;
           qt prop_heap_sorts;
         ] );
       ( "engine",
@@ -322,9 +447,13 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "replay" `Quick test_rng_replay;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "split replay" `Quick test_rng_split_replay;
+          Alcotest.test_case "derived streams independent" `Quick
+            test_rng_derived_streams_independent;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
           qt prop_rng_int_in_bounds;
           qt prop_rng_float_unit_interval;
+          qt prop_rng_seeds_give_distinct_streams;
         ] );
       ( "series",
         [

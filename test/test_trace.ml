@@ -224,6 +224,33 @@ let test_query_filters () =
     (let p = Query.pages evs in
      p = List.sort_uniq compare p)
 
+(* Time-window and page criteria composed in one query: the page-8
+   ownership exchange spans 10–13 µs (request, grant, two refusals), so
+   slicing it by window must keep page and time predicates ANDed, and
+   first/last must respect the window rather than the whole stream. *)
+let test_query_window_page_composed () =
+  let evs = sample_stamped in
+  Alcotest.(check int) "page 8 events in a sub-window" 2
+    (Query.count ~page:8 ~since:11_000 ~until:12_000 evs);
+  List.iter
+    (fun { Event.time; event; _ } ->
+      Alcotest.(check bool) "inside window" true
+        (time >= 11_000 && time <= 12_000);
+      Alcotest.(check (option int)) "right page" (Some 8) (Event.page event))
+    (Query.filter ~page:8 ~since:11_000 ~until:12_000 evs);
+  Alcotest.(check int) "three-way conjunction" 1
+    (Query.count ~page:8 ~tag:"own-refuse" ~since:13_000 evs);
+  (match Query.first ~page:8 ~since:11_000 evs with
+  | Some { Event.event = Event.Own_grant { page = 8; _ }; time = 11_000; _ }
+    -> ()
+  | _ -> Alcotest.fail "first page-8 event at/after 11 us should be the grant");
+  (match Query.last ~page:8 ~until:12_000 evs with
+  | Some { Event.event = Event.Own_refuse { page = 8; _ }; time = 12_000; _ }
+    -> ()
+  | _ -> Alcotest.fail "last page-8 event up to 12 us should be the refusal");
+  Alcotest.(check int) "window past the page's events" 0
+    (Query.count ~page:8 ~since:14_000 ~until:9_000_000 evs)
+
 (* ------------------------------------------------------------------ *)
 (* Captured protocol runs                                             *)
 (* ------------------------------------------------------------------ *)
@@ -314,7 +341,11 @@ let () =
             test_disabled_path_does_not_allocate;
         ] );
       ( "query",
-        [ Alcotest.test_case "filters" `Quick test_query_filters ] );
+        [
+          Alcotest.test_case "filters" `Quick test_query_filters;
+          Alcotest.test_case "time-window + page composition" `Quick
+            test_query_window_page_composed;
+        ] );
       ( "protocol",
         [
           Alcotest.test_case "SOR/WFS stays single-writer" `Quick
