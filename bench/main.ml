@@ -22,6 +22,9 @@ module Eheap = Adsm_sim.Eheap
 module Rng = Adsm_sim.Rng
 module Registry = Adsm_apps.Registry
 module Experiments = Adsm_harness.Experiments
+module Pool = Adsm_harness.Pool
+module Runner = Adsm_harness.Runner
+module Json = Adsm_trace.Json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                           *)
@@ -52,6 +55,9 @@ let micro_tests () =
   let full_diff = Diff.create ~twin:twin_full ~current:current_full in
   let sparse_diff = Diff.create ~twin:twin_sparse ~current:current_sparse in
   let target = Page.create () in
+  let ranges =
+    List.init 16 (fun i -> ((i * 256) + (if i mod 3 = 0 then 64 else 0), 40))
+  in
   let vc_a = Vc.zero ~nprocs:8 and vc_b = Vc.zero ~nprocs:8 in
   for i = 0 to 7 do
     Vc.set vc_a i (i * 3);
@@ -66,6 +72,12 @@ let micro_tests () =
     Test.make ~name:"diff create (sparse)"
       (Staged.stage (fun () ->
            ignore (Diff.create ~twin:twin_sparse ~current:current_sparse)));
+    Test.make ~name:"diff create (clean page)"
+      (Staged.stage (fun () ->
+           (* all-equal pages: pure scan cost, the word-skip fast path *)
+           ignore (Diff.create ~twin:twin_full ~current:twin_full)));
+    Test.make ~name:"diff of_ranges (16 ranges)"
+      (Staged.stage (fun () -> ignore (Diff.of_ranges ranges current_full)));
     Test.make ~name:"diff apply (full page)"
       (Staged.stage (fun () -> Diff.apply full_diff target));
     Test.make ~name:"diff apply (sparse)"
@@ -75,6 +87,8 @@ let micro_tests () =
            let c = Vc.copy vc_a in
            Vc.merge_into c vc_b;
            ignore (Vc.leq vc_a c && Vc.concurrent vc_a vc_b)));
+    Test.make ~name:"vc merge_into (in-place, 8p)"
+      (Staged.stage (fun () -> Vc.merge_into vc_a vc_b));
     Test.make ~name:"event heap push+pop x64"
       (Staged.stage (fun () ->
            let h = Eheap.create () in
@@ -225,11 +239,145 @@ let trace_smoke () =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Wall-clock perf artifact: BENCH_suite.json                         *)
+(* ------------------------------------------------------------------ *)
+
+let git_rev () =
+  let read path =
+    try Some (String.trim (In_channel.with_open_text path In_channel.input_all))
+    with Sys_error _ -> None
+  in
+  match read ".git/HEAD" with
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " -> (
+    let r = String.sub head 5 (String.length head - 5) in
+    match read (Filename.concat ".git" r) with
+    | Some rev -> rev
+    | None -> head)
+  | Some rev -> rev
+  | None -> "unknown"
+
+let bench_out = "BENCH_suite.json"
+
+(* Measures the real (host) cost of the simulator itself: per-cell wall
+   clock and events/second for a 4-app x 4-protocol suite, then the same
+   suite again fanned out over [jobs] worker domains.  The parallel pass
+   must reproduce every sequential measurement field-for-field — any
+   divergence is a pool bug and fails the run. *)
+let perf ~tiny ~jobs () =
+  let scale = if tiny then Registry.Tiny else Registry.Default in
+  let nprocs = 8 in
+  let apps = [ "SOR"; "TSP"; "IS"; "Water" ] in
+  let cells =
+    List.concat_map
+      (fun name -> List.map (fun p -> (name, p)) Config.all_protocols)
+      apps
+  in
+  let run_cell (name, protocol) =
+    let app =
+      match Registry.find name with
+      | Some a -> a
+      | None -> failwith ("perf: unknown application " ^ name)
+    in
+    Runner.run ~app ~protocol ~nprocs ~scale ()
+  in
+  let now = Unix.gettimeofday in
+  let seq_t0 = now () in
+  let timed =
+    List.map
+      (fun cell ->
+        let t0 = now () in
+        let m = run_cell cell in
+        let wall_ns = int_of_float ((now () -. t0) *. 1e9) in
+        (cell, m, wall_ns))
+      cells
+  in
+  let seq_wall_ns = int_of_float ((now () -. seq_t0) *. 1e9) in
+  let par_t0 = now () in
+  let par = Pool.map ~jobs run_cell cells in
+  let par_wall_ns = int_of_float ((now () -. par_t0) *. 1e9) in
+  let mismatches =
+    List.filter (fun ((_, m, _), m') -> m <> m') (List.combine timed par)
+  in
+  let speedup = float_of_int seq_wall_ns /. float_of_int (max 1 par_wall_ns) in
+  let cell_json ((name, protocol), (m : Runner.measurement), wall_ns) m' =
+    let secs = float_of_int (max 1 wall_ns) /. 1e9 in
+    Json.Obj
+      [
+        ("app", Json.String name);
+        ("protocol", Json.String (Config.protocol_name protocol));
+        ("wall_ns", Json.Int wall_ns);
+        ("events", Json.Int m.Runner.events);
+        ("events_per_sec", Json.Float (float_of_int m.Runner.events /. secs));
+        ( "ns_per_event",
+          Json.Float (float_of_int wall_ns /. float_of_int (max 1 m.Runner.events))
+        );
+        ("checksum", Json.Float m.Runner.checksum);
+        ("parallel_identical", Json.Bool (m = m'));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("run_id", Json.String (Printf.sprintf "suite-%d" (int_of_float (Unix.time ()))));
+        ("git_rev", Json.String (git_rev ()));
+        ("scale", Json.String (if tiny then "tiny" else "default"));
+        ("nprocs", Json.Int nprocs);
+        ("jobs", Json.Int jobs);
+        ("suite_seq_wall_ns", Json.Int seq_wall_ns);
+        ("suite_par_wall_ns", Json.Int par_wall_ns);
+        ("suite_speedup", Json.Float speedup);
+        ("parallel_identical", Json.Bool (mismatches = []));
+        ("cells", Json.List (List.map2 cell_json timed par));
+      ]
+  in
+  Out_channel.with_open_text bench_out (fun oc ->
+      Out_channel.output_string oc (Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Suite wall-clock (host): %d cells, %d simulated processors, %s scale\n"
+       (List.length cells) nprocs
+       (if tiny then "tiny" else "default"));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-8s %-8s %12s %12s %14s\n" "app" "protocol" "wall ms"
+       "events" "ns/event");
+  List.iter
+    (fun ((name, protocol), (m : Runner.measurement), wall_ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-8s %-8s %12.2f %12d %14.1f\n" name
+           (Config.protocol_name protocol)
+           (float_of_int wall_ns /. 1e6)
+           m.Runner.events
+           (float_of_int wall_ns /. float_of_int (max 1 m.Runner.events))))
+    timed;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  suite: sequential %.1f ms, --jobs %d %.1f ms (speedup %.2fx)\n"
+       (float_of_int seq_wall_ns /. 1e6)
+       jobs
+       (float_of_int par_wall_ns /. 1e6)
+       speedup);
+  Buffer.add_string buf
+    (if mismatches = [] then
+       Printf.sprintf "  parallel run identical to sequential; wrote %s\n"
+         bench_out
+     else
+       Printf.sprintf "  PARALLEL/SEQUENTIAL DIVERGENCE in %d cell(s)\n"
+         (List.length mismatches));
+  if mismatches <> [] then begin
+    print_string (Buffer.contents buf);
+    failwith "perf: parallel suite diverged from sequential"
+  end;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Paper artifact regeneration                                        *)
 (* ------------------------------------------------------------------ *)
 
-let artifacts suite =
+let artifacts ~tiny ~jobs suite =
   [
+    ("perf", fun () -> perf ~tiny ~jobs ());
     ("table1", fun () -> Experiments.table1 suite);
     ("table2", fun () -> Experiments.table2 suite);
     ("fig1", fun () -> Experiments.figure1 ());
@@ -245,20 +393,41 @@ let artifacts suite =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let tiny = List.mem "--tiny" args in
-  let selected = List.filter (fun a -> a <> "--tiny" && a <> "micro") args in
-  let want_micro = args = [] || tiny && selected = [] || List.mem "micro" args in
+  (* `--jobs N` (or `-j N`): worker domains for the suite collection and
+     the perf artifact's parallel pass.  Default: all cores. *)
+  let jobs =
+    let rec find = function
+      | ("--jobs" | "-j") :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> n
+        | _ -> failwith "bench: --jobs expects a positive integer")
+      | _ :: rest -> find rest
+      | [] -> Pool.default_jobs ()
+    in
+    find args
+  in
+  let selected =
+    let rec strip = function
+      | ("--jobs" | "-j") :: _ :: rest -> strip rest
+      | a :: rest when a = "--tiny" || a = "micro" -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
+  let want_micro = selected = [] || List.mem "micro" args in
   let scale = if tiny then Registry.Tiny else Registry.Default in
   Printf.printf
     "Reproduction benchmarks: Amza et al., \"Software DSM Protocols that \
      Adapt\nbetween Single Writer and Multiple Writer\" (HPCA 1997)\n\
      Inputs: %s scale, 8 simulated processors, SPARC/ATM cost model.\n\n"
     (if tiny then "tiny" else "default (scaled-down paper)");
-  let suite = Experiments.collect ~scale ~nprocs:8 () in
+  let suite = Experiments.collect ~scale ~nprocs:8 ~jobs () in
   List.iter
     (fun (name, render) ->
       if selected = [] || List.mem name selected then begin
         print_endline (render ());
         print_newline ()
       end)
-    (artifacts suite);
+    (artifacts ~tiny ~jobs suite);
   if want_micro then run_micro ()

@@ -12,6 +12,7 @@ module Registry = Adsm_apps.Registry
 module Runner = Adsm_harness.Runner
 module Experiments = Adsm_harness.Experiments
 module Fuzz = Adsm_harness.Fuzz
+module Pool = Adsm_harness.Pool
 module Oracle = Adsm_check.Oracle
 module Recorder = Adsm_check.Recorder
 
@@ -106,16 +107,16 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
 
 (* --- the full experiment suite --- *)
 
-let run_experiments tiny nprocs apps out =
+let run_experiments tiny nprocs apps out jobs =
   let apps = match apps with [] -> None | l -> Some l in
   match out with
   | None ->
     print_string
-      (Experiments.run_all ?apps ~scale:(scale_of_tiny tiny) ~nprocs ());
+      (Experiments.run_all ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs ());
     0
   | Some dir ->
     let suite =
-      Experiments.collect ?apps ~scale:(scale_of_tiny tiny) ~nprocs ()
+      Experiments.collect ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs ()
     in
     let written = Experiments.export_csv suite ~dir in
     List.iter (Printf.printf "wrote %s\n") written;
@@ -193,7 +194,7 @@ let run_cmd =
 
 (* --- oracle-checked workload fuzzing --- *)
 
-let run_fuzz protocol_name nprocs seeds seed mutation_name =
+let run_fuzz protocol_name nprocs seeds seed mutation_name jobs =
   match Config.protocol_of_string protocol_name with
   | None ->
     Printf.eprintf
@@ -215,35 +216,40 @@ let run_fuzz protocol_name nprocs seeds seed mutation_name =
         (String.concat ", " (List.map Config.mutation_name Config.all_mutations));
       1
     | Ok mutation ->
+      (* The seed sweep fans out over [jobs] worker domains; results come
+         back in seed order, and shrinking of any failing seed stays
+         sequential down here so its output is deterministic. *)
+      let results =
+        Fuzz.sweep ~jobs ?mutation ~protocol ~nprocs ~seed ~count:seeds ()
+      in
       let failures = ref 0 in
-      for i = 0 to seeds - 1 do
-        let seed64 = Int64.of_int (seed + i) in
-        match Fuzz.fuzz_once ?mutation ~protocol ~nprocs ~seed:seed64 () with
-        | exception e ->
-          incr failures;
-          Printf.printf "seed %d: CRASH (%s)\n" (seed + i)
-            (Printexc.to_string e)
-        | o ->
-          if Oracle.ok o.Fuzz.report then
-            Printf.printf "seed %d: ok (%d observations, %d reads)\n"
-              (seed + i) o.Fuzz.report.Oracle.observations
-              o.Fuzz.report.Oracle.reads
-          else begin
+      List.iter
+        (fun (s, result) ->
+          match result with
+          | Error msg ->
             incr failures;
-            Printf.printf "seed %d: %d violation(s), shrinking...\n" (seed + i)
-              (List.length o.Fuzz.report.Oracle.violations);
-            let minimal =
-              match
-                Fuzz.shrink_failing ?mutation ~protocol ~seed:seed64 o.Fuzz.program
-              with
-              | Some shrunk -> shrunk
-              | None -> o
-            in
-            match Fuzz.counterexample minimal with
-            | Some text -> print_string text
-            | None -> ()
-          end
-      done;
+            Printf.printf "seed %d: CRASH (%s)\n" s msg
+          | Ok o ->
+            if Oracle.ok o.Fuzz.report then
+              Printf.printf "seed %d: ok (%d observations, %d reads)\n" s
+                o.Fuzz.report.Oracle.observations o.Fuzz.report.Oracle.reads
+            else begin
+              incr failures;
+              Printf.printf "seed %d: %d violation(s), shrinking...\n" s
+                (List.length o.Fuzz.report.Oracle.violations);
+              let minimal =
+                match
+                  Fuzz.shrink_failing ?mutation ~protocol
+                    ~seed:(Int64.of_int s) o.Fuzz.program
+                with
+                | Some shrunk -> shrunk
+                | None -> o
+              in
+              match Fuzz.counterexample minimal with
+              | Some text -> print_string text
+              | None -> ()
+            end)
+        results;
       match mutation with
       | Some m ->
         (* Mutation runs invert the exit logic: the oracle MUST notice. *)
@@ -258,6 +264,15 @@ let run_fuzz protocol_name nprocs seeds seed mutation_name =
           1
         end
       | None -> if !failures = 0 then 0 else 1)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Run independent simulations on $(docv) worker domains \
+              (default: the number of cores).  Results are bit-identical \
+              for any value; $(b,--jobs 1) is the plain sequential path.")
 
 let seeds_arg =
   Arg.(
@@ -283,7 +298,7 @@ let fuzz_cmd =
           failure to a minimal counterexample")
     Term.(
       const run_fuzz $ protocol_arg $ procs_arg $ seeds_arg $ seed_arg
-      $ mutation_arg)
+      $ mutation_arg $ jobs_arg)
 
 let out_arg =
   Arg.(
@@ -297,22 +312,24 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate every table and figure of the paper")
-    Term.(const run_experiments $ tiny_arg $ procs_arg $ apps_arg $ out_arg)
+    Term.(
+      const run_experiments $ tiny_arg $ procs_arg $ apps_arg $ out_arg
+      $ jobs_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available applications")
     Term.(const list_apps $ const ())
 
-let run_ablations studies =
+let run_ablations studies jobs =
   let module Ablations = Adsm_harness.Ablations in
   match studies with
   | [] ->
-    print_string (Ablations.run_all ());
+    print_string (Ablations.run_all ~jobs ());
     0
   | names ->
     List.fold_left
       (fun code name ->
-        match Ablations.run name with
+        match Ablations.run ~jobs name with
         | Some table ->
           print_string table;
           print_newline ();
@@ -337,33 +354,45 @@ let ablations_cmd =
          "Sensitivity studies for the paper's fixed design choices \
           (ownership quantum, WG threshold, network model, processor \
           scaling) and the migratory-detection extension")
-    Term.(const run_ablations $ studies_arg)
+    Term.(const run_ablations $ studies_arg $ jobs_arg)
 
 (* --- cross-protocol verification --- *)
 
-let run_verify app_name tiny nprocs =
+let run_verify app_name tiny nprocs jobs =
   match Registry.find app_name with
   | None ->
     Printf.eprintf "unknown application %S; try `adsm_run list'\n" app_name;
     1
   | Some app ->
     let scale = scale_of_tiny tiny in
-    let checksum protocol nprocs =
-      (Runner.run ~app ~protocol ~nprocs ~scale ()).Runner.checksum
+    (* The sequential reference and every protocol run are independent,
+       so they all go through the pool in one batch. *)
+    let cells =
+      (Config.Sw, 1)
+      :: List.map (fun p -> (p, nprocs)) Config.extended_protocols
     in
-    let reference = checksum Config.Sw 1 in
+    let checksums =
+      Pool.map ~jobs
+        (fun (protocol, nprocs) ->
+          (Runner.run ~app ~protocol ~nprocs ~scale ()).Runner.checksum)
+        cells
+    in
+    let reference, values =
+      match checksums with
+      | r :: vs -> (r, vs)
+      | [] -> assert false
+    in
     Printf.printf "%s: sequential checksum %h\n" app.Registry.name reference;
     let failures = ref 0 in
-    List.iter
-      (fun protocol ->
-        let value = checksum protocol nprocs in
+    List.iter2
+      (fun protocol value ->
         let ok = value = reference in
         if not ok then incr failures;
         Printf.printf "  %-8s %dp  %s\n"
           (Config.protocol_name protocol)
           nprocs
           (if ok then "ok" else Printf.sprintf "MISMATCH (%h)" value))
-      Config.extended_protocols;
+      Config.extended_protocols values;
     if !failures = 0 then begin
       Printf.printf "all protocols agree bit-for-bit\n";
       0
@@ -380,7 +409,7 @@ let verify_cmd =
          "Check that every protocol (including HLRC) produces a \
           bit-identical result for an application — the first thing to \
           run after porting a new application to the DSM API")
-    Term.(const run_verify $ app_arg $ tiny_arg $ procs_arg)
+    Term.(const run_verify $ app_arg $ tiny_arg $ procs_arg $ jobs_arg)
 
 let main =
   Cmd.group

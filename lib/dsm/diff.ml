@@ -1,9 +1,19 @@
 module Page = Adsm_mem.Page
 
-type run = { off : int; data : Bytes.t }
+(* Flat representation: run [i] covers [offs.(i) .. offs.(i) + length
+   data.(i)), offsets strictly increasing.  The encoded size and modified
+   byte count are computed once at construction — [Stats.diff_created],
+   message sizing and the protocol cost model all query them on every
+   diff, and the old [run list] representation re-folded the list each
+   time. *)
+type t = {
+  offs : int array;
+  data : Bytes.t array;
+  size_bytes : int;  (* run headers + payload *)
+  modified_bytes : int;  (* payload only *)
+}
 
-type t = run list
-(* Runs are kept in increasing offset order. *)
+let empty = { offs = [||]; data = [||]; size_bytes = 0; modified_bytes = 0 }
 
 let run_header_bytes = 4 (* 2-byte offset + 2-byte length *)
 
@@ -13,45 +23,110 @@ let run_header_bytes = 4 (* 2-byte offset + 2-byte length *)
    full page size (the paper's IS behaviour). *)
 let word = 4
 
+let of_runs ~nruns ~modified_words offs data =
+  let modified_bytes = modified_words * word in
+  {
+    offs;
+    data;
+    size_bytes = (nruns * run_header_bytes) + modified_bytes;
+    modified_bytes;
+  }
+
+(* The page scan compares 8-byte chunks first and only drops to 32-bit
+   words inside a differing chunk, so the common all-equal stretches cost
+   one load+compare per two words.  Only *equality* of same-offset chunks
+   is ever tested, so native-endian unaligned loads are fine on any
+   architecture, and the indices are bounded by the page size by
+   construction, so the unchecked primitives are safe.  Run boundaries
+   are identical to a plain word-at-a-time scan. *)
+
+external get64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+
+external get32u : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+
+let word_equal a b w = Int32.equal (get32u a (w * word)) (get32u b (w * word))
+
+(* First differing word index >= [w0], or [n] if none. *)
+let next_diff a b w0 n =
+  let w = ref w0 and found = ref (-1) in
+  while !found < 0 && !w < n do
+    let i = !w in
+    if i + 1 < n then
+      if Int64.equal (get64u a (i * word)) (get64u b (i * word)) then
+        w := i + 2
+      else if word_equal a b i then found := i + 1
+      else found := i
+    else if word_equal a b i then incr w
+    else found := i
+  done;
+  if !found < 0 then n else !found
+
+(* First equal word index >= [w0] (the end of a run), or [n] if none. *)
+let run_end a b w0 n =
+  let w = ref w0 and found = ref (-1) in
+  while !found < 0 && !w < n do
+    let i = !w in
+    if i + 1 < n then
+      if Int64.equal (get64u a (i * word)) (get64u b (i * word)) then
+        found := i
+      else if word_equal a b i then found := i
+      else if word_equal a b (i + 1) then found := i + 1
+      else w := i + 2
+    else if word_equal a b i then found := i
+    else incr w
+  done;
+  if !found < 0 then n else !found
+
 let create ~twin ~current =
   let a = Page.raw twin and b = Page.raw current in
   let n = Page.size / word in
-  let differs w = Bytes.get_int32_le a (w * word) <> Bytes.get_int32_le b (w * word) in
-  let runs = ref [] in
-  let w = ref 0 in
+  (* Single scan; runs collect into a doubling buffer (pages rarely have
+     more than a handful). *)
+  let offs = ref (Array.make 8 0) in
+  let data = ref (Array.make 8 Bytes.empty) in
+  let nruns = ref 0 and modified_words = ref 0 in
+  let w = ref (next_diff a b 0 n) in
   while !w < n do
-    if differs !w then begin
-      let start = !w in
-      while !w < n && differs !w do
-        incr w
-      done;
-      let off = start * word in
-      let len = (!w - start) * word in
-      runs := { off; data = Bytes.sub b off len } :: !runs
-    end
-    else incr w
+    let stop = run_end a b !w n in
+    if !nruns = Array.length !offs then begin
+      let cap = 2 * !nruns in
+      let offs' = Array.make cap 0 and data' = Array.make cap Bytes.empty in
+      Array.blit !offs 0 offs' 0 !nruns;
+      Array.blit !data 0 data' 0 !nruns;
+      offs := offs';
+      data := data'
+    end;
+    let off = !w * word in
+    !offs.(!nruns) <- off;
+    !data.(!nruns) <- Bytes.sub b off ((stop - !w) * word);
+    incr nruns;
+    modified_words := !modified_words + (stop - !w);
+    w := next_diff a b stop n
   done;
-  List.rev !runs
+  if !nruns = 0 then empty
+  else
+    of_runs ~nruns:!nruns ~modified_words:!modified_words
+      (Array.sub !offs 0 !nruns)
+      (Array.sub !data 0 !nruns)
 
 let apply t page =
   let raw = Page.raw page in
-  List.iter
-    (fun { off; data } -> Bytes.blit data 0 raw off (Bytes.length data))
-    t
+  for i = 0 to Array.length t.offs - 1 do
+    let d = t.data.(i) in
+    Bytes.blit d 0 raw t.offs.(i) (Bytes.length d)
+  done
 
-let size_bytes t =
-  List.fold_left
-    (fun acc { data; _ } -> acc + run_header_bytes + Bytes.length data)
-    0 t
+let size_bytes t = t.size_bytes
 
-let is_empty t = t = []
+let is_empty t = Array.length t.offs = 0
 
-let run_count = List.length
+let run_count t = Array.length t.offs
 
-let modified_bytes t =
-  List.fold_left (fun acc { data; _ } -> acc + Bytes.length data) 0 t
+let modified_bytes t = t.modified_bytes
 
-let ranges t = List.map (fun { off; data } -> (off, Bytes.length data)) t
+let ranges t =
+  Array.to_list
+    (Array.mapi (fun i off -> (off, Bytes.length t.data.(i))) t.offs)
 
 let pp ppf t =
   Format.fprintf ppf "diff[%d runs, %d bytes]" (run_count t) (modified_bytes t)
@@ -60,25 +135,48 @@ let of_ranges ranges page =
   (* Build a diff directly from logged write ranges (software write
      detection): coalesce and word-align the ranges, then capture the
      current contents.  No twin or page scan is needed. *)
-  let aligned =
-    List.map
-      (fun (off, len) ->
-        let start = off / word * word in
-        let stop = (off + len + word - 1) / word * word in
-        (start, min Page.size stop))
-      ranges
-  in
-  let sorted = List.sort compare aligned in
-  let merged =
-    List.fold_left
-      (fun acc (start, stop) ->
-        match acc with
-        | (pstart, pstop) :: rest when start <= pstop ->
-          (pstart, max pstop stop) :: rest
-        | _ -> (start, stop) :: acc)
-      [] sorted
-  in
-  let raw = Page.raw page in
-  List.rev_map
-    (fun (start, stop) -> { off = start; data = Bytes.sub raw start (stop - start) })
-    merged
+  match ranges with
+  | [] -> empty
+  | _ ->
+    let aligned =
+      List.map
+        (fun (off, len) ->
+          let start = off / word * word in
+          let stop = (off + len + word - 1) / word * word in
+          (start, min Page.size stop))
+        ranges
+    in
+    let sorted =
+      List.sort
+        (fun ((s1 : int), (e1 : int)) (s2, e2) ->
+          if s1 <> s2 then Int.compare s1 s2 else Int.compare e1 e2)
+        aligned
+    in
+    (* Single linear merge pass over the sorted ranges: a range starting
+       at or before the previous stop extends it (adjacent ranges
+       coalesce too). *)
+    let max_runs = List.length sorted in
+    let starts = Array.make max_runs 0 and stops = Array.make max_runs 0 in
+    let count = ref 0 in
+    List.iter
+      (fun (start, stop) ->
+        if !count > 0 && start <= stops.(!count - 1) then begin
+          if stop > stops.(!count - 1) then stops.(!count - 1) <- stop
+        end
+        else begin
+          starts.(!count) <- start;
+          stops.(!count) <- stop;
+          incr count
+        end)
+      sorted;
+    let raw = Page.raw page in
+    let nruns = !count in
+    let offs = Array.sub starts 0 nruns in
+    let data =
+      Array.init nruns (fun i ->
+          Bytes.sub raw starts.(i) (stops.(i) - starts.(i)))
+    in
+    let modified_words =
+      Array.fold_left (fun acc d -> acc + (Bytes.length d / word)) 0 data
+    in
+    of_runs ~nruns ~modified_words offs data

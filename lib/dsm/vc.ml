@@ -15,35 +15,61 @@ let set t i v = t.(i) <- v
 let tick t ~proc = t.(proc) <- t.(proc) + 1
 
 let merge_into t other =
-  if Array.length t <> Array.length other then
-    invalid_arg "Vc.merge_into: size mismatch";
-  for i = 0 to Array.length t - 1 do
-    if other.(i) > t.(i) then t.(i) <- other.(i)
-  done
+  if t != other then begin
+    if Array.length t <> Array.length other then
+      invalid_arg "Vc.merge_into: size mismatch";
+    for i = 0 to Array.length t - 1 do
+      if other.(i) > t.(i) then t.(i) <- other.(i)
+    done
+  end
 
 let leq a b =
-  if Array.length a <> Array.length b then invalid_arg "Vc.leq: size mismatch";
-  let rec go i = i = Array.length a || (a.(i) <= b.(i) && go (i + 1)) in
-  go 0
+  a == b
+  ||
+  (if Array.length a <> Array.length b then
+     invalid_arg "Vc.leq: size mismatch";
+   let n = Array.length a in
+   let rec go i = i = n || (a.(i) <= b.(i) && go (i + 1)) in
+   go 0)
 
 let concurrent a b = (not (leq a b)) && not (leq b a)
 
 let sum a = Array.fold_left ( + ) 0 a
 
+(* Lexicographic comparison on the components, avoiding the polymorphic
+   [compare] (the clock sort on every diff-apply path goes through
+   [order]). *)
+let lex a b =
+  let n = Array.length a in
+  let rec go i =
+    if i = n then 0
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
 let order a b =
-  if leq a b then if leq b a then 0 else -1
+  if a == b then 0
+  else if leq a b then if leq b a then 0 else -1
   else if leq b a then 1
   else begin
     (* Concurrent: any deterministic total order respecting nothing in
        particular is fine, as concurrent diffs touch disjoint words when the
        program is race-free.  Use (sum, lexicographic). *)
-    let c = compare (sum a) (sum b) in
-    if c <> 0 then c else compare a b
+    let c = Int.compare (sum a) (sum b) in
+    if c <> 0 then c else lex a b
   end
 
 let size_bytes t = 4 * Array.length t
 
-let equal a b = a = b
+let equal a b =
+  a == b
+  || (Array.length a = Array.length b
+     &&
+     let n = Array.length a in
+     let rec go i = i = n || (a.(i) = b.(i) && go (i + 1)) in
+     go 0)
 
 let pp ppf t =
   Format.fprintf ppf "<%a>"

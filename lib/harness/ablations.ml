@@ -16,22 +16,36 @@ let speedup ?tweak name protocol ~nprocs =
 
 let fmt2 = Printf.sprintf "%.2f"
 
+(* Each study is a grid of independent simulations; [cells] evaluates the
+   whole grid on the pool (input order preserved) and [chunk] slices the
+   flat results back into table rows.  With [jobs = 1] this is exactly
+   the old nested [List.map]. *)
+let cells ~jobs grid f = Pool.map ~jobs f grid
+
+let chunk n l =
+  let rec go acc row k = function
+    | [] -> List.rev (if row = [] then acc else List.rev row :: acc)
+    | x :: rest ->
+      if k = n - 1 then go (List.rev (x :: row) :: acc) [] 0 rest
+      else go acc (x :: row) (k + 1) rest
+  in
+  go [] [] 0 l
+
+let grid_of apps values = List.concat_map (fun a -> List.map (fun v -> (a, v)) values) apps
+
 (* --- ownership quantum ------------------------------------------- *)
 
-let quantum () =
+let quantum ?(jobs = 1) () =
   let values = [ 50_000; 250_000; 1_000_000; 4_000_000 ] in
+  let apps = [ "Shallow"; "Barnes"; "IS" ] in
+  let results =
+    cells ~jobs (grid_of apps values) (fun (name, q) ->
+        fmt2
+          (speedup name Config.Sw ~nprocs:8
+             ~tweak:(fun c -> { c with Config.ownership_quantum_ns = q })))
+  in
   let rows =
-    List.map
-      (fun name ->
-        name
-        :: List.map
-             (fun q ->
-               fmt2
-                 (speedup name Config.Sw ~nprocs:8
-                    ~tweak:(fun c ->
-                      { c with Config.ownership_quantum_ns = q })))
-             values)
-      [ "Shallow"; "Barnes"; "IS" ]
+    List.map2 (fun name cs -> name :: cs) apps (chunk (List.length values) results)
   in
   Tables.render
     ~title:
@@ -45,20 +59,17 @@ let quantum () =
 
 (* --- WFS+WG threshold --------------------------------------------- *)
 
-let threshold () =
+let threshold ?(jobs = 1) () =
   let values = [ 1_024; 3_072; 8_192 ] in
+  let apps = [ "TSP"; "Water"; "3D-FFT"; "IS" ] in
+  let results =
+    cells ~jobs (grid_of apps values) (fun (name, w) ->
+        fmt2
+          (speedup name Config.Wfs_wg ~nprocs:8
+             ~tweak:(fun c -> { c with Config.wg_threshold_bytes = w })))
+  in
   let rows =
-    List.map
-      (fun name ->
-        name
-        :: List.map
-             (fun w ->
-               fmt2
-                 (speedup name Config.Wfs_wg ~nprocs:8
-                    ~tweak:(fun c ->
-                      { c with Config.wg_threshold_bytes = w })))
-             values)
-      [ "TSP"; "Water"; "3D-FFT"; "IS" ]
+    List.map2 (fun name cs -> name :: cs) apps (chunk (List.length values) results)
   in
   Tables.render
     ~title:
@@ -70,25 +81,38 @@ let threshold () =
 
 (* --- network model ------------------------------------------------ *)
 
-let network () =
+let network ?(jobs = 1) () =
   let nets =
     [ ("ATM'97", Netcfg.atm_155); ("fast", Netcfg.fast_ethernet) ]
   in
-  let rows =
+  let apps = [ "IS"; "Barnes" ] in
+  let protocols = [ Config.Mw; Config.Sw; Config.Wfs ] in
+  let grid =
+    List.concat_map
+      (fun name ->
+        List.concat_map
+          (fun protocol -> List.map (fun (_, net) -> (name, protocol, net)) nets)
+          protocols)
+      apps
+  in
+  let results =
+    cells ~jobs grid (fun (name, protocol, net) ->
+        fmt2
+          (speedup name protocol ~nprocs:8
+             ~tweak:(fun c -> { c with Config.net })))
+  in
+  let labels =
     List.concat_map
       (fun name ->
         List.mapi
           (fun i protocol ->
-            (if i = 0 then name else "")
-            :: Config.protocol_name protocol
-            :: List.map
-                 (fun (_, net) ->
-                   fmt2
-                     (speedup name protocol ~nprocs:8
-                        ~tweak:(fun c -> { c with Config.net })))
-                 nets)
-          [ Config.Mw; Config.Sw; Config.Wfs ])
-      [ "IS"; "Barnes" ]
+            [ (if i = 0 then name else ""); Config.protocol_name protocol ])
+          protocols)
+      apps
+  in
+  let rows =
+    List.map2 (fun label cs -> label @ cs) labels
+      (chunk (List.length nets) results)
   in
   Tables.render
     ~title:
@@ -101,25 +125,29 @@ let network () =
 
 (* --- migratory-detection extension -------------------------------- *)
 
-let migratory () =
+let migratory ?(jobs = 1) () =
+  let apps = [ "IS"; "TSP"; "Water" ] in
+  let results =
+    cells ~jobs (grid_of apps [ false; true ]) (fun (name, detect) ->
+        Runner.run
+          ~tweak:(fun c -> { c with Config.migratory_detection = detect })
+          ~app:(app name) ~protocol:Config.Wfs ~nprocs:8
+          ~scale:Registry.Default ())
+  in
   let rows =
-    List.map
-      (fun name ->
-        let run detect =
-          Runner.run
-            ~tweak:(fun c -> { c with Config.migratory_detection = detect })
-            ~app:(app name) ~protocol:Config.Wfs ~nprocs:8
-            ~scale:Registry.Default ()
-        in
-        let off = run false and on = run true in
-        [
-          name;
-          fmt2 (Runner.speedup off);
-          fmt2 (Runner.speedup on);
-          string_of_int off.Runner.messages;
-          string_of_int on.Runner.messages;
-        ])
-      [ "IS"; "TSP"; "Water" ]
+    List.map2
+      (fun name ms ->
+        match ms with
+        | [ off; on ] ->
+          [
+            name;
+            fmt2 (Runner.speedup off);
+            fmt2 (Runner.speedup on);
+            string_of_int off.Runner.messages;
+            string_of_int on.Runner.messages;
+          ]
+        | _ -> assert false)
+      apps (chunk 2 results)
   in
   Tables.render
     ~title:
@@ -132,25 +160,29 @@ let migratory () =
 
 (* --- lazy diffing --------------------------------------------------- *)
 
-let lazydiff () =
+let lazydiff ?(jobs = 1) () =
+  let apps = [ "SOR"; "3D-FFT"; "Shallow"; "Barnes" ] in
+  let results =
+    cells ~jobs (grid_of apps [ false; true ]) (fun (name, lazy_diffing) ->
+        Runner.run
+          ~tweak:(fun c -> { c with Config.lazy_diffing })
+          ~app:(app name) ~protocol:Config.Mw ~nprocs:8
+          ~scale:Registry.Default ())
+  in
   let rows =
-    List.map
-      (fun name ->
-        let run lazy_diffing =
-          Runner.run
-            ~tweak:(fun c -> { c with Config.lazy_diffing })
-            ~app:(app name) ~protocol:Config.Mw ~nprocs:8
-            ~scale:Registry.Default ()
-        in
-        let eager = run false and lz = run true in
-        [
-          name;
-          fmt2 (Runner.speedup eager);
-          fmt2 (Runner.speedup lz);
-          string_of_int eager.Runner.diffs_created;
-          string_of_int lz.Runner.diffs_created;
-        ])
-      [ "SOR"; "3D-FFT"; "Shallow"; "Barnes" ]
+    List.map2
+      (fun name ms ->
+        match ms with
+        | [ eager; lz ] ->
+          [
+            name;
+            fmt2 (Runner.speedup eager);
+            fmt2 (Runner.speedup lz);
+            string_of_int eager.Runner.diffs_created;
+            string_of_int lz.Runner.diffs_created;
+          ]
+        | _ -> assert false)
+      apps (chunk 2 results)
   in
   Tables.render
     ~title:
@@ -165,25 +197,29 @@ let lazydiff () =
 
 (* --- software write detection --------------------------------------- *)
 
-let writeranges () =
+let writeranges ?(jobs = 1) () =
+  let apps = [ "TSP"; "Barnes"; "Water"; "SOR"; "IS" ] in
+  let results =
+    cells ~jobs (grid_of apps [ false; true ]) (fun (name, write_ranges) ->
+        Runner.run
+          ~tweak:(fun c -> { c with Config.write_ranges })
+          ~app:(app name) ~protocol:Config.Mw ~nprocs:8
+          ~scale:Registry.Default ())
+  in
   let rows =
-    List.map
-      (fun name ->
-        let run write_ranges =
-          Runner.run
-            ~tweak:(fun c -> { c with Config.write_ranges })
-            ~app:(app name) ~protocol:Config.Mw ~nprocs:8
-            ~scale:Registry.Default ()
-        in
-        let twin = run false and wr = run true in
-        [
-          name;
-          fmt2 (Runner.speedup twin);
-          fmt2 (Runner.speedup wr);
-          string_of_int twin.Runner.twins_created;
-          string_of_int wr.Runner.twins_created;
-        ])
-      [ "TSP"; "Barnes"; "Water"; "SOR"; "IS" ]
+    List.map2
+      (fun name ms ->
+        match ms with
+        | [ twin; wr ] ->
+          [
+            name;
+            fmt2 (Runner.speedup twin);
+            fmt2 (Runner.speedup wr);
+            string_of_int twin.Runner.twins_created;
+            string_of_int wr.Runner.twins_created;
+          ]
+        | _ -> assert false)
+      apps (chunk 2 results)
   in
   Tables.render
     ~title:
@@ -200,21 +236,24 @@ let writeranges () =
 
 (* --- HLRC extension ------------------------------------------------ *)
 
-let hlrc () =
+let hlrc ?(jobs = 1) () =
   let protocols = [ Config.Mw; Config.Wfs; Config.Hlrc ] in
+  let apps = [ "IS"; "SOR"; "Shallow"; "Barnes"; "ILINK" ] in
+  let results =
+    cells ~jobs (grid_of apps protocols) (fun (name, protocol) ->
+        Runner.run ~app:(app name) ~protocol ~nprocs:8
+          ~scale:Registry.Default ())
+  in
   let rows =
-    List.map
-      (fun name ->
+    List.map2
+      (fun name ms ->
         name
         :: List.concat_map
-             (fun protocol ->
-               let m =
-                 Runner.run ~app:(app name) ~protocol ~nprocs:8
-                   ~scale:Registry.Default ()
-               in
+             (fun m ->
                [ fmt2 (Runner.speedup m); Tables.thousands m.Runner.messages ])
-             protocols)
-      [ "IS"; "SOR"; "Shallow"; "Barnes"; "ILINK" ]
+             ms)
+      apps
+      (chunk (List.length protocols) results)
   in
   Tables.render
     ~title:
@@ -234,16 +273,15 @@ let hlrc () =
 
 (* --- processor scaling -------------------------------------------- *)
 
-let scaling () =
+let scaling ?(jobs = 1) () =
   let counts = [ 1; 2; 4; 8 ] in
+  let apps = [ "SOR"; "ILINK"; "Barnes"; "3D-FFT" ] in
+  let results =
+    cells ~jobs (grid_of apps counts) (fun (name, nprocs) ->
+        fmt2 (speedup name Config.Wfs ~nprocs))
+  in
   let rows =
-    List.map
-      (fun name ->
-        name
-        :: List.map
-             (fun nprocs -> fmt2 (speedup name Config.Wfs ~nprocs))
-             counts)
-      [ "SOR"; "ILINK"; "Barnes"; "3D-FFT" ]
+    List.map2 (fun name cs -> name :: cs) apps (chunk (List.length counts) results)
   in
   Tables.render
     ~title:
@@ -268,8 +306,8 @@ let studies =
 
 let names = List.map fst studies
 
-let run name =
-  Option.map (fun f -> f ()) (List.assoc_opt name studies)
+let run ?jobs name =
+  Option.map (fun f -> f ?jobs ()) (List.assoc_opt name studies)
 
-let run_all () =
-  String.concat "\n" (List.map (fun (_, f) -> f ()) studies)
+let run_all ?jobs () =
+  String.concat "\n" (List.map (fun (_, f) -> f ?jobs ()) studies)

@@ -10,27 +10,30 @@
     - the migratory-detection extension the paper sketches in Section 7;
     - processor-count scaling (the paper reports 8 processors only).
 
-    Each function runs the study and returns a rendered table. *)
+    Each function runs the study and returns a rendered table.  Every
+    study is a grid of independent simulations; [jobs] (default 1) fans
+    the grid out over that many worker domains via {!Pool} with
+    bit-identical tables for any value. *)
 
-val quantum : unit -> string
+val quantum : ?jobs:int -> unit -> string
 
-val threshold : unit -> string
+val threshold : ?jobs:int -> unit -> string
 
-val network : unit -> string
+val network : ?jobs:int -> unit -> string
 
-val migratory : unit -> string
+val migratory : ?jobs:int -> unit -> string
 
-val lazydiff : unit -> string
+val lazydiff : ?jobs:int -> unit -> string
 
-val writeranges : unit -> string
+val writeranges : ?jobs:int -> unit -> string
 
-val hlrc : unit -> string
+val hlrc : ?jobs:int -> unit -> string
 
-val scaling : unit -> string
+val scaling : ?jobs:int -> unit -> string
 
 val names : string list
 
-val run : string -> string option
+val run : ?jobs:int -> string -> string option
 (** [run name] executes one study by name. *)
 
-val run_all : unit -> string
+val run_all : ?jobs:int -> unit -> string

@@ -19,15 +19,20 @@ let selected_apps = function
         | None -> invalid_arg ("Experiments: unknown application " ^ n))
       names
 
-let collect ?apps ?(scale = Registry.Default) ?(nprocs = 8) () =
+let collect ?apps ?(scale = Registry.Default) ?(nprocs = 8) ?(jobs = 1) () =
   let apps = selected_apps apps in
-  let measurements =
+  let cells =
     List.concat_map
-      (fun app ->
-        List.map
-          (fun protocol -> Runner.run ~app ~protocol ~nprocs ~scale ())
-          Config.all_protocols)
+      (fun app -> List.map (fun protocol -> (app, protocol)) Config.all_protocols)
       apps
+  in
+  (* Every (app, protocol) cell is an independent deterministic
+     simulation; [Pool.map] preserves the sequential result order, so the
+     suite is identical for any [jobs]. *)
+  let measurements =
+    Pool.map ~jobs
+      (fun (app, protocol) -> Runner.run ~app ~protocol ~nprocs ~scale ())
+      cells
   in
   { scale; nprocs; measurements }
 
@@ -455,8 +460,8 @@ let export_csv suite ~dir =
 
 (* ------------------------------------------------------------------ *)
 
-let run_all ?apps ?scale ?nprocs () =
-  let suite = collect ?apps ?scale ?nprocs () in
+let run_all ?apps ?scale ?nprocs ?jobs () =
+  let suite = collect ?apps ?scale ?nprocs ?jobs () in
   String.concat "\n"
     [
       table1 suite;

@@ -13,11 +13,14 @@ type suite = {
 }
 
 (** Runs the whole grid.  [apps] restricts the application set (default:
-    all eight). *)
+    all eight).  [jobs] (default 1) runs the independent (app, protocol)
+    simulations on that many worker domains via {!Pool}; the resulting
+    suite is field-for-field identical for any [jobs] value. *)
 val collect :
   ?apps:string list ->
   ?scale:Adsm_apps.Registry.scale ->
   ?nprocs:int ->
+  ?jobs:int ->
   unit ->
   suite
 
@@ -63,5 +66,6 @@ val run_all :
   ?apps:string list ->
   ?scale:Adsm_apps.Registry.scale ->
   ?nprocs:int ->
+  ?jobs:int ->
   unit ->
   string

@@ -91,6 +91,21 @@ let fuzz_once ?mutation ?protocol ~nprocs ~seed () =
   let p = Workload.generate rng (Workload.default_params ~nprocs) in
   run_program ?mutation ?protocol ~seed p
 
+(* Parallel seed sweep: each seed's generate+run+check is independent, so
+   the sweep fans out over a {!Pool} and reports per-seed results in seed
+   order.  A crash (e.g. a mutated protocol deadlocking) is captured as
+   [Error] rather than aborting the other seeds — the CLI prints it per
+   seed, exactly as the sequential loop did.  Shrinking of failing seeds
+   stays with the caller, after the sweep. *)
+let sweep ?(jobs = 1) ?mutation ?protocol ~nprocs ~seed ~count () =
+  let seeds = List.init count (fun i -> seed + i) in
+  Pool.map ~jobs
+    (fun s ->
+      match fuzz_once ?mutation ?protocol ~nprocs ~seed:(Int64.of_int s) () with
+      | o -> (s, Ok o)
+      | exception e -> (s, Error (Printexc.to_string e)))
+    seeds
+
 let counterexample outcome =
   match outcome.report.Oracle.violations with
   | [] -> None

@@ -43,6 +43,22 @@ val fuzz_once :
   unit ->
   outcome
 
+(** [sweep ~jobs ~nprocs ~seed ~count ()] runs [fuzz_once] on the [count]
+    consecutive seeds starting at [seed], on up to [jobs] worker domains
+    (default 1, fully sequential).  Results come back in seed order; a
+    seed whose run raises is reported as [Error] with the exception text
+    instead of aborting the sweep.  Used for both plain fuzzing and
+    mutation-detection sweeps (pass [mutation]). *)
+val sweep :
+  ?jobs:int ->
+  ?mutation:Adsm_dsm.Config.mutation ->
+  ?protocol:Adsm_dsm.Config.protocol ->
+  nprocs:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  (int * (outcome, string) result) list
+
 (** Human-readable counterexample (first violation's trace window plus
     the workload program); [None] if the outcome passed. *)
 val counterexample : outcome -> string option

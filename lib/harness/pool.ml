@@ -1,0 +1,39 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) f items =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  match items with
+  | [] -> []
+  | items when jobs = 1 -> List.map f items
+  | items ->
+    let tasks = Array.of_list items in
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Workers drain the shared counter; a failing task records its
+       exception by index and the worker moves on, so one failure never
+       wedges the pool or strands unjoined domains. *)
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f tasks.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+          failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        work ()
+      end
+    in
+    let domains =
+      Array.init (min jobs n) (fun _ -> Domain.spawn work)
+    in
+    Array.iter Domain.join domains;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false)
+         results)

@@ -1,0 +1,35 @@
+(** Fixed-size work pool over OCaml domains.
+
+    Every simulation the harness launches is deterministic and fully
+    independent (see DESIGN.md, "Domain safety"), so suites parallelize
+    by replication: [map ~jobs f items] evaluates [f] on every item
+    using at most [jobs] worker domains and returns the results in input
+    order — the output is indistinguishable from [List.map f items].
+
+    Guarantees:
+
+    - {b Deterministic ordering}: results are collected by input index;
+      scheduling never reorders them.
+    - {b Exception propagation}: if one or more applications of [f]
+      raise, every remaining task still runs to completion, every worker
+      domain is joined (no orphaned domains), and then the exception of
+      the {e lowest-indexed} failing item is re-raised in the caller
+      with its original backtrace — deterministic regardless of which
+      worker hit it first.
+    - {b Oversubscription}: [items] may far exceed [jobs]; at most
+      [min jobs (length items)] domains exist at any moment, pulling
+      tasks from a shared atomic counter.
+    - [jobs = 1] (the default) runs everything in the calling domain,
+      with no domain spawned at all — the exact sequential code path.
+
+    [f] must be safe to run on a non-main domain and must not share
+    mutable state across items; {!Runner.run} satisfies this contract. *)
+
+(** The machine's recommended domain count
+    ([Domain.recommended_domain_count]), the CLI default for [--jobs]. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f items] is [List.map f items], evaluated by up to [jobs]
+    domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -75,15 +75,26 @@ let run ?(seed = 0x5EEDL) ?(tweak = Fun.id) ?tracer ?recorder
     barrier_time_ns = Stats.total_time stats ~category:Stats.Barrier;
   }
 
+(* The sequential-baseline cache is the one cross-run mutable global in
+   the harness; [Pool] workers reach it through [speedup], so every
+   access goes through a mutex.  The simulation itself runs outside the
+   lock: two domains may race to fill the same key, but the run is
+   deterministic, so both write the identical value. *)
 let seq_cache : (string * Registry.scale, int) Hashtbl.t = Hashtbl.create 16
+
+let seq_cache_mutex = Mutex.create ()
 
 let sequential_time_ns ~(app : Registry.entry) ~scale =
   let key = (app.Registry.name, scale) in
-  match Hashtbl.find_opt seq_cache key with
+  let cached =
+    Mutex.protect seq_cache_mutex (fun () -> Hashtbl.find_opt seq_cache key)
+  in
+  match cached with
   | Some t -> t
   | None ->
     let m = run ~app ~protocol:Config.Sw ~nprocs:1 ~scale () in
-    Hashtbl.replace seq_cache key m.time_ns;
+    Mutex.protect seq_cache_mutex (fun () ->
+        Hashtbl.replace seq_cache key m.time_ns);
     m.time_ns
 
 let speedup m =

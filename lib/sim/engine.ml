@@ -49,10 +49,14 @@ let schedule t ~delay f =
   schedule_at t ~time:(t.clock + delay) f
 
 let run t =
+  (* Allocation-free event loop: read the key, then pop just the value —
+     no [Some (time, seq, f)] box per event. *)
+  let q = t.queue in
   let rec loop () =
-    match Eheap.pop_min t.queue with
-    | None -> t.clock
-    | Some (time, _, f) ->
+    if Eheap.is_empty q then t.clock
+    else begin
+      let time = Eheap.min_time_exn q in
+      let f = Eheap.pop_min_exn q in
       t.clock <- time;
       t.executed <- t.executed + 1;
       (match t.probe with
@@ -60,6 +64,7 @@ let run t =
       | Some probe -> probe ~time ~executed:t.executed);
       f ();
       loop ()
+    end
   in
   loop ()
 

@@ -187,6 +187,82 @@ let test_diff_of_ranges_empty_and_edge () =
     [ (Page.size - 4, 4) ]
     (Diff.ranges d)
 
+let test_diff_of_ranges_coalesce () =
+  let page = page_of_f 7 in
+  (* Unsorted, duplicate, overlapping, and merely adjacent ranges must
+     all coalesce: after word-alignment, 8..12 / 12..16 are adjacent,
+     28..32 / 28..36 overlap, (8,4) appears twice, and 40..44 stands
+     alone. *)
+  let d =
+    Diff.of_ranges
+      [ (40, 4); (8, 4); (12, 4); (8, 4); (30, 6); (28, 4) ]
+      page
+  in
+  Alcotest.(check (list (pair int int)))
+    "overlapping/adjacent/unsorted/duplicate ranges coalesce"
+    [ (8, 8); (28, 8); (40, 4) ]
+    (Diff.ranges d);
+  let target = Page.create () in
+  Diff.apply d target;
+  List.iter
+    (fun (off, len) ->
+      for i = off to off + len - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "byte %d copied" i)
+          (Page.get_byte page i) (Page.get_byte target i)
+      done)
+    [ (8, 8); (28, 8); (40, 4) ];
+  Alcotest.(check int) "gap untouched" 0 (Page.get_byte target 20)
+
+(* The scan compares 8-byte chunks at a time; runs that start or stop
+   inside a chunk, cross a chunk boundary, or touch the page's last word
+   must come out identical to a word-by-word scan. *)
+let test_diff_chunk_boundaries () =
+  let flip current off =
+    Page.set_i32 current off (Int32.lognot (Page.get_i32 current off))
+  in
+  let mk offs =
+    let twin = page_of_f 8 in
+    let current = Page.copy twin in
+    List.iter (flip current) offs;
+    Diff.create ~twin ~current
+  in
+  Alcotest.(check (list (pair int int)))
+    "last word of the page"
+    [ (Page.size - 4, 4) ]
+    (Diff.ranges (mk [ Page.size - 4 ]));
+  Alcotest.(check (list (pair int int)))
+    "run crossing an 8-byte boundary"
+    [ (4, 8) ]
+    (Diff.ranges (mk [ 4; 8 ]));
+  Alcotest.(check (list (pair int int)))
+    "aligned full chunk" [ (0, 8) ]
+    (Diff.ranges (mk [ 0; 4 ]));
+  Alcotest.(check (list (pair int int)))
+    "first and last words"
+    [ (0, 4); (Page.size - 4, 4) ]
+    (Diff.ranges (mk [ 0; Page.size - 4 ]));
+  Alcotest.(check (list (pair int int)))
+    "three chunks straddled"
+    [ (12, 12) ]
+    (Diff.ranges (mk [ 12; 16; 20 ]))
+
+(* The chunk comparison splits each int64 into 32-bit halves; a value
+   with the sign bit set in either half must still compare correctly. *)
+let test_diff_sign_bit_words () =
+  let twin = page_of_f 9 in
+  let current = Page.copy twin in
+  Page.set_i32 current 16 0x8000_0000l;
+  Page.set_i32 current 28 Int32.min_int;
+  let d = Diff.create ~twin ~current in
+  Alcotest.(check (list (pair int int)))
+    "sign-bit words detected"
+    [ (16, 4); (28, 4) ]
+    (Diff.ranges d);
+  let target = Page.copy twin in
+  Diff.apply d target;
+  Alcotest.(check int32) "value applied" 0x8000_0000l (Page.get_i32 target 16)
+
 let prop_of_ranges_covers_writes =
   QCheck.Test.make ~name:"of_ranges covers every logged write" ~count:200
     QCheck.(small_list (pair (int_bound (Page.size - 8)) (int_range 1 8)))
@@ -373,6 +449,11 @@ let () =
           Alcotest.test_case "of_ranges" `Quick test_diff_of_ranges;
           Alcotest.test_case "of_ranges edges" `Quick
             test_diff_of_ranges_empty_and_edge;
+          Alcotest.test_case "of_ranges coalescing" `Quick
+            test_diff_of_ranges_coalesce;
+          Alcotest.test_case "chunk boundaries" `Quick
+            test_diff_chunk_boundaries;
+          Alcotest.test_case "sign-bit words" `Quick test_diff_sign_bit_words;
           qt prop_diff_roundtrip;
           qt prop_diff_disjoint_merge;
           qt prop_of_ranges_covers_writes;

@@ -102,6 +102,56 @@ let test_heap_random_interleaving () =
     !model;
   Alcotest.(check bool) "both empty" true (Eheap.is_empty h)
 
+(* A popped value must become unreachable from the heap: the old
+   representation left it live in the vacated slot until a later push
+   overwrote it, pinning arbitrarily large closures for the rest of the
+   run.  Track a popped block with a weak pointer and force a major GC;
+   the helpers are [@inline never] so no stack slot keeps it alive. *)
+let[@inline never] push_tracked h w ~time ~seq =
+  let v = ref 42 in
+  Weak.set w 0 (Some v);
+  Eheap.push h ~time ~seq v
+
+let[@inline never] pop_and_drop h =
+  match Eheap.pop_min h with Some _ -> () | None -> ()
+
+let check_collected name w =
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) name true (Weak.get w 0 = None)
+
+let test_heap_pop_releases_value () =
+  (* Pop with entries remaining: the last entry moves into the root and
+     its old slot is vacated. *)
+  let h = Eheap.create () in
+  let w = Weak.create 1 in
+  push_tracked h w ~time:1 ~seq:0;
+  Eheap.push h ~time:2 ~seq:1 (ref 0);
+  Eheap.push h ~time:3 ~seq:2 (ref 0);
+  pop_and_drop h;
+  check_collected "popped value collected (non-empty heap)" w;
+  (* Pop to empty: slot 0 itself is the vacated slot. *)
+  let h = Eheap.create () in
+  let w = Weak.create 1 in
+  push_tracked h w ~time:1 ~seq:0;
+  pop_and_drop h;
+  check_collected "popped value collected (emptied heap)" w
+
+let test_heap_exn_variants () =
+  let h = Eheap.create () in
+  Alcotest.check_raises "min_time_exn on empty"
+    (Invalid_argument "Eheap.min_time_exn: empty heap") (fun () ->
+      ignore (Eheap.min_time_exn h));
+  Alcotest.check_raises "pop_min_exn on empty"
+    (Invalid_argument "Eheap.pop_min_exn: empty heap") (fun () ->
+      ignore (Eheap.pop_min_exn h : int));
+  Eheap.push h ~time:9 ~seq:1 111;
+  Eheap.push h ~time:4 ~seq:0 222;
+  Alcotest.(check int) "min_time_exn" 4 (Eheap.min_time_exn h);
+  Alcotest.(check int) "pop_min_exn pops min" 222 (Eheap.pop_min_exn h);
+  Alcotest.(check int) "then next" 111 (Eheap.pop_min_exn h);
+  Alcotest.(check bool) "empty after" true (Eheap.is_empty h)
+
 (* Insertion order of equal keys must survive pops happening in between
    the pushes, not only a push-everything-then-drain pattern. *)
 let test_heap_ties_stable_under_interleaving () =
@@ -421,6 +471,9 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "random interleaving vs model" `Quick
             test_heap_random_interleaving;
+          Alcotest.test_case "popped values not retained" `Quick
+            test_heap_pop_releases_value;
+          Alcotest.test_case "exn variants" `Quick test_heap_exn_variants;
           Alcotest.test_case "ties stable under interleaved pops" `Quick
             test_heap_ties_stable_under_interleaving;
           qt prop_heap_sorts;
