@@ -15,6 +15,7 @@
 *)
 
 module Config = Adsm_dsm.Config
+module Dsm = Adsm_dsm.Dsm
 module Vc = Adsm_dsm.Vc
 module Diff = Adsm_dsm.Diff
 module Page = Adsm_mem.Page
@@ -52,8 +53,8 @@ let micro_tests () =
   let open Bechamel in
   let twin_full, current_full = page_pair ~modified:512 in
   let twin_sparse, current_sparse = page_pair ~modified:8 in
-  let full_diff = Diff.create ~twin:twin_full ~current:current_full in
-  let sparse_diff = Diff.create ~twin:twin_sparse ~current:current_sparse in
+  let full_diff = Diff.create ~twin:twin_full ~current:current_full () in
+  let sparse_diff = Diff.create ~twin:twin_sparse ~current:current_sparse () in
   let target = Page.create () in
   let ranges =
     List.init 16 (fun i -> ((i * 256) + (if i mod 3 = 0 then 64 else 0), 40))
@@ -68,14 +69,14 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Page.copy twin_full)));
     Test.make ~name:"diff create (full page)"
       (Staged.stage (fun () ->
-           ignore (Diff.create ~twin:twin_full ~current:current_full)));
+           ignore (Diff.create ~twin:twin_full ~current:current_full ())));
     Test.make ~name:"diff create (sparse)"
       (Staged.stage (fun () ->
-           ignore (Diff.create ~twin:twin_sparse ~current:current_sparse)));
+           ignore (Diff.create ~twin:twin_sparse ~current:current_sparse ())));
     Test.make ~name:"diff create (clean page)"
       (Staged.stage (fun () ->
            (* all-equal pages: pure scan cost, the word-skip fast path *)
-           ignore (Diff.create ~twin:twin_full ~current:twin_full)));
+           ignore (Diff.create ~twin:twin_full ~current:twin_full ())));
     Test.make ~name:"diff of_ranges (16 ranges)"
       (Staged.stage (fun () -> ignore (Diff.of_ranges ranges current_full)));
     Test.make ~name:"diff apply (full page)"
@@ -101,6 +102,60 @@ let micro_tests () =
            drain ()));
   ]
 
+(* Accessor hot-path rows: each run is a full 1-processor [Dsm.run] (its
+   engine/node setup is a few microseconds, small against the 8k
+   accesses), so a regression anywhere on the access path — TLB hit,
+   permission check, or the outlined fault path — moves these numbers.
+   The x-counts are in the row names; divide to get per-access cost. *)
+let accessor_tests () =
+  let open Bechamel in
+  let pages = 64 in
+  let cfg = Config.make ~protocol:Config.Mw ~nprocs:1 () in
+  let t = Dsm.create cfg in
+  let a = Dsm.alloc_f64 t ~name:"bench-accessors" ~len:(pages * 512) in
+  let buf = Array.make 512 0. in
+  [
+    Test.make ~name:"f64_get x8192 (scalar, warm)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsm.run t (fun ctx ->
+                  let s = ref 0. in
+                  for i = 0 to 8191 do
+                    s := !s +. Dsm.f64_get ctx a (i land 511)
+                  done;
+                  ignore !s))));
+    Test.make ~name:"f64_set x8192 (scalar, warm)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsm.run t (fun ctx ->
+                  for i = 0 to 8191 do
+                    Dsm.f64_set ctx a (i land 511) 1.0
+                  done))));
+    Test.make ~name:"f64_get_run x8192 (512/run)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsm.run t (fun ctx ->
+                  for _ = 1 to 16 do
+                    Dsm.f64_get_run ctx a 0 buf 0 512
+                  done))));
+    Test.make ~name:"f64_set_run x8192 (512/run)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsm.run t (fun ctx ->
+                  for _ = 1 to 16 do
+                    Dsm.f64_set_run ctx a 0 buf 0 512
+                  done))));
+    Test.make ~name:"page fault x64 (read, cold)"
+      (Staged.stage (fun () ->
+           ignore
+             (Dsm.run t (fun ctx ->
+                  let s = ref 0. in
+                  for p = 0 to pages - 1 do
+                    s := !s +. Dsm.f64_get ctx a (p * 512)
+                  done;
+                  ignore !s))));
+  ]
+
 let run_micro () =
   let open Bechamel in
   print_endline "Microbenchmarks: protocol primitives (wall-clock, host CPU)";
@@ -111,7 +166,10 @@ let run_micro () =
   let cfg =
     Benchmark.cfg ~limit:500 ~quota:(Time.second 0.2) ~kde:None ()
   in
-  let tests = Test.make_grouped ~name:"primitives" (micro_tests ()) in
+  let tests =
+    Test.make_grouped ~name:"primitives"
+      (micro_tests () @ accessor_tests ())
+  in
   let raw = Benchmark.all cfg [ instance ] tests in
   let results =
     Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
@@ -292,8 +350,15 @@ let perf ~tiny ~jobs () =
       cells
   in
   let seq_wall_ns = int_of_float ((now () -. seq_t0) *. 1e9) in
+  (* The sequential pass doubles as the weight oracle: dispatch the
+     parallel pass longest-first so the heaviest cell (SOR/MW by a wide
+     margin) cannot start last and run alone past the rest of the
+     suite. *)
+  let wall_of = Hashtbl.create 16 in
+  List.iter (fun (cell, _, w) -> Hashtbl.replace wall_of cell w) timed;
+  let weight cell = try Hashtbl.find wall_of cell with Not_found -> 0 in
   let par_t0 = now () in
-  let par = Pool.map ~jobs run_cell cells in
+  let par = Pool.map ~jobs ~weight run_cell cells in
   let par_wall_ns = int_of_float ((now () -. par_t0) *. 1e9) in
   let mismatches =
     List.filter (fun ((_, m, _), m') -> m <> m') (List.combine timed par)
@@ -368,6 +433,18 @@ let perf ~tiny ~jobs () =
   if mismatches <> [] then begin
     print_string (Buffer.contents buf);
     failwith "perf: parallel suite diverged from sequential"
+  end;
+  (* Smoke criterion: on a multicore host, a parallel pass that is not
+     actually faster than sequential is a pool regression.  Single-core
+     hosts (and jobs=1 runs) are exempt — there is no parallelism to
+     claim. *)
+  if jobs >= 2 && Domain.recommended_domain_count () >= 2 && speedup <= 1.0
+  then begin
+    print_string (Buffer.contents buf);
+    failwith
+      (Printf.sprintf
+         "perf: parallel suite speedup %.2fx <= 1.0 on a multicore host"
+         speedup)
   end;
   Buffer.contents buf
 

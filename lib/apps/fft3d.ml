@@ -38,7 +38,19 @@ let make t p =
     let re3 = Array.make p.n3 0. and im3 = Array.make p.n3 0. in
     let re2 = Array.make p.n2 0. and im2 = Array.make p.n2 0. in
     let re1 = Array.make p.n1 0. and im1 = Array.make p.n1 0. in
-    (* Initialize own planes with a deterministic field. *)
+    (* Initialize own planes with a deterministic field.
+
+       Note the writes here (and in the loops below) stay per-word even
+       though each half-row is run-contiguous: the scalar code
+       interleaves re/im writes word by word across the two halves —
+       two different pages — and under SW an ownership revocation can
+       land while the writer is suspended in a mid-row fault, making
+       the next write to the *other* page fault again.  Batching the
+       halves into two runs would reorder that access sequence and
+       change the protocol traffic.  Reads are batched below: losing
+       ownership only downgrades to read-only, so a read run never
+       faults past its first word and reordering-free bulk reads are
+       behavior-neutral. *)
     for i = a_lo to a_hi - 1 do
       for j = 0 to p.n2 - 1 do
         for k = 0 to p.n3 - 1 do
@@ -55,9 +67,11 @@ let make t p =
       (* Evolve and FFT along n3 (locally contiguous rows of A). *)
       for i = a_lo to a_hi - 1 do
         for j = 0 to p.n2 - 1 do
+          Dsm.f64_get_run ctx a (a_idx i j 0) re3 0 p.n3;
+          Dsm.f64_get_run ctx a (size + a_idx i j 0) im3 0 p.n3;
           for k = 0 to p.n3 - 1 do
-            re3.(k) <- factor *. Dsm.f64_get ctx a (a_idx i j k);
-            im3.(k) <- factor *. Dsm.f64_get ctx a (size + a_idx i j k)
+            re3.(k) <- factor *. re3.(k);
+            im3.(k) <- factor *. im3.(k)
           done;
           Fft_core.fft ~invert:false re3 im3;
           for k = 0 to p.n3 - 1 do
@@ -90,6 +104,7 @@ let make t p =
             im1.(i) <- Dsm.f64_get ctx a (size + a_idx i j k)
           done;
           Fft_core.fft ~invert:false re1 im1;
+          (* Per-word interleaved writes: see the init-loop comment. *)
           for i = 0 to p.n1 - 1 do
             Dsm.f64_set ctx b (b_idx k j i) re1.(i);
             Dsm.f64_set ctx b (size + b_idx k j i) im1.(i)
@@ -103,10 +118,12 @@ let make t p =
       let norm = ref 0. in
       for k = b_lo to b_hi - 1 do
         for j = 0 to p.n2 - 1 do
+          Dsm.f64_get_run ctx b (b_idx k j 0) re1 0 p.n1;
+          Dsm.f64_get_run ctx b (size + b_idx k j 0) im1 0 p.n1;
+          (* Accumulate in the scalar loop's exact FP order:
+             re_i^2 then im_i^2, element by element. *)
           for i = 0 to p.n1 - 1 do
-            let re = Dsm.f64_get ctx b (b_idx k j i)
-            and im = Dsm.f64_get ctx b (size + b_idx k j i) in
-            norm := !norm +. (re *. re) +. (im *. im)
+            norm := !norm +. (re1.(i) *. re1.(i)) +. (im1.(i) *. im1.(i))
           done
         done
       done;

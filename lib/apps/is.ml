@@ -47,24 +47,32 @@ let make t p =
       Dsm.compute ctx (ns_per_bucket * p.buckets);
       Dsm.unlock ctx l;
       Dsm.barrier ctx;
-      (* Processor 0 turns counts into ranks (prefix sums). *)
+      (* Processor 0 turns counts into ranks (prefix sums).  Chunked at
+         page granularity so the page fault order stays that of the
+         scalar loop: buckets page, ranks page, next buckets page, ... *)
       if me = 0 then begin
+        let chunk = Adsm_mem.Page.size / 4 in
+        let cbuf = Array.make (min chunk p.buckets) 0l in
         let acc = ref 0l in
-        for b = 0 to p.buckets - 1 do
-          acc := Int32.add !acc (Dsm.i32_get ctx buckets b);
-          Dsm.i32_set ctx ranks b !acc
+        let b = ref 0 in
+        while !b < p.buckets do
+          let len = min chunk (p.buckets - !b) in
+          Dsm.i32_get_run ctx buckets !b cbuf 0 len;
+          for q = 0 to len - 1 do
+            acc := Int32.add !acc cbuf.(q);
+            cbuf.(q) <- !acc
+          done;
+          Dsm.i32_set_run ctx ranks !b cbuf 0 len;
+          b := !b + len
         done;
         Dsm.compute ctx (ns_per_bucket * p.buckets)
       end;
       Dsm.barrier ctx
     done;
-    if me = 0 then begin
-      let acc = ref 0. in
-      for b = 0 to p.buckets - 1 do
-        acc := Common.mix !acc (Int32.to_float (Dsm.i32_get ctx ranks b))
-      done;
-      Common.set_checksum checksum !acc
-    end;
+    if me = 0 then
+      Common.set_checksum checksum
+        (Dsm.i32_fold_run ctx ranks 0 p.buckets ~init:0. ~f:(fun a v ->
+             Common.mix a (Int32.to_float v)));
     Dsm.barrier ctx
   in
   (run, fun () -> Common.get_checksum checksum)

@@ -15,6 +15,16 @@ let sync_desc = "b"
 
 let ns_per_point = 4_500
 
+(* Shallow deliberately keeps per-word accessors rather than the bulk
+   run API: every stencil nest interleaves reads of several source
+   arrays with the per-element write of its target, so a mid-row read
+   fault is a yield point at which SW can revoke the target page's
+   ownership and force the next write to fault again.  Hoisting rows
+   into get_run/set_run removes those re-faults, which is observable in
+   SW message counts once bands are narrow enough for neighbouring
+   processors to contend on boundary pages (8+ processors at tiny
+   scale).  See the matching note in fft3d.ml. *)
+
 let make t p =
   let size = p.rows * p.cols in
   let u = Dsm.alloc_f64 t ~name:"shallow-u" ~len:size in

@@ -22,13 +22,19 @@ let make t p =
     let me = Dsm.me ctx and nprocs = Dsm.nprocs ctx in
     let lo, hi = Common.band ~n:p.rows ~nprocs ~me in
     let idx i j = (i * p.cols) + j in
+    (* Private row buffers for the bulk reads.  The red-black coloring
+       makes the row snapshots exact: a phase only writes elements of one
+       parity and only reads the other, so nothing read here can have been
+       written earlier in the same phase. *)
+    let up = Array.make p.cols 0. in
+    let down = Array.make p.cols 0. in
+    let row = Array.make p.cols 0. in
+    let ones = Array.make p.cols 1.0 in
     (* Each processor initializes its own band: boundary elements 1,
        interior 0 (pages are already zero-filled). *)
     for i = lo to hi - 1 do
       if i = 0 || i = p.rows - 1 then
-        for j = 0 to p.cols - 1 do
-          Dsm.f64_set ctx grid (idx i j) 1.0
-        done
+        Dsm.f64_set_run ctx grid (idx i 0) ones 0 p.cols
       else begin
         Dsm.f64_set ctx grid (idx i 0) 1.0;
         Dsm.f64_set ctx grid (idx i (p.cols - 1)) 1.0
@@ -40,15 +46,33 @@ let make t p =
       for phase = 0 to 1 do
         for i = max lo 1 to min (hi - 1) (p.rows - 2) do
           let j0 = 1 + ((i + phase) land 1) in
+          (* Rows inside our own band are read in full with one bulk run
+             per page — every word was written by us, so the extra words a
+             full-row read touches are race-free.  A neighbor's boundary
+             row is read only at the scalar loop's read-parity columns:
+             its write-parity columns are being written concurrently over
+             there, and the word sets must not grow racier than the
+             per-word code.  Page first-touch order stays that of the
+             scalar loop: row i-1, row i+1, then row i. *)
+          let read_neighbor buf r =
+            let j = ref j0 in
+            while !j <= p.cols - 2 do
+              buf.(!j) <- Dsm.f64_get ctx grid (idx r !j);
+              j := !j + 2
+            done
+          in
+          if i - 1 >= lo then Dsm.f64_get_run ctx grid (idx (i - 1) 0) up 0 p.cols
+          else read_neighbor up (i - 1);
+          if i + 1 <= hi - 1 then
+            Dsm.f64_get_run ctx grid (idx (i + 1) 0) down 0 p.cols
+          else read_neighbor down (i + 1);
+          Dsm.f64_get_run ctx grid (idx i 0) row 0 p.cols;
           let j = ref j0 in
           while !j <= p.cols - 2 do
-            let up = Dsm.f64_get ctx grid (idx (i - 1) !j)
-            and down = Dsm.f64_get ctx grid (idx (i + 1) !j)
-            and left = Dsm.f64_get ctx grid (idx i (!j - 1))
-            and right = Dsm.f64_get ctx grid (idx i (!j + 1)) in
-            let v = 0.25 *. (up +. down +. left +. right) in
-            if v <> Dsm.f64_get ctx grid (idx i !j) then
-              Dsm.f64_set ctx grid (idx i !j) v;
+            let v =
+              0.25 *. (up.(!j) +. down.(!j) +. row.(!j - 1) +. row.(!j + 1))
+            in
+            if v <> row.(!j) then Dsm.f64_set ctx grid (idx i !j) v;
             j := !j + 2
           done;
           Dsm.compute ctx (ns_per_update * (p.cols - 2) / 2)
@@ -56,15 +80,9 @@ let make t p =
         Dsm.barrier ctx
       done
     done;
-    if me = 0 then begin
-      let acc = ref 0. in
-      for i = 0 to p.rows - 1 do
-        for j = 0 to p.cols - 1 do
-          acc := Common.mix !acc (Dsm.f64_get ctx grid (idx i j))
-        done
-      done;
-      Common.set_checksum checksum !acc
-    end;
+    if me = 0 then
+      Common.set_checksum checksum
+        (Dsm.f64_fold_run ctx grid 0 (p.rows * p.cols) ~init:0. ~f:Common.mix);
     Dsm.barrier ctx
   in
   (run, fun () -> Common.get_checksum checksum)

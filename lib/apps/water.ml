@@ -49,6 +49,9 @@ let make t p =
     let me = Dsm.me ctx and nprocs = Dsm.nprocs ctx in
     let lo, hi = Common.band ~n:p.molecules ~nprocs ~me in
     let fidx m field = (m * mol_size) + field in
+    (* Run buffers: force clear and the pair loop's position reads. *)
+    let zero3 = Array.make 3 0. in
+    let pos3i = Array.make 3 0. and pos3j = Array.make 3 0. in
     (* Initialize own molecules deterministically; per-molecule seeds keep
        the workload independent of the processor count. *)
     for m = lo to hi - 1 do
@@ -61,11 +64,12 @@ let make t p =
     Dsm.barrier ctx;
     for _step = 1 to p.steps do
       (* Clear own forces (unsynchronized writes: boundary pages falsely
-         shared between adjacent bands). *)
+         shared between adjacent bands).  One 3-word run per molecule —
+         same words in the same ascending order as the scalar loop, so a
+         molecule straddling a page boundary faults in the same
+         sequence. *)
       for m = lo to hi - 1 do
-        for k = 0 to 2 do
-          Dsm.f64_set ctx mols (fidx m (force_off + k)) 0.0
-        done
+        Dsm.f64_set_run ctx mols (fidx m force_off) zero3 0 3
       done;
       Dsm.compute ctx (ns_per_mol * (hi - lo));
       Dsm.barrier ctx;
@@ -80,14 +84,14 @@ let make t p =
       in
       let pairs = ref 0 in
       for i = lo to hi - 1 do
-        let xi = Dsm.f64_get ctx mols (fidx i (pos_off + 0))
-        and yi = Dsm.f64_get ctx mols (fidx i (pos_off + 1))
-        and zi = Dsm.f64_get ctx mols (fidx i (pos_off + 2)) in
+        Dsm.f64_get_run ctx mols (fidx i pos_off) pos3i 0 3;
+        let xi = pos3i.(0) and yi = pos3i.(1) and zi = pos3i.(2) in
         for j = i + 1 to p.molecules - 1 do
           incr pairs;
-          let dx = xi -. Dsm.f64_get ctx mols (fidx j (pos_off + 0))
-          and dy = yi -. Dsm.f64_get ctx mols (fidx j (pos_off + 1))
-          and dz = zi -. Dsm.f64_get ctx mols (fidx j (pos_off + 2)) in
+          Dsm.f64_get_run ctx mols (fidx j pos_off) pos3j 0 3;
+          let dx = xi -. pos3j.(0)
+          and dy = yi -. pos3j.(1)
+          and dz = zi -. pos3j.(2) in
           let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
           if r2 < p.cutoff *. p.cutoff && r2 > 1e-12 then begin
             let f = 1e-4 /. (r2 +. 0.01) in

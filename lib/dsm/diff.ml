@@ -1,19 +1,29 @@
 module Page = Adsm_mem.Page
 
-(* Flat representation: run [i] covers [offs.(i) .. offs.(i) + length
-   data.(i)), offsets strictly increasing.  The encoded size and modified
-   byte count are computed once at construction — [Stats.diff_created],
-   message sizing and the protocol cost model all query them on every
-   diff, and the old [run list] representation re-folded the list each
-   time. *)
+(* Flat representation: run [i] covers [offs.(i) .. offs.(i) + lens.(i)),
+   offsets strictly increasing, with every run's data concatenated in one
+   [payload] buffer — three allocations per diff however many runs it
+   has (a fine-grained diff of alternate words has hundreds, and a
+   per-run [Bytes.sub] dominated diff creation).  The encoded size and
+   modified byte count are computed once at construction —
+   [Stats.diff_created], message sizing and the protocol cost model all
+   query them on every diff. *)
 type t = {
   offs : int array;
-  data : Bytes.t array;
+  lens : int array;
+  payload : Bytes.t;  (* run data, concatenated in run order *)
   size_bytes : int;  (* run headers + payload *)
   modified_bytes : int;  (* payload only *)
 }
 
-let empty = { offs = [||]; data = [||]; size_bytes = 0; modified_bytes = 0 }
+let empty =
+  {
+    offs = [||];
+    lens = [||];
+    payload = Bytes.empty;
+    size_bytes = 0;
+    modified_bytes = 0;
+  }
 
 let run_header_bytes = 4 (* 2-byte offset + 2-byte length *)
 
@@ -23,97 +33,94 @@ let run_header_bytes = 4 (* 2-byte offset + 2-byte length *)
    full page size (the paper's IS behaviour). *)
 let word = 4
 
-let of_runs ~nruns ~modified_words offs data =
+let of_runs ~nruns ~modified_words offs lens payload =
   let modified_bytes = modified_words * word in
   {
     offs;
-    data;
+    lens;
+    payload;
     size_bytes = (nruns * run_header_bytes) + modified_bytes;
     modified_bytes;
   }
 
-(* The page scan compares 8-byte chunks first and only drops to 32-bit
-   words inside a differing chunk, so the common all-equal stretches cost
-   one load+compare per two words.  Only *equality* of same-offset chunks
-   is ever tested, so native-endian unaligned loads are fine on any
-   architecture, and the indices are bounded by the page size by
-   construction, so the unchecked primitives are safe.  Run boundaries
-   are identical to a plain word-at-a-time scan. *)
-
-external get64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+(* The page scan compares one 32-bit word at a time, avoiding
+   [Int32.equal]: comparing boxed [int32]/[int64] values goes through a C
+   call, which dominated the scan, while [Int32.to_int] is a compiler
+   primitive, so this compiles to an unboxed register compare.  Only
+   *equality* of same-offset words is ever tested, so native-endian loads
+   are fine on any architecture, and the indices are bounded by the page
+   size by construction, so the unchecked primitive is safe. *)
 
 external get32u : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
 
-let word_equal a b w = Int32.equal (get32u a (w * word)) (get32u b (w * word))
+let word_equal a b w =
+  Int32.to_int (get32u a (w * word)) = Int32.to_int (get32u b (w * word))
 
 (* First differing word index >= [w0], or [n] if none. *)
 let next_diff a b w0 n =
-  let w = ref w0 and found = ref (-1) in
-  while !found < 0 && !w < n do
-    let i = !w in
-    if i + 1 < n then
-      if Int64.equal (get64u a (i * word)) (get64u b (i * word)) then
-        w := i + 2
-      else if word_equal a b i then found := i + 1
-      else found := i
-    else if word_equal a b i then incr w
-    else found := i
+  let w = ref w0 in
+  while !w < n && word_equal a b !w do
+    incr w
   done;
-  if !found < 0 then n else !found
+  !w
 
 (* First equal word index >= [w0] (the end of a run), or [n] if none. *)
 let run_end a b w0 n =
-  let w = ref w0 and found = ref (-1) in
-  while !found < 0 && !w < n do
-    let i = !w in
-    if i + 1 < n then
-      if Int64.equal (get64u a (i * word)) (get64u b (i * word)) then
-        found := i
-      else if word_equal a b i then found := i
-      else if word_equal a b (i + 1) then found := i + 1
-      else w := i + 2
-    else if word_equal a b i then found := i
-    else incr w
+  let w = ref w0 in
+  while !w < n && not (word_equal a b !w) do
+    incr w
   done;
-  if !found < 0 then n else !found
+  !w
 
-let create ~twin ~current =
+(* Reusable per-caller working space for [create]: the scan writes run
+   boundaries and payload here in a single pass, then copies out
+   exact-sized arrays.  A page of [w] modified words has at most
+   [(w+1)/2 <= 512] runs.  NOT thread-safe — callers running in separate
+   domains (the parallel bench pool) must each use their own scratch;
+   the DSM runtime keeps one per cluster. *)
+type scratch = {
+  s_offs : int array;
+  s_lens : int array;
+  s_payload : Bytes.t;
+}
+
+let make_scratch () =
+  {
+    s_offs = Array.make 512 0;
+    s_lens = Array.make 512 0;
+    s_payload = Bytes.create Page.size;
+  }
+
+let create ?scratch ~twin ~current () =
+  let s = match scratch with Some s -> s | None -> make_scratch () in
   let a = Page.raw twin and b = Page.raw current in
   let n = Page.size / word in
-  (* Single scan; runs collect into a doubling buffer (pages rarely have
-     more than a handful). *)
-  let offs = ref (Array.make 8 0) in
-  let data = ref (Array.make 8 Bytes.empty) in
-  let nruns = ref 0 and modified_words = ref 0 in
+  let nruns = ref 0 and pos = ref 0 in
   let w = ref (next_diff a b 0 n) in
   while !w < n do
     let stop = run_end a b !w n in
-    if !nruns = Array.length !offs then begin
-      let cap = 2 * !nruns in
-      let offs' = Array.make cap 0 and data' = Array.make cap Bytes.empty in
-      Array.blit !offs 0 offs' 0 !nruns;
-      Array.blit !data 0 data' 0 !nruns;
-      offs := offs';
-      data := data'
-    end;
-    let off = !w * word in
-    !offs.(!nruns) <- off;
-    !data.(!nruns) <- Bytes.sub b off ((stop - !w) * word);
+    let off = !w * word and len = (stop - !w) * word in
+    s.s_offs.(!nruns) <- off;
+    s.s_lens.(!nruns) <- len;
+    Bytes.blit b off s.s_payload !pos len;
+    pos := !pos + len;
     incr nruns;
-    modified_words := !modified_words + (stop - !w);
     w := next_diff a b stop n
   done;
   if !nruns = 0 then empty
   else
-    of_runs ~nruns:!nruns ~modified_words:!modified_words
-      (Array.sub !offs 0 !nruns)
-      (Array.sub !data 0 !nruns)
+    of_runs ~nruns:!nruns ~modified_words:(!pos / word)
+      (Array.sub s.s_offs 0 !nruns)
+      (Array.sub s.s_lens 0 !nruns)
+      (Bytes.sub s.s_payload 0 !pos)
 
 let apply t page =
   let raw = Page.raw page in
+  let pos = ref 0 in
   for i = 0 to Array.length t.offs - 1 do
-    let d = t.data.(i) in
-    Bytes.blit d 0 raw t.offs.(i) (Bytes.length d)
+    let len = t.lens.(i) in
+    Bytes.blit t.payload !pos raw t.offs.(i) len;
+    pos := !pos + len
   done
 
 let size_bytes t = t.size_bytes
@@ -125,8 +132,7 @@ let run_count t = Array.length t.offs
 let modified_bytes t = t.modified_bytes
 
 let ranges t =
-  Array.to_list
-    (Array.mapi (fun i off -> (off, Bytes.length t.data.(i))) t.offs)
+  Array.to_list (Array.mapi (fun i off -> (off, t.lens.(i))) t.offs)
 
 let pp ppf t =
   Format.fprintf ppf "diff[%d runs, %d bytes]" (run_count t) (modified_bytes t)
@@ -172,11 +178,12 @@ let of_ranges ranges page =
     let raw = Page.raw page in
     let nruns = !count in
     let offs = Array.sub starts 0 nruns in
-    let data =
-      Array.init nruns (fun i ->
-          Bytes.sub raw starts.(i) (stops.(i) - starts.(i)))
-    in
-    let modified_words =
-      Array.fold_left (fun acc d -> acc + (Bytes.length d / word)) 0 data
-    in
-    of_runs ~nruns ~modified_words offs data
+    let lens = Array.init nruns (fun i -> stops.(i) - starts.(i)) in
+    let modified_bytes = Array.fold_left ( + ) 0 lens in
+    let payload = Bytes.create modified_bytes in
+    let pos = ref 0 in
+    for i = 0 to nruns - 1 do
+      Bytes.blit raw offs.(i) payload !pos lens.(i);
+      pos := !pos + lens.(i)
+    done;
+    of_runs ~nruns ~modified_words:(modified_bytes / word) offs lens payload

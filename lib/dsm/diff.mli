@@ -6,9 +6,21 @@
 
 type t
 
-(** [create ~twin ~current] encodes the modifications that turned [twin]
-    into [current]. *)
-val create : twin:Adsm_mem.Page.t -> current:Adsm_mem.Page.t -> t
+(** Reusable working space for {!create}: the single-pass scan stages run
+    boundaries and payload here before copying out exact-sized arrays.
+    NOT thread-safe — each domain (e.g. each parallel-bench worker) must
+    use its own; the DSM runtime keeps one per cluster. *)
+type scratch
+
+val make_scratch : unit -> scratch
+
+(** [create ~twin ~current ()] encodes the modifications that turned
+    [twin] into [current].  Passing [?scratch] avoids allocating working
+    space per call (the hot path: one diff per dirty page per
+    interval). *)
+val create :
+  ?scratch:scratch -> twin:Adsm_mem.Page.t -> current:Adsm_mem.Page.t ->
+  unit -> t
 
 (** [of_ranges ranges page] builds a diff from logged [(offset, length)]
     write ranges and the page's current contents — software write

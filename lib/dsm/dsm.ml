@@ -105,6 +105,7 @@ let run ?(tracer = Adsm_trace.Tracer.disabled)
       running = cfg.Config.nprocs;
       tracer;
       recorder;
+      diff_scratch = Diff.make_scratch ();
     }
   in
   t.cluster <- Some cluster;
@@ -208,61 +209,124 @@ let barrier ctx = Proto.barrier ctx.cluster ctx.node
 
 (* --- shared-array accessors --- *)
 
-let locate_f64 a i =
-  if i < 0 || i >= a.f_len then
-    invalid_arg
-      (Printf.sprintf "Dsm: f64 index %d out of bounds [0,%d)" i a.f_len);
-  let byte = 8 * i in
-  (a.f_region.Layout.first_page + (byte / Page.size), byte mod Page.size)
+(* The accessor hot path.  A scalar access compiles down to: bounds test,
+   shift/mask address arithmetic (page sizes are powers of two), one-slot
+   TLB probe, raw byte access.  Everything else — permission test against
+   the entry, protocol faults, TLB fill, write logging — lives in the
+   outlined cold paths below.  The TLB may only serve accesses the entry
+   itself would have allowed: it is filled here after the permission check
+   and reset by every site that downgrades a page's rights (see
+   {!State.tlb_reset}), so hits never change the fault sequence.
 
-let locate_i32 a i =
-  if i < 0 || i >= a.i_len then
-    invalid_arg
-      (Printf.sprintf "Dsm: i32 index %d out of bounds [0,%d)" i a.i_len);
-  let byte = 4 * i in
-  (a.i_region.Layout.first_page + (byte / Page.size), byte mod Page.size)
+   The loops use bounds-checked bytes primitives declared here rather
+   than [Page.get_f64]/[set_f64]: without flambda a cross-module call is
+   not inlined and every returned float is boxed — two minor words per
+   word accessed.  Primitives applied directly are unboxed by the
+   backend.  [Page] asserts a little-endian host at startup. *)
 
-let rec read_page ctx page off ~get =
+external get_32 : Bytes.t -> int -> int32 = "%caml_bytes_get32"
+
+external set_32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32"
+
+external get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+
+external set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64"
+
+let[@inline never] oob_f64 i len =
+  invalid_arg (Printf.sprintf "Dsm: f64 index %d out of bounds [0,%d)" i len)
+
+let[@inline never] oob_i32 i len =
+  invalid_arg (Printf.sprintf "Dsm: i32 index %d out of bounds [0,%d)" i len)
+
+let[@inline never] oob_run kind i len bound =
+  invalid_arg
+    (Printf.sprintf "Dsm: %s run [%d,%d) out of bounds [0,%d)" kind i
+       (i + len) bound)
+
+let[@inline never] oob_buf fn =
+  invalid_arg (Printf.sprintf "Dsm.%s: buffer range out of bounds" fn)
+
+let install_tlb node page raw (e : State.entry) =
+  node.State.tlb <-
+    Some
+      {
+        State.t_page = page;
+        t_raw = raw;
+        t_entry = e;
+        t_write = Perm.allows_write e.State.perm && not e.State.log_writes;
+      }
+
+let[@inline never] read_slow ctx page =
   let e = ctx.node.State.pages.(page) in
-  if Perm.allows_read e.State.perm then get (State.frame e) off
-  else begin
-    Proto.read_fault ctx.cluster ctx.node e;
-    read_page ctx page off ~get
-  end
+  while not (Perm.allows_read e.State.perm) do
+    Proto.read_fault ctx.cluster ctx.node e
+  done;
+  let raw = Page.raw (State.frame e) in
+  install_tlb ctx.node page raw e;
+  raw
 
-let rec write_page ctx page off ~len ~set =
+(* [words] is the number of word writes the logged range covers: software
+   write detection charges per logged WORD ([logged_count]), while the
+   range list carries one coalesced entry per run — [Diff.of_ranges]
+   word-aligns, sorts and merges ranges, so the resulting diff is
+   byte-identical to per-word logging of the same run. *)
+let[@inline never] write_slow ctx page off ~bytes ~words =
   let e = ctx.node.State.pages.(page) in
-  if Perm.allows_write e.State.perm then begin
-    set (State.frame e) off;
-    if e.State.log_writes then begin
-      (* software write detection (Config.write_ranges) *)
-      e.State.logged_ranges <- (off, len) :: e.State.logged_ranges;
-      e.State.logged_count <- e.State.logged_count + 1
-    end
+  while not (Perm.allows_write e.State.perm) do
+    Proto.write_fault ctx.cluster ctx.node e
+  done;
+  let raw = Page.raw (State.frame e) in
+  if e.State.log_writes then begin
+    (* software write detection (Config.write_ranges); the TLB must not
+       cache a writable slot for a logging page. *)
+    e.State.logged_ranges <- (off, bytes) :: e.State.logged_ranges;
+    e.State.logged_count <- e.State.logged_count + words
   end
-  else begin
-    Proto.write_fault ctx.cluster ctx.node e;
-    write_page ctx page off ~len ~set
-  end
+  else install_tlb ctx.node page raw e;
+  raw
 
 let f64_get ctx a i =
-  let page, off = locate_f64 a i in
-  let v = read_page ctx page off ~get:Page.get_f64 in
+  if i < 0 || i >= a.f_len then oob_f64 i a.f_len;
+  let byte = i lsl 3 in
+  let page = a.f_region.Layout.first_page + (byte lsr Page.shift) in
+  let off = byte land Page.mask in
+  let v =
+    match ctx.node.State.tlb with
+    | Some t when t.State.t_page = page ->
+      Int64.float_of_bits (get_64 t.State.t_raw off)
+    | _ -> Int64.float_of_bits (get_64 (read_slow ctx page) off)
+  in
   if State.checking ctx.cluster then
     State.observe ctx.cluster ~node:ctx.node.State.id
       (Adsm_check.Obs.Read { page; off; width = 8; bits = Int64.bits_of_float v });
   v
 
 let f64_set ctx a i v =
-  let page, off = locate_f64 a i in
-  write_page ctx page off ~len:8 ~set:(fun p o -> Page.set_f64 p o v);
+  if i < 0 || i >= a.f_len then oob_f64 i a.f_len;
+  let byte = i lsl 3 in
+  let page = a.f_region.Layout.first_page + (byte lsr Page.shift) in
+  let off = byte land Page.mask in
+  (match ctx.node.State.tlb with
+  | Some t when t.State.t_page = page && t.State.t_write ->
+    set_64 t.State.t_raw off (Int64.bits_of_float v)
+  | _ ->
+    set_64
+      (write_slow ctx page off ~bytes:8 ~words:1)
+      off (Int64.bits_of_float v));
   if State.checking ctx.cluster then
     State.observe ctx.cluster ~node:ctx.node.State.id
       (Adsm_check.Obs.Write { page; off; width = 8; bits = Int64.bits_of_float v })
 
 let i32_get ctx a i =
-  let page, off = locate_i32 a i in
-  let v = read_page ctx page off ~get:Page.get_i32 in
+  if i < 0 || i >= a.i_len then oob_i32 i a.i_len;
+  let byte = i lsl 2 in
+  let page = a.i_region.Layout.first_page + (byte lsr Page.shift) in
+  let off = byte land Page.mask in
+  let v =
+    match ctx.node.State.tlb with
+    | Some t when t.State.t_page = page -> get_32 t.State.t_raw off
+    | _ -> get_32 (read_slow ctx page) off
+  in
   if State.checking ctx.cluster then
     State.observe ctx.cluster ~node:ctx.node.State.id
       (Adsm_check.Obs.Read
@@ -270,16 +334,242 @@ let i32_get ctx a i =
   v
 
 let i32_set ctx a i v =
-  let page, off = locate_i32 a i in
-  write_page ctx page off ~len:4 ~set:(fun p o -> Page.set_i32 p o v);
+  if i < 0 || i >= a.i_len then oob_i32 i a.i_len;
+  let byte = i lsl 2 in
+  let page = a.i_region.Layout.first_page + (byte lsr Page.shift) in
+  let off = byte land Page.mask in
+  (match ctx.node.State.tlb with
+  | Some t when t.State.t_page = page && t.State.t_write ->
+    set_32 t.State.t_raw off v
+  | _ -> set_32 (write_slow ctx page off ~bytes:4 ~words:1) off v);
   if State.checking ctx.cluster then
     State.observe ctx.cluster ~node:ctx.node.State.id
       (Adsm_check.Obs.Write
          { page; off; width = 4; bits = Int64.of_int32 v })
 
+(* One locate for the whole read-modify-write.  Observable semantics are
+   those of [i32_get] followed by [i32_set]: the read (and its possible
+   read fault) happens first, the addend is applied to the value read
+   BEFORE the write fault, and the write never re-reads. *)
 let i32_add ctx a i v =
-  let current = i32_get ctx a i in
-  i32_set ctx a i (Int32.add current v)
+  if i < 0 || i >= a.i_len then oob_i32 i a.i_len;
+  let byte = i lsl 2 in
+  let page = a.i_region.Layout.first_page + (byte lsr Page.shift) in
+  let off = byte land Page.mask in
+  let current =
+    match ctx.node.State.tlb with
+    | Some t when t.State.t_page = page -> get_32 t.State.t_raw off
+    | _ -> get_32 (read_slow ctx page) off
+  in
+  if State.checking ctx.cluster then
+    State.observe ctx.cluster ~node:ctx.node.State.id
+      (Adsm_check.Obs.Read
+         { page; off; width = 4; bits = Int64.of_int32 current });
+  let sum = Int32.add current v in
+  (match ctx.node.State.tlb with
+  | Some t when t.State.t_page = page && t.State.t_write ->
+    set_32 t.State.t_raw off sum
+  | _ -> set_32 (write_slow ctx page off ~bytes:4 ~words:1) off sum);
+  if State.checking ctx.cluster then
+    State.observe ctx.cluster ~node:ctx.node.State.id
+      (Adsm_check.Obs.Write
+         { page; off; width = 4; bits = Int64.of_int32 sum })
+
+(* --- bulk page-run operations --- *)
+
+(* Sugar over the word accessors with identical observable semantics: one
+   bounds+permission check (and one fault retry loop) per within-page run
+   instead of per word.  The page split visits pages in ascending order,
+   exactly the order the equivalent scalar loop first touches them, and a
+   run can only fault at its first word — between the words of a run the
+   process never yields, so no handler can change the page's protection
+   mid-run (the same argument that makes the scalar loop fault-free after
+   its first touch).  When the consistency recorder is live the bulk ops
+   degrade to the scalar loop so the observation stream is identical. *)
+
+let f64_get_run ctx a i dst pos len =
+  if len < 0 || i < 0 || i + len > a.f_len then oob_run "f64" i len a.f_len;
+  if pos < 0 || pos + len > Array.length dst then oob_buf "f64_get_run";
+  if State.checking ctx.cluster then
+    for k = 0 to len - 1 do
+      dst.(pos + k) <- f64_get ctx a (i + k)
+    done
+  else begin
+    let first_page = a.f_region.Layout.first_page in
+    let idx = ref i and dpos = ref pos and remaining = ref len in
+    while !remaining > 0 do
+      let byte = !idx lsl 3 in
+      let page = first_page + (byte lsr Page.shift) in
+      let off = byte land Page.mask in
+      let run = min !remaining ((Page.size - off) lsr 3) in
+      let raw =
+        match ctx.node.State.tlb with
+        | Some t when t.State.t_page = page -> t.State.t_raw
+        | _ -> read_slow ctx page
+      in
+      let d = !dpos in
+      for k = 0 to run - 1 do
+        dst.(d + k) <- Int64.float_of_bits (get_64 raw (off + (k lsl 3)))
+      done;
+      idx := !idx + run;
+      dpos := d + run;
+      remaining := !remaining - run
+    done
+  end
+
+let f64_set_run ctx a i src pos len =
+  if len < 0 || i < 0 || i + len > a.f_len then oob_run "f64" i len a.f_len;
+  if pos < 0 || pos + len > Array.length src then oob_buf "f64_set_run";
+  if State.checking ctx.cluster then
+    for k = 0 to len - 1 do
+      f64_set ctx a (i + k) src.(pos + k)
+    done
+  else begin
+    let first_page = a.f_region.Layout.first_page in
+    let idx = ref i and spos = ref pos and remaining = ref len in
+    while !remaining > 0 do
+      let byte = !idx lsl 3 in
+      let page = first_page + (byte lsr Page.shift) in
+      let off = byte land Page.mask in
+      let run = min !remaining ((Page.size - off) lsr 3) in
+      let raw =
+        match ctx.node.State.tlb with
+        | Some t when t.State.t_page = page && t.State.t_write ->
+          t.State.t_raw
+        | _ -> write_slow ctx page off ~bytes:(run lsl 3) ~words:run
+      in
+      let s = !spos in
+      for k = 0 to run - 1 do
+        set_64 raw (off + (k lsl 3)) (Int64.bits_of_float src.(s + k))
+      done;
+      idx := !idx + run;
+      spos := s + run;
+      remaining := !remaining - run
+    done
+  end
+
+let f64_fold_run ctx a i len ~init ~f =
+  if len < 0 || i < 0 || i + len > a.f_len then oob_run "f64" i len a.f_len;
+  if State.checking ctx.cluster then begin
+    let acc = ref init in
+    for k = 0 to len - 1 do
+      acc := f !acc (f64_get ctx a (i + k))
+    done;
+    !acc
+  end
+  else begin
+    let first_page = a.f_region.Layout.first_page in
+    let idx = ref i and remaining = ref len and acc = ref init in
+    while !remaining > 0 do
+      let byte = !idx lsl 3 in
+      let page = first_page + (byte lsr Page.shift) in
+      let off = byte land Page.mask in
+      let run = min !remaining ((Page.size - off) lsr 3) in
+      let raw =
+        match ctx.node.State.tlb with
+        | Some t when t.State.t_page = page -> t.State.t_raw
+        | _ -> read_slow ctx page
+      in
+      for k = 0 to run - 1 do
+        acc := f !acc (Int64.float_of_bits (get_64 raw (off + (k lsl 3))))
+      done;
+      idx := !idx + run;
+      remaining := !remaining - run
+    done;
+    !acc
+  end
+
+let i32_get_run ctx a i dst pos len =
+  if len < 0 || i < 0 || i + len > a.i_len then oob_run "i32" i len a.i_len;
+  if pos < 0 || pos + len > Array.length dst then oob_buf "i32_get_run";
+  if State.checking ctx.cluster then
+    for k = 0 to len - 1 do
+      dst.(pos + k) <- i32_get ctx a (i + k)
+    done
+  else begin
+    let first_page = a.i_region.Layout.first_page in
+    let idx = ref i and dpos = ref pos and remaining = ref len in
+    while !remaining > 0 do
+      let byte = !idx lsl 2 in
+      let page = first_page + (byte lsr Page.shift) in
+      let off = byte land Page.mask in
+      let run = min !remaining ((Page.size - off) lsr 2) in
+      let raw =
+        match ctx.node.State.tlb with
+        | Some t when t.State.t_page = page -> t.State.t_raw
+        | _ -> read_slow ctx page
+      in
+      let d = !dpos in
+      for k = 0 to run - 1 do
+        dst.(d + k) <- get_32 raw (off + (k lsl 2))
+      done;
+      idx := !idx + run;
+      dpos := d + run;
+      remaining := !remaining - run
+    done
+  end
+
+let i32_set_run ctx a i src pos len =
+  if len < 0 || i < 0 || i + len > a.i_len then oob_run "i32" i len a.i_len;
+  if pos < 0 || pos + len > Array.length src then oob_buf "i32_set_run";
+  if State.checking ctx.cluster then
+    for k = 0 to len - 1 do
+      i32_set ctx a (i + k) src.(pos + k)
+    done
+  else begin
+    let first_page = a.i_region.Layout.first_page in
+    let idx = ref i and spos = ref pos and remaining = ref len in
+    while !remaining > 0 do
+      let byte = !idx lsl 2 in
+      let page = first_page + (byte lsr Page.shift) in
+      let off = byte land Page.mask in
+      let run = min !remaining ((Page.size - off) lsr 2) in
+      let raw =
+        match ctx.node.State.tlb with
+        | Some t when t.State.t_page = page && t.State.t_write ->
+          t.State.t_raw
+        | _ -> write_slow ctx page off ~bytes:(run lsl 2) ~words:run
+      in
+      let s = !spos in
+      for k = 0 to run - 1 do
+        set_32 raw (off + (k lsl 2)) src.(s + k)
+      done;
+      idx := !idx + run;
+      spos := s + run;
+      remaining := !remaining - run
+    done
+  end
+
+let i32_fold_run ctx a i len ~init ~f =
+  if len < 0 || i < 0 || i + len > a.i_len then oob_run "i32" i len a.i_len;
+  if State.checking ctx.cluster then begin
+    let acc = ref init in
+    for k = 0 to len - 1 do
+      acc := f !acc (i32_get ctx a (i + k))
+    done;
+    !acc
+  end
+  else begin
+    let first_page = a.i_region.Layout.first_page in
+    let idx = ref i and remaining = ref len and acc = ref init in
+    while !remaining > 0 do
+      let byte = !idx lsl 2 in
+      let page = first_page + (byte lsr Page.shift) in
+      let off = byte land Page.mask in
+      let run = min !remaining ((Page.size - off) lsr 2) in
+      let raw =
+        match ctx.node.State.tlb with
+        | Some t when t.State.t_page = page -> t.State.t_raw
+        | _ -> read_slow ctx page
+      in
+      for k = 0 to run - 1 do
+        acc := f !acc (get_32 raw (off + (k lsl 2)))
+      done;
+      idx := !idx + run;
+      remaining := !remaining - run
+    done;
+    !acc
+  end
 
 let f64_pages _t a ~lo ~hi =
   if lo >= hi then []

@@ -115,8 +115,44 @@ val i32_get : ctx -> i32s -> int -> int32
 
 val i32_set : ctx -> i32s -> int -> int32 -> unit
 
-(** [i32_add ctx a i v] adds [v] to element [i] (read-modify-write). *)
+(** [i32_add ctx a i v] adds [v] to element [i] (read-modify-write).
+    Single locate: observable semantics are exactly [i32_get] followed by
+    [i32_set] — the read (and any read fault) happens first, the addend is
+    applied to the value read before the write fault, and the write never
+    re-reads. *)
 val i32_add : ctx -> i32s -> int -> int32 -> unit
+
+(** {2 Bulk page-run operations}
+
+    Sugar over the word accessors with identical observable semantics
+    (same faults in the same order, same bytes, same diffs, same
+    observation stream under the consistency recorder) — see PROTOCOL.md.
+    The win is purely host-side: one bounds+permission check per
+    within-page run (up to 512 f64 / 1024 i32 words) instead of per word,
+    and under software write detection one coalesced logged range per run
+    instead of one per word. *)
+
+(** [f64_get_run ctx a i dst pos len] reads elements [\[i, i+len)] into
+    [dst.(pos) .. dst.(pos+len-1)].  Equivalent to [len] calls of
+    {!f64_get} at ascending indices. *)
+val f64_get_run : ctx -> f64s -> int -> float array -> int -> int -> unit
+
+(** [f64_set_run ctx a i src pos len] writes [src.(pos) ..
+    src.(pos+len-1)] to elements [\[i, i+len)].  Equivalent to [len] calls
+    of {!f64_set} at ascending indices. *)
+val f64_set_run : ctx -> f64s -> int -> float array -> int -> int -> unit
+
+(** [f64_fold_run ctx a i len ~init ~f] folds [f] over elements
+    [\[i, i+len)] in ascending order without materializing them. *)
+val f64_fold_run :
+  ctx -> f64s -> int -> int -> init:'a -> f:('a -> float -> 'a) -> 'a
+
+val i32_get_run : ctx -> i32s -> int -> int32 array -> int -> int -> unit
+
+val i32_set_run : ctx -> i32s -> int -> int32 array -> int -> int -> unit
+
+val i32_fold_run :
+  ctx -> i32s -> int -> int -> init:'a -> f:('a -> int32 -> 'a) -> 'a
 
 (** Pages spanned by elements [\[lo, hi)] of the array (for diagnostics). *)
 val f64_pages : t -> f64s -> lo:int -> hi:int -> int list

@@ -58,7 +58,9 @@ let materialize_pending_diff cl node (e : entry) =
       | Some t -> t
       | None -> failwith "Proto: pending diff without its twin"
     in
-    let diff = Diff.create ~twin ~current:(frame e) in
+    let diff =
+      Diff.create ~scratch:cl.diff_scratch ~twin ~current:(frame e) ()
+    in
     Hashtbl.replace node.diffs (e.page, node.id, seq) (vc, diff);
     e.own_diff_seqs <- seq :: e.own_diff_seqs;
     Stats.diff_created cl.stats ~node:node.id ~page:e.page
@@ -104,7 +106,10 @@ let close_owned cl node (e : entry) ~seq =
   e.reflected.(node.id) <- seq;
   e.committed_version <- e.version;
   if e.content_version < e.version then e.content_version <- e.version;
-  if cl.cfg.Config.nprocs > 1 && e.is_owner then e.perm <- Perm.Read_only;
+  if cl.cfg.Config.nprocs > 1 && e.is_owner then begin
+    e.perm <- Perm.Read_only;
+    tlb_reset node
+  end;
   let v = e.version in
   if e.drop_at_release then begin
     (* Ownership refusal or WFS+WG sharing trigger: emit a final owner
@@ -147,11 +152,12 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
     e.pending_diff <- Some (seq, vc);
     e.reflected.(node.id) <- seq;
     e.perm <- Perm.Read_only;
+    tlb_reset node;
     None
   | Some twin ->
     (* MW-mode page: eager twin/diff. *)
     let current = frame e in
-    let diff = Diff.create ~twin ~current in
+    let diff = Diff.create ~scratch:cl.diff_scratch ~twin ~current () in
     charge cl.cfg.Config.diff_create_ns;
     let bytes = Diff.size_bytes diff in
     let modified = Diff.modified_bytes diff in
@@ -167,6 +173,7 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
     Stats.twin_freed cl.stats ~node:node.id;
     e.reflected.(node.id) <- seq;
     e.perm <- Perm.Read_only;
+    tlb_reset node;
     wg_measure modified;
     None
   | None when e.log_writes ->
@@ -190,6 +197,7 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
     e.logged_count <- 0;
     e.reflected.(node.id) <- seq;
     e.perm <- Perm.Read_only;
+    tlb_reset node;
     wg_measure modified;
     None
   | None -> close_clean cl node e ~seq
@@ -219,7 +227,7 @@ let end_interval cl (module P : Protocol_intf.PROTOCOL) node ~charge =
         let e = node.pages.(page) in
         assert e.dirty;
         e.dirty <- false;
-        Stats.note_write cl.stats ~page ~proc:node.id;
+        Stats.note_write cl.stats ~page;
         e.last_notice_vc.(node.id) <- Some vc_snapshot;
         let version =
           P.close_page cl node e ~seq ~vc:vc_snapshot ~charge:charge_later
@@ -248,14 +256,16 @@ let end_interval cl (module P : Protocol_intf.PROTOCOL) node ~charge =
 (* ------------------------------------------------------------------ *)
 
 let note_concurrent_writers cl node (e : entry) (n : Notice.t) =
-  Array.iteri
-    (fun q vco ->
-      match vco with
-      | Some v when q <> n.proc && Vc.concurrent v n.vc ->
-        Stats.note_false_sharing cl.stats ~page:n.page;
-        if Mode.adaptive cl then Mode.set_fs_active cl ~node:node.id e true
-      | Some _ | None -> ())
-    e.last_notice_vc
+  (* Plain loop: this runs once per notice per node, and [Array.iteri]'s
+     closure allocation showed up in profiles. *)
+  let last = e.last_notice_vc in
+  for q = 0 to Array.length last - 1 do
+    match last.(q) with
+    | Some v when q <> n.proc && Vc.concurrent v n.vc ->
+      Stats.note_false_sharing cl.stats ~page:n.page;
+      if Mode.adaptive cl then Mode.set_fs_active cl ~node:node.id e true
+    | Some _ | None -> ()
+  done
 
 (* Is notice [n]'s modification still missing from this node's copy?
    Plain notices are tracked per applied diff (reflected sequence numbers);
@@ -269,7 +279,7 @@ let notice_relevant node (e : entry) (n : Notice.t) =
 
 let apply_notice cl node (n : Notice.t) =
   let e = node.pages.(n.page) in
-  Stats.note_write cl.stats ~page:n.page ~proc:n.proc;
+  Stats.note_write cl.stats ~page:n.page;
   note_concurrent_writers cl node e n;
   e.last_notice_vc.(n.proc) <- Some n.vc;
   if notice_relevant node e n then begin
@@ -305,7 +315,10 @@ let apply_notice cl node (n : Notice.t) =
     | None -> ());
     if not (List.exists (Notice.same_write n) e.notices) then
       e.notices <- n :: e.notices;
-    if Perm.allows_read e.perm then e.perm <- Perm.No_access
+    if Perm.allows_read e.perm then begin
+      e.perm <- Perm.No_access;
+      tlb_reset node
+    end
   end
 
 (* Apply intervals received on a lock grant or barrier release, oldest
@@ -539,7 +552,9 @@ let mw_write_path cl node (e : entry) =
     (* The pending lazy diff (if any) still needs its twin captured. *)
     let cost = materialize_pending_diff cl node e in
     if cost > 0 then Proc.sleep cl.engine cost;
-    e.log_writes <- true
+    e.log_writes <- true;
+    (* A cached writable slot would bypass the write log. *)
+    tlb_reset node
   end
   else make_twin cl node e;
   mark_dirty node e

@@ -143,7 +143,8 @@ let migratory_read_upgrade cl node (e : entry) =
       Lrc_core.fetch_and_apply_diffs cl node e;
       e.version <- version;
       Lrc_core.acquire_ownership_locally cl node e;
-      e.perm <- Perm.Read_only
+      e.perm <- Perm.Read_only;
+      tlb_reset node
     | Msg.Refused_measure ->
       e.measured <- true;
       Lrc_core.validate cl node e

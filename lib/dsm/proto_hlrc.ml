@@ -24,7 +24,10 @@ let flush_to_home cl node (e : entry) ~seq ~vc diff =
    writes are detected. *)
 let close_home cl node (e : entry) ~seq =
   e.reflected.(node.id) <- seq;
-  if cl.cfg.Config.nprocs > 1 then e.perm <- Perm.Read_only;
+  if cl.cfg.Config.nprocs > 1 then begin
+    e.perm <- Perm.Read_only;
+    tlb_reset node
+  end;
   None
 
 let close_page cl node (e : entry) ~seq ~vc ~charge =

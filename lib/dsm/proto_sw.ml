@@ -30,8 +30,14 @@ let sw_grant cl node (e : entry) requester =
   e.is_owner <- false;
   let fire () =
     e.owner <- requester;
-    if cl.cfg.Config.nprocs > 1 && Perm.allows_write e.perm then
+    if cl.cfg.Config.nprocs > 1 && Perm.allows_write e.perm then begin
       e.perm <- Perm.Read_only;
+      (* This downgrade can run as a SCHEDULED event (quantum delay), with
+         the old owner's process between accesses — its TLB slot may hold
+         this page writable.  Reset is mandatory here, not just at the
+         handler/sync chokepoints. *)
+      tlb_reset node
+    end;
     (* Mutation seam (testing only): transfer a stale version so the new
        owner's version bump collides with peers' existing knowledge and
        its write notices are silently discarded as dominated. *)

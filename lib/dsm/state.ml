@@ -45,6 +45,18 @@ type lock_state = {
   mutable home_tail : int;
 }
 
+type tlb = {
+  t_page : int;
+  t_raw : Bytes.t;
+      (* the frame's raw buffer: the accessor loops read/write it with
+         direct primitives, avoiding a non-inlinable cross-module call
+         (and a boxed float) per word *)
+  t_entry : entry;
+  t_write : bool;
+      (* the slot may serve writes directly: Read_write perm AND no
+         software write logging (logging writes must reach the entry) *)
+}
+
 type node = {
   id : int;
   vc : Vc.t;
@@ -60,6 +72,7 @@ type node = {
   mutable last_barrier_vc : Vc.t;
   mutable barrier_epoch : int;
   mutable hlrc_waiting : (int * (int * int) list * Msg.t Adsm_net.Rpc.respond) list;
+  mutable tlb : tlb option;
   rng : Rng.t;
 }
 
@@ -85,6 +98,7 @@ type cluster = {
   mutable running : int;
   tracer : Adsm_trace.Tracer.t;
   recorder : Adsm_check.Recorder.t;
+  diff_scratch : Diff.scratch;
 }
 
 let make_entry ~nprocs ~page ~home =
@@ -146,8 +160,16 @@ let make_node ~cfg ~id ~total_pages =
     last_barrier_vc = Vc.zero ~nprocs;
     barrier_epoch = 0;
     hlrc_waiting = [];
+    tlb = None;
     rng = Rng.create (Int64.add cfg.Config.seed (Int64.of_int (id * 7919)));
   }
+
+(* TLB contract (see DESIGN.md, "Access fast path"): any code that lowers
+   an entry's effective access rights on a node — protection downgrade,
+   frame drop, or turning on write logging — must reset that node's TLB
+   slot, because the slot bypasses the entry's permission test entirely.
+   Upgrades need no reset: a stale slot is only ever conservative. *)
+let tlb_reset node = node.tlb <- None
 
 let frame entry =
   match entry.data with

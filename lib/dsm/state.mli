@@ -81,6 +81,22 @@ type lock_state = {
                                 distributed queue *)
 }
 
+(** One-slot software TLB: the last page an accessor touched on this node,
+    with the permission test pre-resolved.  Installed only by the accessor
+    slow path after the entry's permission has been verified; the fast path
+    serves hits without consulting [pages.(page)] at all. *)
+type tlb = {
+  t_page : int;
+  t_raw : Bytes.t;
+      (** the frame's raw buffer ({!Adsm_mem.Page.raw}): accessor loops
+          use direct primitives on it, avoiding a cross-module call and a
+          boxed float per word *)
+  t_entry : entry;
+  t_write : bool;
+      (** the slot may serve writes directly: [Read_write] permission AND
+          no software write logging (logged writes must reach the entry) *)
+}
+
 type node = {
   id : int;
   vc : Vc.t;
@@ -102,6 +118,7 @@ type node = {
   mutable hlrc_waiting : (int * (int * int) list * Msg.t Adsm_net.Rpc.respond) list;
       (** HLRC: deferred fetch replies (page, needed (proc,seq) pairs,
           respond closure) waiting for in-flight diffs to reach this home *)
+  mutable tlb : tlb option;  (** accessor fast-path cache; see {!tlb_reset} *)
   rng : Adsm_sim.Rng.t;
 }
 
@@ -129,6 +146,8 @@ type cluster = {
   tracer : Adsm_trace.Tracer.t;  (** structured trace emission front-end *)
   recorder : Adsm_check.Recorder.t;
       (** consistency-oracle observation stream front-end *)
+  diff_scratch : Diff.scratch;
+      (** single-domain working space for {!Diff.create} *)
 }
 
 val make_entry : nprocs:int -> page:int -> home:int -> entry
@@ -141,6 +160,14 @@ val committed_copy : entry -> Page.t option
 
 (** The node's frame for the page, allocating it on first use. *)
 val frame : entry -> Page.t
+
+(** Invalidate the node's accessor TLB slot.  Contract (see DESIGN.md,
+    "Access fast path"): every site that lowers an entry's effective access
+    rights on a node — protection downgrade, frame drop, or turning on
+    software write logging — MUST call this, because the cached slot
+    bypasses the entry's permission test entirely.  Upgrades need no reset:
+    a stale slot is only ever conservative (extra slow-path trip). *)
+val tlb_reset : node -> unit
 
 (** The node's state for a lock, created on first use; the token initially
     rests at the [home] node. *)

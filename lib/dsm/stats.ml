@@ -16,7 +16,6 @@ type t = {
   mutable rfaults : int;
   mutable wfaults : int;
   writers : (int, unit) Hashtbl.t;  (** pages with a recorded writer *)
-  page_writer : (int * int, unit) Hashtbl.t;
   false_shared : (int, unit) Hashtbl.t;
   mutable sizes : int list;  (** modified bytes per created diff *)
   mutable switches : int;
@@ -43,7 +42,6 @@ let create ~nprocs () =
     rfaults = 0;
     wfaults = 0;
     writers = Hashtbl.create 256;
-    page_writer = Hashtbl.create 256;
     false_shared = Hashtbl.create 64;
     sizes = [];
     switches = 0;
@@ -119,9 +117,10 @@ let read_faults t = t.rfaults
 
 let write_faults t = t.wfaults
 
-let note_write t ~page ~proc =
-  Hashtbl.replace t.writers page ();
-  Hashtbl.replace t.page_writer (page, proc) ()
+let note_write t ~page =
+  (* Hot path (every write notice on every node): test-then-add beats
+     [replace], which re-removes the binding on every call. *)
+  if not (Hashtbl.mem t.writers page) then Hashtbl.add t.writers page ()
 
 let note_false_sharing t ~page = Hashtbl.replace t.false_shared page ()
 

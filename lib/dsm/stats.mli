@@ -75,7 +75,7 @@ val write_faults : t -> int
 
 (* --- sharing profile (Table 2) --- *)
 
-val note_write : t -> page:int -> proc:int -> unit
+val note_write : t -> page:int -> unit
 (** A processor committed modifications to a page (at a release). *)
 
 val note_false_sharing : t -> page:int -> unit

@@ -154,6 +154,8 @@ let gc_fetch_hint (pending : Notice.t list) fallback =
    last owner's.  All other copies are dropped. *)
 let gc_validate cl node =
   let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
+  (* Copies are downgraded or dropped wholesale below. *)
+  tlb_reset node;
   Array.iter
     (fun (e : entry) ->
       let pending = List.filter (Lrc_core.still_needed node e) e.notices in

@@ -1,6 +1,18 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-let map ?(jobs = 1) f items =
+(* Workers get a larger minor heap than the 256k-word default: in the
+   multicore runtime every domain's minor collection briefly stops all
+   domains, so frequent small collections in one worker stall the whole
+   pool.  Fewer, larger collections trade a little locality for much less
+   cross-domain synchronization.  Sized in words (8 MB here). *)
+let worker_minor_heap_words = 1024 * 1024
+
+let tune_worker_gc () =
+  let g = Gc.get () in
+  if g.minor_heap_size < worker_minor_heap_words then
+    Gc.set { g with minor_heap_size = worker_minor_heap_words }
+
+let map ?(jobs = 1) ?weight f items =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
   match items with
   | [] -> []
@@ -8,6 +20,22 @@ let map ?(jobs = 1) f items =
   | items ->
     let tasks = Array.of_list items in
     let n = Array.length tasks in
+    (* Dispatch order.  With a weight, heaviest-first: a long task started
+       last would otherwise run alone past the end of the suite and set
+       the critical path (the classic LPT argument).  The sort is made
+       deterministic by breaking weight ties on the original index, and
+       results are still collected by original index, so scheduling can
+       never reorder the output. *)
+    let order = Array.init n (fun i -> i) in
+    (match weight with
+    | None -> ()
+    | Some w ->
+      let ws = Array.map w tasks in
+      Array.sort
+        (fun i j ->
+          if ws.(i) <> ws.(j) then Int.compare ws.(j) ws.(i)
+          else Int.compare i j)
+        order);
     let results = Array.make n None in
     let failures = Array.make n None in
     let next = Atomic.make 0 in
@@ -15,8 +43,9 @@ let map ?(jobs = 1) f items =
        exception by index and the worker moves on, so one failure never
        wedges the pool or strands unjoined domains. *)
     let rec work () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
+      let r = Atomic.fetch_and_add next 1 in
+      if r < n then begin
+        let i = order.(r) in
         (match f tasks.(i) with
         | v -> results.(i) <- Some v
         | exception e ->
@@ -25,7 +54,10 @@ let map ?(jobs = 1) f items =
       end
     in
     let domains =
-      Array.init (min jobs n) (fun _ -> Domain.spawn work)
+      Array.init (min jobs n) (fun _ ->
+          Domain.spawn (fun () ->
+              tune_worker_gc ();
+              work ()))
     in
     Array.iter Domain.join domains;
     Array.iter

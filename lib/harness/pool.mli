@@ -9,7 +9,9 @@
     Guarantees:
 
     - {b Deterministic ordering}: results are collected by input index;
-      scheduling never reorders them.
+      scheduling never reorders them.  This holds with or without
+      [?weight] — the weight changes only the order in which tasks
+      {e start}.
     - {b Exception propagation}: if one or more applications of [f]
       raise, every remaining task still runs to completion, every worker
       domain is joined (no orphaned domains), and then the exception of
@@ -29,7 +31,15 @@
     ([Domain.recommended_domain_count]), the CLI default for [--jobs]. *)
 val default_jobs : unit -> int
 
-(** [map ~jobs f items] is [List.map f items], evaluated by up to [jobs]
-    domains.
+(** [map ~jobs ?weight f items] is [List.map f items], evaluated by up
+    to [jobs] domains.
+
+    [weight] gives the expected relative cost of an item (any monotone
+    unit — expected wall nanoseconds, event counts...).  When present,
+    workers claim tasks heaviest-first (longest-processing-time order)
+    instead of input order, which keeps one slow task started late from
+    setting the suite's critical path.  Ties break on input index, so
+    dispatch order is deterministic; with [jobs = 1] the weight is
+    ignored and the exact sequential path runs.
     @raise Invalid_argument if [jobs < 1]. *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?jobs:int -> ?weight:('a -> int) -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,5 +1,9 @@
 let size = 4096
 
+let shift = 12 (* log2 size: byte lsr shift = page, byte land mask = offset *)
+
+let mask = size - 1
+
 type t = Bytes.t
 
 let create () = Bytes.make size '\000'
@@ -14,13 +18,28 @@ let get_byte t i = Char.code (Bytes.get t i)
 
 let set_byte t i v = Bytes.set t i (Char.chr (v land 0xff))
 
-let get_i32 t i = Bytes.get_int32_le t i
+(* Bounds-checked native-endian word accessors.  [Bytes.get_int64_le]
+   hides a [Sys.big_endian] branch that blocks the compiler's unboxing
+   pass, costing a boxed float (and int64) per word in the accessor hot
+   loops.  The simulated memory is little-endian by contract, so require
+   a little-endian host and use the native primitives directly. *)
+let () = if Sys.big_endian then failwith "Page: little-endian host required"
 
-let set_i32 t i v = Bytes.set_int32_le t i v
+external get_32 : Bytes.t -> int -> int32 = "%caml_bytes_get32"
 
-let get_f64 t i = Int64.float_of_bits (Bytes.get_int64_le t i)
+external set_32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32"
 
-let set_f64 t i v = Bytes.set_int64_le t i (Int64.bits_of_float v)
+external get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+
+external set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64"
+
+let[@inline] get_i32 t i = get_32 t i
+
+let[@inline] set_i32 t i v = set_32 t i v
+
+let[@inline] get_f64 t i = Int64.float_of_bits (get_64 t i)
+
+let[@inline] set_f64 t i v = set_64 t i (Int64.bits_of_float v)
 
 let raw t = t
 

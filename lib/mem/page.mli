@@ -7,6 +7,13 @@
 val size : int
 (** Page size in bytes (4096). *)
 
+val shift : int
+(** [log2 size]: [byte lsr shift] is the page index of a byte offset. *)
+
+val mask : int
+(** [size - 1]: [byte land mask] is the within-page offset of a byte
+    offset. *)
+
 type t
 
 val create : unit -> t

@@ -88,7 +88,7 @@ let page_of_f seed =
 
 let test_diff_empty () =
   let p = page_of_f 1 in
-  let d = Diff.create ~twin:p ~current:(Page.copy p) in
+  let d = Diff.create ~twin:p ~current:(Page.copy p) () in
   Alcotest.(check bool) "empty" true (Diff.is_empty d);
   Alcotest.(check int) "no bytes" 0 (Diff.modified_bytes d);
   Alcotest.(check int) "no size" 0 (Diff.size_bytes d)
@@ -99,7 +99,7 @@ let test_diff_word_granularity () =
   let twin = Page.create () in
   let current = Page.copy twin in
   Page.set_byte current 101 7;
-  let d = Diff.create ~twin ~current in
+  let d = Diff.create ~twin ~current () in
   Alcotest.(check int) "one run" 1 (Diff.run_count d);
   Alcotest.(check int) "word-sized" 4 (Diff.modified_bytes d);
   Alcotest.(check (list (pair int int))) "aligned range" [ (100, 4) ]
@@ -111,7 +111,7 @@ let test_diff_apply_roundtrip () =
   Page.set_f64 current 0 3.25;
   Page.set_f64 current 2048 (-1.5);
   Page.set_i32 current 512 77l;
-  let d = Diff.create ~twin ~current in
+  let d = Diff.create ~twin ~current () in
   let target = Page.copy twin in
   Diff.apply d target;
   Alcotest.(check bool) "target equals current" true
@@ -127,7 +127,7 @@ let prop_diff_roundtrip =
       List.iter
         (fun (slot, v) -> Page.set_f64 current (slot * 8) (float_of_int v))
         writes;
-      let d = Diff.create ~twin ~current in
+      let d = Diff.create ~twin ~current () in
       let target = Page.copy twin in
       Diff.apply d target;
       Page.equal target current)
@@ -143,8 +143,8 @@ let prop_diff_disjoint_merge =
       let c1 = Page.copy base and c2 = Page.copy base in
       List.iter (fun s -> Page.set_f64 c1 (s * 8) 1.25) w1;
       List.iter (fun s -> Page.set_f64 c2 ((256 + s) * 8) 2.5) w2;
-      let d1 = Diff.create ~twin:base ~current:c1 in
-      let d2 = Diff.create ~twin:base ~current:c2 in
+      let d1 = Diff.create ~twin:base ~current:c1 () in
+      let d2 = Diff.create ~twin:base ~current:c2 () in
       let ab = Page.copy base and ba = Page.copy base in
       Diff.apply d1 ab;
       Diff.apply d2 ab;
@@ -158,7 +158,7 @@ let test_diff_size_accounting () =
   (* two separate words *)
   Page.set_i32 current 0 1l;
   Page.set_i32 current 100 1l;
-  let d = Diff.create ~twin ~current in
+  let d = Diff.create ~twin ~current () in
   Alcotest.(check int) "runs" 2 (Diff.run_count d);
   Alcotest.(check int) "modified" 8 (Diff.modified_bytes d);
   Alcotest.(check int) "encoded = headers + data" (8 + 8) (Diff.size_bytes d)
@@ -225,7 +225,7 @@ let test_diff_chunk_boundaries () =
     let twin = page_of_f 8 in
     let current = Page.copy twin in
     List.iter (flip current) offs;
-    Diff.create ~twin ~current
+    Diff.create ~twin ~current ()
   in
   Alcotest.(check (list (pair int int)))
     "last word of the page"
@@ -254,7 +254,7 @@ let test_diff_sign_bit_words () =
   let current = Page.copy twin in
   Page.set_i32 current 16 0x8000_0000l;
   Page.set_i32 current 28 Int32.min_int;
-  let d = Diff.create ~twin ~current in
+  let d = Diff.create ~twin ~current () in
   Alcotest.(check (list (pair int int)))
     "sign-bit words detected"
     [ (16, 4); (28, 4) ]
@@ -408,9 +408,9 @@ let test_stats_counters () =
 
 let test_stats_sharing_profile () =
   let s = Stats.create ~nprocs:4 () in
-  Stats.note_write s ~page:1 ~proc:0;
-  Stats.note_write s ~page:1 ~proc:1;
-  Stats.note_write s ~page:2 ~proc:0;
+  Stats.note_write s ~page:1;
+  Stats.note_write s ~page:1;
+  Stats.note_write s ~page:2;
   Stats.note_false_sharing s ~page:1;
   Alcotest.(check int) "written" 2 (Stats.pages_written s);
   Alcotest.(check int) "false shared" 1 (Stats.pages_false_shared s);
