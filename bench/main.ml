@@ -316,15 +316,44 @@ let git_rev () =
 
 let bench_out = "BENCH_suite.json"
 
+(* Host wall-clock rows for the node-count scaling study's two fabrics:
+   SOR at tiny scale, MW and WFS, 8 -> 256 nodes, flat vs tree.  These
+   price what a CI scaling run costs on the host (the flat fabric's
+   simulated time explodes with node count, but its host cost grows too:
+   every barrier is an O(n) serialized fan-in through node 0's NIC, and
+   each of those messages is a simulator event). *)
+let scaling_cells =
+  let module Scaling = Adsm_harness.Scaling in
+  List.concat_map
+    (fun protocol ->
+      List.concat_map
+        (fun nprocs ->
+          List.map
+            (fun fabric -> (protocol, nprocs, fabric))
+            [ Scaling.Flat_central; Scaling.Tree_combining ])
+        [ 8; 64; 256 ])
+    [ Config.Mw; Config.Wfs ]
+
+let run_scaling_cell (protocol, nprocs, fabric) =
+  let module Scaling = Adsm_harness.Scaling in
+  let app =
+    match Registry.find "SOR" with
+    | Some a -> a
+    | None -> failwith "perf: SOR not registered"
+  in
+  Runner.run
+    ~tweak:(Scaling.tweak_of_fabric fabric)
+    ~app ~protocol ~nprocs ~scale:Registry.Tiny ()
+
 (* Measures the real (host) cost of the simulator itself: per-cell wall
-   clock and events/second for a 4-app x 4-protocol suite, then the same
-   suite again fanned out over [jobs] worker domains.  The parallel pass
-   must reproduce every sequential measurement field-for-field — any
-   divergence is a pool bug and fails the run. *)
+   clock and events/second for the full 8-app x 4-protocol suite, then
+   the same suite again fanned out over [jobs] worker domains.  The
+   parallel pass must reproduce every sequential measurement
+   field-for-field — any divergence is a pool bug and fails the run. *)
 let perf ~tiny ~jobs () =
   let scale = if tiny then Registry.Tiny else Registry.Default in
   let nprocs = 8 in
-  let apps = [ "SOR"; "TSP"; "IS"; "Water" ] in
+  let apps = Registry.names in
   let cells =
     List.concat_map
       (fun name -> List.map (fun p -> (name, p)) Config.all_protocols)
@@ -364,6 +393,15 @@ let perf ~tiny ~jobs () =
     List.filter (fun ((_, m, _), m') -> m <> m') (List.combine timed par)
   in
   let speedup = float_of_int seq_wall_ns /. float_of_int (max 1 par_wall_ns) in
+  let scaling_timed =
+    List.map
+      (fun cell ->
+        let t0 = now () in
+        let m = run_scaling_cell cell in
+        let wall_ns = int_of_float ((now () -. t0) *. 1e9) in
+        (cell, m, wall_ns))
+      scaling_cells
+  in
   let cell_json ((name, protocol), (m : Runner.measurement), wall_ns) m' =
     let secs = float_of_int (max 1 wall_ns) /. 1e9 in
     Json.Obj
@@ -393,6 +431,28 @@ let perf ~tiny ~jobs () =
         ("suite_speedup", Json.Float speedup);
         ("parallel_identical", Json.Bool (mismatches = []));
         ("cells", Json.List (List.map2 cell_json timed par));
+        ( "scaling",
+          Json.List
+            (List.map
+               (fun ((protocol, nprocs, fabric), (m : Runner.measurement),
+                     wall_ns) ->
+                 Json.Obj
+                   [
+                     ("app", Json.String "SOR");
+                     ("protocol", Json.String (Config.protocol_name protocol));
+                     ("nprocs", Json.Int nprocs);
+                     ( "fabric",
+                       Json.String (Adsm_harness.Scaling.fabric_name fabric) );
+                     ("wall_ns", Json.Int wall_ns);
+                     ("sim_time_ns", Json.Int m.Runner.time_ns);
+                     ("events", Json.Int m.Runner.events);
+                     ( "ns_per_event",
+                       Json.Float
+                         (float_of_int wall_ns
+                         /. float_of_int (max 1 m.Runner.events)) );
+                     ("checksum", Json.Float m.Runner.checksum);
+                   ])
+               scaling_timed) );
       ]
   in
   Out_channel.with_open_text bench_out (fun oc ->
@@ -423,6 +483,22 @@ let perf ~tiny ~jobs () =
        jobs
        (float_of_int par_wall_ns /. 1e6)
        speedup);
+  Buffer.add_string buf
+    "  node-count scaling (SOR, tiny scale; host cost per run):\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-8s %6s %-6s %12s %12s %14s\n" "protocol" "nodes"
+       "fabric" "wall ms" "events" "sim ms");
+  List.iter
+    (fun ((protocol, nprocs, fabric), (m : Runner.measurement), wall_ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-8s %6d %-6s %12.2f %12d %14.1f\n"
+           (Config.protocol_name protocol)
+           nprocs
+           (Adsm_harness.Scaling.fabric_name fabric)
+           (float_of_int wall_ns /. 1e6)
+           m.Runner.events
+           (float_of_int m.Runner.time_ns /. 1e6)))
+    scaling_timed;
   Buffer.add_string buf
     (if mismatches = [] then
        Printf.sprintf "  parallel run identical to sequential; wrote %s\n"

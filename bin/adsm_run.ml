@@ -18,10 +18,23 @@ module Recorder = Adsm_check.Recorder
 
 let scale_of_tiny tiny = if tiny then Registry.Tiny else Registry.Default
 
+(* Fabric selection shared by `run` and `experiments`: a network cost
+   model plus a topology shape, folded into one configuration tweak. *)
+let fabric_tweak net topology =
+  let base =
+    match net with
+    | `Atm97 -> Adsm_net.Netcfg.atm_155
+    | `Fast -> Adsm_net.Netcfg.fast_ethernet
+  in
+  match Adsm_net.Topology.shape_of_string ~base topology with
+  | Error msg -> Error msg
+  | Ok shape ->
+    Ok (fun cfg -> { cfg with Config.net = base; topology = shape })
+
 (* --- run one configuration --- *)
 
 let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
-    check =
+    check net topology =
   match Registry.find app_name with
   | None ->
     Printf.eprintf "unknown application %S; try `adsm_run list'\n" app_name;
@@ -37,6 +50,11 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
         protocol_name;
       1
     | Some protocol -> (
+      match fabric_tweak net topology with
+      | Error msg ->
+        Printf.eprintf "bad --topology: %s\n" msg;
+        1
+      | Ok tweak -> (
       let scale = scale_of_tiny tiny in
       let module Trace = Adsm_trace in
       let trace_format =
@@ -59,8 +77,8 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
       | Ok tracer ->
       let recorder = if check then Recorder.create () else Recorder.disabled in
       let m =
-        Runner.run ?tracer ~recorder ~seed:(Int64.of_int seed) ~app ~protocol
-          ~nprocs ~scale ()
+        Runner.run ?tracer ~recorder ~tweak ~seed:(Int64.of_int seed) ~app
+          ~protocol ~nprocs ~scale ()
       in
       (match (tracer, trace_file) with
       | Some tracer, Some path ->
@@ -103,24 +121,31 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
             report.Oracle.violations;
           1
         end
-      end))
+      end)))
 
 (* --- the full experiment suite --- *)
 
-let run_experiments tiny nprocs apps out jobs =
-  let apps = match apps with [] -> None | l -> Some l in
-  match out with
-  | None ->
-    print_string
-      (Experiments.run_all ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs ());
-    0
-  | Some dir ->
-    let suite =
-      Experiments.collect ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs ()
-    in
-    let written = Experiments.export_csv suite ~dir in
-    List.iter (Printf.printf "wrote %s\n") written;
-    0
+let run_experiments tiny nprocs apps out jobs net topology =
+  match fabric_tweak net topology with
+  | Error msg ->
+    Printf.eprintf "bad --topology: %s\n" msg;
+    1
+  | Ok tweak -> (
+    let apps = match apps with [] -> None | l -> Some l in
+    match out with
+    | None ->
+      print_string
+        (Experiments.run_all ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs
+           ~tweak ());
+      0
+    | Some dir ->
+      let suite =
+        Experiments.collect ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs
+          ~tweak ()
+      in
+      let written = Experiments.export_csv suite ~dir in
+      List.iter (Printf.printf "wrote %s\n") written;
+      0)
 
 let list_apps () =
   List.iter
@@ -177,6 +202,23 @@ let trace_format_arg =
               default) or $(b,chrome) (Chrome trace_event JSON, loadable \
               in Perfetto).  Requires $(b,--trace).")
 
+let net_arg =
+  Arg.(
+    value
+    & opt (enum [ ("atm97", `Atm97); ("fast", `Fast) ]) `Atm97
+    & info [ "net" ] ~docv:"MODEL"
+        ~doc:"Network cost model: $(b,atm97) (the paper's 155 Mbps ATM \
+              testbed, the default) or $(b,fast) (a ~1 Gbps \
+              low-overhead network).")
+
+let topology_arg =
+  Arg.(
+    value & opt string "flat"
+    & info [ "topology" ] ~docv:"SHAPE"
+        ~doc:"Cluster fabric: $(b,flat) (the paper's all-pairs model, \
+              the default), $(b,tree), or $(b,tree:N) (2-level switched \
+              tree with N nodes per leaf switch).")
+
 let check_arg =
   Arg.(
     value & flag
@@ -190,7 +232,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one application under one protocol")
     Term.(
       const run_one $ app_arg $ protocol_arg $ procs_arg $ tiny_arg $ seed_arg
-      $ trace_arg $ trace_format_arg $ check_arg)
+      $ trace_arg $ trace_format_arg $ check_arg $ net_arg $ topology_arg)
 
 (* --- oracle-checked workload fuzzing --- *)
 
@@ -314,11 +356,66 @@ let experiments_cmd =
        ~doc:"Regenerate every table and figure of the paper")
     Term.(
       const run_experiments $ tiny_arg $ procs_arg $ apps_arg $ out_arg
-      $ jobs_arg)
+      $ jobs_arg $ net_arg $ topology_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available applications")
     Term.(const list_apps $ const ())
+
+(* --- node-count scaling study --- *)
+
+let run_scaling smoke max_nodes jobs out =
+  let module Scaling = Adsm_harness.Scaling in
+  let study = Scaling.collect ~smoke ~max_nodes ~jobs () in
+  print_string (Scaling.render study);
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Scaling.to_json study);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  let mismatches = Scaling.checksum_mismatches study in
+  let violations = Scaling.barrier_bound_violations study in
+  List.iter (Printf.eprintf "FABRIC CHECKSUM MISMATCH: %s\n") mismatches;
+  List.iter (Printf.eprintf "BARRIER BOUND EXCEEDED: %s\n") violations;
+  if mismatches = [] && violations = [] then 0 else 1
+
+let max_nodes_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:"Truncate the node grid at $(docv) simulated nodes (IS and \
+              Water are additionally capped at 256; see EXPERIMENTS.md).")
+
+let scaling_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Also write the study as a JSON artifact to $(docv).")
+
+let scaling_tiny_arg =
+  Arg.(
+    value & flag
+    & info [ "tiny" ]
+        ~doc:"Smoke subset (SOR, MW + WFS, sparse node grid): about a \
+              minute of wall clock, used by CI.  The full grid costs \
+              tens of minutes.")
+
+let scaling_cmd =
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:
+         "Sweep the cluster from 8 to 1024 nodes, comparing the paper's \
+          flat fabric + central barrier against the 2-level tree fabric \
+          + combining barrier, and report the protocol crossover per \
+          node count.  Exits non-zero if the fabrics disagree on any \
+          application checksum or the tree barrier exceeds its \
+          n-log-n message bound.")
+    Term.(
+      const run_scaling $ scaling_tiny_arg $ max_nodes_arg $ jobs_arg
+      $ scaling_out_arg)
 
 let run_ablations studies jobs =
   let module Ablations = Adsm_harness.Ablations in
@@ -417,6 +514,9 @@ let main =
        ~doc:
          "Adaptive software DSM (WFS / WFS+WG) protocol simulator - \
           reproduction of Amza et al., HPCA 1997")
-    [ run_cmd; experiments_cmd; ablations_cmd; verify_cmd; fuzz_cmd; list_cmd ]
+    [
+      run_cmd; experiments_cmd; scaling_cmd; ablations_cmd; verify_cmd;
+      fuzz_cmd; list_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

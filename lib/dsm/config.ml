@@ -39,10 +39,33 @@ let mutation_of_string s =
 
 let all_mutations = [ Skip_diff_apply; Drop_write_notice; Stale_ownership_grant ]
 
+type barrier = Central | Tree of { fanout : int }
+
+let barrier_name = function
+  | Central -> "central"
+  | Tree { fanout } -> Printf.sprintf "tree:%d" fanout
+
+let barrier_of_string s =
+  match String.lowercase_ascii s with
+  | "central" -> Some Central
+  | "tree" -> Some (Tree { fanout = 4 })
+  | s when String.length s > 5 && String.sub s 0 5 = "tree:" -> (
+    match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some k when k >= 2 -> Some (Tree { fanout = k })
+    | Some _ | None -> None)
+  | _ -> None
+
+type lock_homes = Modulo | Sharded of int
+
 type t = {
   protocol : protocol;
   nprocs : int;
   net : Adsm_net.Netcfg.t;
+  topology : Adsm_net.Topology.shape;
+  node_speeds : float array;
+  barrier : barrier;
+  lock_homes : lock_homes;
+  sparse_vc : bool;
   twin_ns : int;
   diff_create_ns : int;
   diff_apply_base_ns : int;
@@ -67,6 +90,11 @@ let make ?(seed = 0x5EEDL) ~protocol ~nprocs () =
     protocol;
     nprocs;
     net = Adsm_net.Netcfg.atm_155;
+    topology = Adsm_net.Topology.Flat;
+    node_speeds = [||];
+    barrier = Central;
+    lock_homes = Modulo;
+    sparse_vc = false;
     twin_ns = 104_000;
     diff_create_ns = 179_000;
     diff_apply_base_ns = 20_000;

@@ -47,10 +47,42 @@ val mutation_of_string : string -> mutation option
 
 val all_mutations : mutation list
 
+(** Barrier algorithm (see PROTOCOL.md, "Barriers").  [Central] is the
+    paper's manager-at-node-0 scheme; [Tree] is the combining tree for
+    large clusters: arrivals merge interval sets and vector clocks up a
+    [fanout]-ary tree rooted at node 0, releases fan back down it. *)
+type barrier = Central | Tree of { fanout : int }
+
+val barrier_name : barrier -> string
+
+(** Parse ["central"], ["tree"] (fanout 4), or ["tree:K"] (K >= 2). *)
+val barrier_of_string : string -> barrier option
+
+(** Lock-home placement.  [Modulo] (the historical default) homes lock
+    [l] at node [l mod nprocs]; [Sharded k] spreads homes over [k]
+    manager nodes chosen evenly across the cluster — on a tree topology
+    that keeps managers on distinct switches instead of crowding the
+    low-numbered nodes. *)
+type lock_homes = Modulo | Sharded of int
+
 type t = {
   protocol : protocol;
   nprocs : int;
   net : Adsm_net.Netcfg.t;
+  topology : Adsm_net.Topology.shape;
+      (** fabric shape the cluster runs on; [Flat] (default) reproduces
+          the paper's network byte-identically *)
+  node_speeds : float array;
+      (** per-node compute-speed multipliers, indexed modulo the length;
+          [[||]] (default) = homogeneous cluster.  Affects only
+          [Dsm.compute] accounting, not protocol costs. *)
+  barrier : barrier;  (** default [Central] *)
+  lock_homes : lock_homes;  (** default [Modulo] *)
+  sparse_vc : bool;
+      (** account piggybacked vector clocks at their delta-encoded wire
+          size (entries changed since the sender's last barrier) instead
+          of 4 bytes per processor.  Pure cost-model change: no protocol
+          content differs.  Off by default. *)
   twin_ns : int;  (** cost of making a twin (paper: 104 us) *)
   diff_create_ns : int;  (** cost of diffing a full page (paper: 179 us) *)
   diff_apply_base_ns : int;  (** fixed cost of applying one diff *)

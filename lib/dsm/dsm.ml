@@ -55,8 +55,18 @@ let fresh_lock t =
 let run ?(tracer = Adsm_trace.Tracer.disabled)
     ?(recorder = Adsm_check.Recorder.disabled) t app =
   let cfg = t.cfg in
-  let engine = Engine.create ?schedule_seed:cfg.Config.schedule_fuzz () in
-  let rpc = Rpc.create engine cfg.Config.net ~nodes:cfg.Config.nprocs in
+  (* One event lane per simulated node: heap operations cost
+     O(log per-node events) at large clusters.  The lane split never
+     changes execution order (see Engine), so small runs stay
+     byte-identical. *)
+  let engine =
+    Engine.create ?schedule_seed:cfg.Config.schedule_fuzz
+      ~lanes:cfg.Config.nprocs ()
+  in
+  let topo =
+    Adsm_net.Topology.make cfg.Config.net cfg.Config.topology
+  in
+  let rpc = Rpc.create_topo engine topo ~nodes:cfg.Config.nprocs in
   if Adsm_trace.Tracer.enabled tracer then begin
     (* Observation only: the monitor and probe run inside existing events
        and schedule nothing, so a traced run is event-for-event identical
@@ -114,7 +124,7 @@ let run ?(tracer = Adsm_trace.Tracer.disabled)
         Proto.handle_message cluster ~node ~src msg respond)
   done;
   for id = 0 to cfg.Config.nprocs - 1 do
-    Proc.spawn engine (fun () ->
+    Proc.spawn ~lane:id engine (fun () ->
         app { cluster; node = nodes.(id) };
         cluster.State.running <- cluster.State.running - 1)
   done;
@@ -163,13 +173,11 @@ let run ?(tracer = Adsm_trace.Tracer.disabled)
           if ls.State.held then
             fail (Printf.sprintf "lock %d still held" lock))
         n.State.locks;
-      Array.iter
-        (fun (e : State.entry) ->
+      State.iter_entries n (fun (e : State.entry) ->
           if e.State.pending_own <> [] then
             fail
               (Printf.sprintf "queued ownership requests on page %d"
-                 e.State.page))
-        n.State.pages)
+                 e.State.page)))
     nodes;
   let net = Rpc.network rpc in
   {
@@ -190,6 +198,17 @@ let me ctx = ctx.node.State.id
 let nprocs ctx = ctx.cluster.State.cfg.Config.nprocs
 
 let compute ctx ns =
+  (* Heterogeneous clusters: node [i] runs compute phases at
+     [node_speeds.(i mod len)] times the base speed.  Protocol software
+     costs (twinning, diffing, fault handling) stay at the calibrated
+     base values — they model fixed DSM library code paths. *)
+  let ns =
+    let speeds = ctx.cluster.State.cfg.Config.node_speeds in
+    if Array.length speeds = 0 then ns
+    else
+      let s = speeds.(ctx.node.State.id mod Array.length speeds) in
+      max 0 (int_of_float (Float.round (float_of_int ns /. s)))
+  in
   if State.tracing ctx.cluster then
     State.emit ctx.cluster ~node:ctx.node.State.id
       (Adsm_trace.Event.Compute { ns });
@@ -257,7 +276,7 @@ let install_tlb node page raw (e : State.entry) =
       }
 
 let[@inline never] read_slow ctx page =
-  let e = ctx.node.State.pages.(page) in
+  let e = State.entry_of ctx.node page in
   while not (Perm.allows_read e.State.perm) do
     Proto.read_fault ctx.cluster ctx.node e
   done;
@@ -271,7 +290,7 @@ let[@inline never] read_slow ctx page =
    word-aligns, sorts and merges ranges, so the resulting diff is
    byte-identical to per-word logging of the same run. *)
 let[@inline never] write_slow ctx page off ~bytes ~words =
-  let e = ctx.node.State.pages.(page) in
+  let e = State.entry_of ctx.node page in
   while not (Perm.allows_write e.State.perm) do
     Proto.write_fault ctx.cluster ctx.node e
   done;

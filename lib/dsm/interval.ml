@@ -3,11 +3,12 @@ type t = { proc : int; seq : int; vc : Vc.t; notices : Notice.t list }
 let make ~proc ~vc ~notices =
   { proc; seq = Vc.get vc proc; vc = Vc.copy vc; notices }
 
-let size_bytes t =
-  8 + Vc.size_bytes t.vc
+let size_bytes ?(vc_bytes = Vc.size_bytes) t =
+  8 + vc_bytes t.vc
   + List.fold_left (fun acc n -> acc + Notice.size_bytes n) 0 t.notices
 
-let size_bytes_list ts = List.fold_left (fun acc t -> acc + size_bytes t) 0 ts
+let size_bytes_list ?vc_bytes ts =
+  List.fold_left (fun acc t -> acc + size_bytes ?vc_bytes t) 0 ts
 
 let unseen_by vc ts = List.filter (fun t -> t.seq > Vc.get vc t.proc) ts
 

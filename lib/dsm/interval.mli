@@ -13,10 +13,12 @@ type t = {
 
 val make : proc:int -> vc:Vc.t -> notices:Notice.t list -> t
 
-(** Wire size: 8-byte header + timestamp + notices. *)
-val size_bytes : t -> int
+(** Wire size: 8-byte header + timestamp + notices.  [vc_bytes]
+    overrides how the piggybacked timestamp is costed (defaults to dense
+    {!Vc.size_bytes}); see [Config.sparse_vc]. *)
+val size_bytes : ?vc_bytes:(Vc.t -> int) -> t -> int
 
-val size_bytes_list : t list -> int
+val size_bytes_list : ?vc_bytes:(Vc.t -> int) -> t list -> int
 
 (** Intervals of [intervals] not yet covered by [vc] (i.e. with
     [seq > Vc.get vc proc]). *)

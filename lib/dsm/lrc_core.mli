@@ -13,7 +13,9 @@ val cast : cluster -> src:int -> dst:int -> Msg.t -> unit
 (** Blocking request; process context only. *)
 val call : cluster -> src:int -> dst:int -> Msg.t -> Msg.t
 
-val respond_msg : Msg.t Adsm_net.Rpc.respond -> Msg.t -> unit
+(** Reply to a request; [node] is the responder (its last-barrier clock
+    is the delta base under the [sparse_vc] cost model). *)
+val respond_msg : cluster -> node -> Msg.t Adsm_net.Rpc.respond -> Msg.t -> unit
 
 (* --- lazy diffing --- *)
 

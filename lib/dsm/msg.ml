@@ -44,20 +44,22 @@ type t =
   | Hlrc_diff of { page : int; seq : int; vc : Vc.t; diff : Diff.t }
   | Hlrc_fetch of { page : int; need : (int * int) list }
 
-let size_bytes = function
-  | Lock_acquire { vc; _ } -> 8 + Vc.size_bytes vc
-  | Lock_forward { vc; _ } -> 12 + Vc.size_bytes vc
-  | Lock_grant { intervals; _ } -> 8 + Interval.size_bytes_list intervals
+let size_bytes ?(vc_bytes = Vc.size_bytes) = function
+  | Lock_acquire { vc; _ } -> 8 + vc_bytes vc
+  | Lock_forward { vc; _ } -> 12 + vc_bytes vc
+  | Lock_grant { intervals; _ } ->
+    8 + Interval.size_bytes_list ~vc_bytes intervals
   | Barrier_arrive { vc; intervals; _ } ->
-    12 + Vc.size_bytes vc + Interval.size_bytes_list intervals
-  | Barrier_release { intervals; _ } -> 12 + Interval.size_bytes_list intervals
+    12 + vc_bytes vc + Interval.size_bytes_list ~vc_bytes intervals
+  | Barrier_release { intervals; _ } ->
+    12 + Interval.size_bytes_list ~vc_bytes intervals
   | Gc_done _ | Gc_complete _ -> 8
   | Page_req _ -> 8
   | Page_reply { reflected; _ } -> 8 + Page.size + (4 * Array.length reflected)
   | Diff_req { seqs; _ } -> 9 + (4 * List.length seqs)
   | Diff_reply { diffs; _ } ->
     List.fold_left
-      (fun acc (_, vc, diff) -> acc + 4 + Vc.size_bytes vc + Diff.size_bytes diff)
+      (fun acc (_, vc, diff) -> acc + 4 + vc_bytes vc + Diff.size_bytes diff)
       8 diffs
   | Own_req _ -> 13
   | Own_reply { data; reflected; _ } ->
@@ -67,7 +69,7 @@ let size_bytes = function
   | Sw_own_req _ -> 12
   | Sw_own_forward _ -> 16
   | Sw_own_transfer _ -> 12 + Page.size
-  | Hlrc_diff { vc; diff; _ } -> 12 + Vc.size_bytes vc + Diff.size_bytes diff
+  | Hlrc_diff { vc; diff; _ } -> 12 + vc_bytes vc + Diff.size_bytes diff
   | Hlrc_fetch { need; _ } -> 8 + (8 * List.length need)
 
 let kind : t -> Adsm_net.Kind.t = function

@@ -74,8 +74,11 @@ type t =
           reply must already contain — the home defers the reply until its
           copy covers them *)
 
-(** Payload size in bytes for the network cost model. *)
-val size_bytes : t -> int
+(** Payload size in bytes for the network cost model.  [vc_bytes]
+    overrides the cost of every piggybacked vector clock (defaults to
+    dense {!Vc.size_bytes}); the [sparse_vc] cost model passes a
+    delta-encoder based on the sender's last-barrier clock. *)
+val size_bytes : ?vc_bytes:(Vc.t -> int) -> t -> int
 
 (** Traffic class for the network's per-kind counters.  Derived here, once,
     from the constructor — the single interning point for message labels

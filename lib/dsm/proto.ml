@@ -74,10 +74,10 @@ let handle_message cl ~node:node_id ~src msg respond =
   | Msg.Lock_grant { lock; intervals }, None ->
     Sync.handle_lock_grant cl node ~lock intervals
   | Msg.Barrier_arrive { epoch; vc; intervals; gc_wanted }, None ->
-    Sync.handle_barrier_arrive cl ~src ~vc ~intervals ~gc_wanted epoch
+    Sync.handle_barrier_arrive cl node ~src ~vc ~intervals ~gc_wanted epoch
   | Msg.Barrier_release _, None -> Sync.handle_barrier_release cl node msg
-  | Msg.Gc_done _, None -> Sync.handle_gc_done cl
-  | Msg.Gc_complete _, None -> Sync.handle_gc_complete cl node
+  | Msg.Gc_done { epoch }, None -> Sync.handle_gc_done cl node epoch
+  | Msg.Gc_complete { epoch }, None -> Sync.handle_gc_complete cl node epoch
   (* Shared paging/ownership requests, served per the protocol's policy. *)
   | Msg.Page_req { page }, Some respond ->
     let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in

@@ -167,7 +167,7 @@ let read_fault cl node (e : entry) =
 (* --- server side --- *)
 
 let handle_page_req cl node ~src page respond =
-  wg_sharing_trigger cl node node.pages.(page);
+  wg_sharing_trigger cl node (entry_of node page);
   Lrc_core.serve_page cl node ~src page respond
 
 let handle_diff_req cl node ~src ~page ~seqs ~sees_sw respond =
@@ -176,13 +176,13 @@ let handle_diff_req cl node ~src ~page ~seqs ~sees_sw respond =
 (* The ownership-refusal protocol (Section 3.1.1).  Always two messages;
    never forwarded. *)
 let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
-  let e = node.pages.(page) in
+  let e = entry_of node page in
   e.copyset.(src) <- true;
   let committed () =
     if want_data then Option.map Page.copy (committed_copy e) else None
   in
   let reply ?version:(v = e.version) result data =
-    Lrc_core.respond_msg respond
+    Lrc_core.respond_msg cl node respond
       (Msg.Own_reply
          {
            page;

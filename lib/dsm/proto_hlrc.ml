@@ -92,8 +92,8 @@ let write_fault cl node (e : entry) =
 let hlrc_covered (e : entry) need =
   List.for_all (fun (q, seq) -> e.reflected.(q) >= seq) need
 
-let hlrc_reply_now (e : entry) respond =
-  Lrc_core.respond_msg respond
+let hlrc_reply_now cl node (e : entry) respond =
+  Lrc_core.respond_msg cl node respond
     (Msg.Page_reply
        {
          page = e.page;
@@ -106,7 +106,7 @@ let hlrc_reply_now (e : entry) respond =
 (* A diff arrived at this home: apply it to the master copy and release
    any fetches that were waiting for it. *)
 let handle_hlrc_diff cl node ~src ~page ~seq diff =
-  let e = node.pages.(page) in
+  let e = entry_of node page in
   Diff.apply diff (frame e);
   if tracing cl then
     emit cl ~node:node.id
@@ -118,11 +118,11 @@ let handle_hlrc_diff cl node ~src ~page ~seq diff =
       node.hlrc_waiting
   in
   node.hlrc_waiting <- still_waiting;
-  List.iter (fun (_, _, respond) -> hlrc_reply_now e respond) ready
+  List.iter (fun (_, _, respond) -> hlrc_reply_now cl node e respond) ready
 
-let handle_hlrc_fetch node ~page ~need respond =
-  let e = node.pages.(page) in
-  if hlrc_covered e need then hlrc_reply_now e respond
+let handle_hlrc_fetch cl node ~page ~need respond =
+  let e = entry_of node page in
+  if hlrc_covered e need then hlrc_reply_now cl node e respond
   else node.hlrc_waiting <- (page, need, respond) :: node.hlrc_waiting
 
 let handle_page_req cl node ~src page respond =
@@ -142,7 +142,7 @@ let handle_protocol_msg cl node ~src msg respond =
     handle_hlrc_diff cl node ~src ~page ~seq diff;
     true
   | Msg.Hlrc_fetch { page; need }, Some respond ->
-    handle_hlrc_fetch node ~page ~need respond;
+    handle_hlrc_fetch cl node ~page ~need respond;
     true
   | _ -> false
 

@@ -70,7 +70,7 @@ let sw_grant cl node (e : entry) requester =
   else Engine.schedule cl.engine ~delay:(ready - now) fire
 
 let sw_handle_forward cl node ~requester ~version page =
-  let e = node.pages.(page) in
+  let e = entry_of node page in
   if e.is_owner then sw_grant cl node e requester
   else if Hashtbl.mem node.own_waits page || e.owner = node.id then
     (* Either we are waiting for this page's ownership ourselves, or our
@@ -86,7 +86,7 @@ let sw_handle_forward cl node ~requester ~version page =
 
 let sw_handle_home_req cl ~node:home_id ~src page =
   let home_node = cl.nodes.(home_id) in
-  let e = home_node.pages.(page) in
+  let e = entry_of home_node page in
   let hint = e.sw_home_hint in
   e.sw_home_hint <- src;
   if hint = home_id then

@@ -57,10 +57,37 @@ type tlb = {
          software write logging (logging writes must reach the entry) *)
 }
 
+(* Per-node combining state for the tree barrier (Config.Tree).  A node
+   folds its own arrival and each direct child's into [tb_vcmin] (the
+   componentwise MINIMUM — the knowledge every member of the subtree
+   shares) and [tb_intervals], then forwards one combined arrival to its
+   parent.  The fields are reset when the node fans its release down. *)
+type tree_barrier = {
+  mutable tb_epoch : int;
+  mutable tb_arrived : int;  (* direct children whose subtrees arrived *)
+  mutable tb_self_arrived : bool;
+  mutable tb_vc_valid : bool;  (* [tb_vcmin] holds at least one arrival *)
+  tb_vcmin : Vc.t;  (* preallocated: no per-barrier O(nprocs) allocation *)
+  mutable tb_intervals : Interval.t list;
+  mutable tb_gc_wanted : bool;
+  mutable tb_child_vcs : (int * Vc.t) list;
+      (* each direct child's subtree-min clock, for computing its release *)
+  mutable tb_gc_done : int;  (* direct children whose subtrees validated *)
+  mutable tb_self_gc_done : bool;
+}
+
 type node = {
   id : int;
+  nprocs : int;
   vc : Vc.t;
-  pages : entry array;
+  pages : entry option array;
+      (* Entries materialize on first touch ([entry_of]): a fresh entry
+         carries several O(nprocs) arrays, so eager allocation would cost
+         O(pages * nprocs) words per node — O(pages * nprocs^2) for the
+         cluster, prohibitive at 1024 nodes.  An untouched page has no
+         notices, dirty flag or diffs, so every whole-array scan
+         (rule 3, GC validation/purge, post-run checks) is a no-op on it:
+         laziness is observationally identical to the old eager array. *)
   intervals : Interval.t list array;
   mutable dirty_pages : int list;
   diffs : (int * int * int, Vc.t * Diff.t) Hashtbl.t;
@@ -73,6 +100,7 @@ type node = {
   mutable barrier_epoch : int;
   mutable hlrc_waiting : (int * (int * int) list * Msg.t Adsm_net.Rpc.respond) list;
   mutable tlb : tlb option;
+  tb : tree_barrier option;  (* Some iff [cfg.barrier] is [Tree] *)
   rng : Rng.t;
 }
 
@@ -142,13 +170,9 @@ let make_node ~cfg ~id ~total_pages =
   let nprocs = cfg.Config.nprocs in
   {
     id;
+    nprocs;
     vc = Vc.zero ~nprocs;
-    pages =
-      Array.init total_pages (fun page ->
-          let home = page mod nprocs in
-          let e = make_entry ~nprocs ~page ~home in
-          if home = id then e.is_owner <- true;
-          e);
+    pages = Array.make total_pages None;
     intervals = Array.make nprocs [];
     dirty_pages = [];
     diffs = Hashtbl.create 256;
@@ -161,8 +185,42 @@ let make_node ~cfg ~id ~total_pages =
     barrier_epoch = 0;
     hlrc_waiting = [];
     tlb = None;
+    tb =
+      (match cfg.Config.barrier with
+      | Config.Central -> None
+      | Config.Tree _ ->
+        Some
+          {
+            tb_epoch = 0;
+            tb_arrived = 0;
+            tb_self_arrived = false;
+            tb_vc_valid = false;
+            tb_vcmin = Vc.zero ~nprocs;
+            tb_intervals = [];
+            tb_gc_wanted = false;
+            tb_child_vcs = [];
+            tb_gc_done = 0;
+            tb_self_gc_done = false;
+          });
     rng = Rng.create (Int64.add cfg.Config.seed (Int64.of_int (id * 7919)));
   }
+
+(* Get-or-create the node's entry for [page].  A lazily-created entry is
+   exactly the entry the old eager initialization built: zero-page base,
+   read-only, home = page mod nprocs. *)
+let entry_of node page =
+  match node.pages.(page) with
+  | Some e -> e
+  | None ->
+    let home = page mod node.nprocs in
+    let e = make_entry ~nprocs:node.nprocs ~page ~home in
+    if home = node.id then e.is_owner <- true;
+    node.pages.(page) <- Some e;
+    e
+
+(* Iterate the materialized entries (the only ones any state can live on). *)
+let iter_entries node f =
+  Array.iter (function None -> () | Some e -> f e) node.pages
 
 (* TLB contract (see DESIGN.md, "Access fast path"): any code that lowers
    an entry's effective access rights on a node — protection downgrade,
@@ -207,7 +265,17 @@ let lock_state node ~home lock =
 
 let home_of_page cluster page = page mod cluster.cfg.Config.nprocs
 
-let home_of_lock cluster lock = lock mod cluster.cfg.Config.nprocs
+(* Lock homes: [Modulo] is the historical placement (lock l lives at node
+   l mod n).  [Sharded k] spreads the homes over k manager nodes chosen
+   evenly across the id space — stride n/k keeps them on distinct leaf
+   switches of a tree fabric instead of crowding the low-numbered nodes. *)
+let home_of_lock cluster lock =
+  let n = cluster.cfg.Config.nprocs in
+  match cluster.cfg.Config.lock_homes with
+  | Config.Modulo -> lock mod n
+  | Config.Sharded k ->
+    let k = max 1 (min k n) in
+    lock mod k * (n / k)
 
 (* Emission guard: callers write
      [if tracing cl then emit cl ~node (Event.X { ... })]

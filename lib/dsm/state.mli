@@ -97,10 +97,38 @@ type tlb = {
           no software write logging (logged writes must reach the entry) *)
 }
 
+(** Per-node combining state for the tree barrier ([Config.Tree]): a node
+    folds its own arrival and each direct child subtree's into the
+    componentwise-minimum clock [tb_vcmin] (the knowledge every subtree
+    member shares) and the concatenated interval list, then forwards ONE
+    combined arrival to its parent.  Reset when the release fans down. *)
+type tree_barrier = {
+  mutable tb_epoch : int;
+  mutable tb_arrived : int;  (** direct children whose subtrees arrived *)
+  mutable tb_self_arrived : bool;
+  mutable tb_vc_valid : bool;  (** [tb_vcmin] holds at least one arrival *)
+  tb_vcmin : Vc.t;
+      (** preallocated — the tree barrier never allocates an O(nprocs)
+          clock per barrier *)
+  mutable tb_intervals : Interval.t list;
+  mutable tb_gc_wanted : bool;
+  mutable tb_child_vcs : (int * Vc.t) list;
+      (** each direct child's subtree-min clock, kept to compute that
+          child's release *)
+  mutable tb_gc_done : int;  (** direct children whose subtrees validated *)
+  mutable tb_self_gc_done : bool;
+}
+
 type node = {
   id : int;
+  nprocs : int;
   vc : Vc.t;
-  pages : entry array;  (** indexed by global page number *)
+  pages : entry option array;
+      (** indexed by global page number; entries materialize on first
+          touch via {!entry_of} — an entry carries O(nprocs) arrays, so
+          eager allocation would be O(pages x nprocs) words per node.
+          Untouched pages hold no protocol state, so lazy creation is
+          observationally identical. *)
   intervals : Interval.t list array;  (** per processor, newest first *)
   mutable dirty_pages : int list;  (** pages written this interval *)
   diffs : (int * int * int, Vc.t * Diff.t) Hashtbl.t;
@@ -119,6 +147,7 @@ type node = {
       (** HLRC: deferred fetch replies (page, needed (proc,seq) pairs,
           respond closure) waiting for in-flight diffs to reach this home *)
   mutable tlb : tlb option;  (** accessor fast-path cache; see {!tlb_reset} *)
+  tb : tree_barrier option;  (** [Some] iff [cfg.barrier] is [Tree] *)
   rng : Adsm_sim.Rng.t;
 }
 
@@ -153,6 +182,15 @@ type cluster = {
 val make_entry : nprocs:int -> page:int -> home:int -> entry
 
 val make_node : cfg:Config.t -> id:int -> total_pages:int -> node
+
+(** Get-or-create the node's entry for a page.  A lazily-created entry is
+    exactly what the eager initialization used to build: zero-page base,
+    read-only, home = page mod nprocs, owner flag at the home. *)
+val entry_of : node -> int -> entry
+
+(** Iterate over the materialized entries — the only ones that can carry
+    any protocol state. *)
+val iter_entries : node -> (entry -> unit) -> unit
 
 (** Committed contents of a page at this node: the twin while the page is
     dirty, the current data otherwise.  [None] when the node has no copy. *)

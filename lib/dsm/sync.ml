@@ -115,7 +115,7 @@ let unlock cl node l =
    false sharing has stopped. *)
 let rule3_scan cl node =
   if Mode.adaptive cl then
-    Array.iter
+    iter_entries node
       (fun (e : entry) ->
         match e.notices with
         | [] -> ()
@@ -132,7 +132,6 @@ let rule3_scan cl node =
           in
           if List.exists dominates notices then
             Mode.set_fs_active cl ~node:node.id e false)
-      node.pages
 
 (* Pick the copy-fetch hint for a dropped page: the writer of the latest
    pending notice (necessarily a GC validator, since its diff is live). *)
@@ -156,7 +155,7 @@ let gc_validate cl node =
   let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in
   (* Copies are downgraded or dropped wholesale below. *)
   tlb_reset node;
-  Array.iter
+  iter_entries node
     (fun (e : entry) ->
       let pending = List.filter (Lrc_core.still_needed node e) e.notices in
       if pending = [] then e.notices <- []
@@ -184,7 +183,6 @@ let gc_validate cl node =
         Array.fill e.reflected 0 (Array.length e.reflected) 0;
         if P.gc_retarget_owner_on_drop then e.owner <- hint
       end)
-    node.pages
 
 (* Purge the diff store and twins after everyone has validated. *)
 let gc_purge cl node =
@@ -200,7 +198,7 @@ let gc_purge cl node =
   if tracing cl then
     emit cl ~node:node.id
       (Adsm_trace.Event.Diff_gc { count = !count; bytes = !bytes });
-  Array.iter
+  iter_entries node
     (fun (e : entry) ->
       e.own_diff_seqs <- [];
       (* Lazily-pending diffs whose notices were just discarded will never
@@ -212,11 +210,166 @@ let gc_purge cl node =
           e.twin <- None;
           Stats.twin_freed cl.stats ~node:node.id
         end
-      | None -> ())
-    node.pages;
+      | None -> ());
   (* Interval logs are globally known at this point; drop them so grants
      stay small.  Vector clocks keep the ordering information. *)
   Array.iteri (fun p _ -> node.intervals.(p) <- []) node.intervals
+
+(* ------------------------------------------------------------------ *)
+(* Tree (combining) barrier                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The combining tree (Config.Tree { fanout }) replaces the manager's
+   n-way fan-in with a fanout-ary tree rooted at node 0: node i's parent
+   is (i-1)/fanout, its children are i*fanout+1 .. i*fanout+fanout.  A
+   node folds its own arrival and each direct child subtree's combined
+   arrival into one (min-clock, concatenated-intervals, OR'd gc flag)
+   record and forwards a single Barrier_arrive to its parent.  The
+   subtree MINIMUM clock is the right summary: it covers an interval iff
+   every subtree member does, so collect_unseen against it returns the
+   union of what the members are missing — over-sending to an individual
+   member is harmless because apply_intervals skips covered intervals.
+
+   The one-batch invariant of [barrier_complete] carries over: interior
+   nodes only BUFFER interval lists on the way up (they apply nothing),
+   and the root applies the full combined batch at once.  Releases fan
+   back down: each node, after applying its own release (which makes its
+   knowledge complete — its release was computed against its subtree
+   minimum), recomputes each direct child's missing set from the child's
+   stored subtree-min clock.  Children stay blocked until their release
+   arrives, so the clock buffers they sent up by reference are stable. *)
+
+let tree_state node =
+  match node.tb with
+  | Some tb -> tb
+  | None -> failwith "Proto: tree barrier message under a central config"
+
+let tree_parent ~fanout id = (id - 1) / fanout
+
+let tree_first_child ~fanout id = (id * fanout) + 1
+
+let tree_children_count ~fanout ~nprocs id =
+  let first = tree_first_child ~fanout id in
+  if first >= nprocs then 0 else min fanout (nprocs - first)
+
+let tree_iter_children ~fanout ~nprocs id f =
+  let first = tree_first_child ~fanout id in
+  let last = min (nprocs - 1) (first + fanout - 1) in
+  for c = first to last do
+    f c
+  done
+
+(* Fold one arrival (the node's own, or a child subtree's combined one)
+   into the local combining state.  Clock components are copied into the
+   preallocated [tb_vcmin]; nothing O(nprocs) is allocated. *)
+let tree_contribute tb ~epoch ~vc ~intervals ~gc_wanted =
+  if not tb.tb_vc_valid then begin
+    tb.tb_epoch <- epoch;
+    Vc.blit_into ~src:vc ~dst:tb.tb_vcmin;
+    tb.tb_vc_valid <- true
+  end
+  else begin
+    if epoch <> tb.tb_epoch then
+      failwith
+        (Printf.sprintf "Proto: tree barrier epoch mismatch (%d vs %d)" epoch
+           tb.tb_epoch);
+    Vc.min_into tb.tb_vcmin vc
+  end;
+  (* Order is irrelevant: apply_intervals sorts by timestamp. *)
+  tb.tb_intervals <- List.rev_append intervals tb.tb_intervals;
+  if gc_wanted then tb.tb_gc_wanted <- true
+
+(* Root completion: apply the whole combined batch in ONE step (the
+   barrier_complete invariant), then unblock the root's own process.  The
+   fan-out of child releases happens in [tree_fan_release] when that
+   process resumes — collect_unseen needs the root's interval log to be
+   fully up to date, which apply_intervals just made true. *)
+let tree_root_complete cl node tb =
+  Lrc_core.apply_intervals cl node tb.tb_intervals;
+  let gc_round = tb.tb_gc_wanted in
+  if gc_round then Stats.gc_started cl.stats;
+  let msg =
+    Msg.Barrier_release { epoch = tb.tb_epoch; intervals = []; gc_round }
+  in
+  match node.barrier_wait with
+  | Some ivar ->
+    node.barrier_wait <- None;
+    Proc.Ivar.fill cl.engine ivar msg
+  | None -> assert false
+
+let tree_maybe_forward cl node tb ~fanout =
+  let nprocs = cl.cfg.Config.nprocs in
+  if
+    tb.tb_self_arrived
+    && tb.tb_arrived = tree_children_count ~fanout ~nprocs node.id
+  then
+    if node.id = 0 then tree_root_complete cl node tb
+    else
+      Lrc_core.cast cl ~src:node.id ~dst:(tree_parent ~fanout node.id)
+        (Msg.Barrier_arrive
+           {
+             epoch = tb.tb_epoch;
+             vc = tb.tb_vcmin;
+             intervals = tb.tb_intervals;
+             gc_wanted = tb.tb_gc_wanted;
+           })
+
+let tree_handle_arrive cl node ~fanout ~src ~vc ~intervals ~gc_wanted epoch =
+  let tb = tree_state node in
+  tree_contribute tb ~epoch ~vc ~intervals ~gc_wanted;
+  tb.tb_arrived <- tb.tb_arrived + 1;
+  tb.tb_child_vcs <- (src, vc) :: tb.tb_child_vcs;
+  tree_maybe_forward cl node tb ~fanout
+
+(* Fan the release down: runs in the released node's own process, AFTER
+   it applied its release batch, so its clock and interval log cover
+   everything any descendant can be missing. *)
+let tree_fan_release cl node ~epoch ~gc_round =
+  let tb = tree_state node in
+  List.iter
+    (fun (child, cvc) ->
+      let intervals = Lrc_core.collect_unseen cl node cvc in
+      Lrc_core.cast cl ~src:node.id ~dst:child
+        (Msg.Barrier_release { epoch; intervals; gc_round }))
+    (List.rev tb.tb_child_vcs);
+  tb.tb_arrived <- 0;
+  tb.tb_self_arrived <- false;
+  tb.tb_vc_valid <- false;
+  tb.tb_intervals <- [];
+  tb.tb_gc_wanted <- false;
+  tb.tb_child_vcs <- []
+
+(* GC completion fans down the static tree (the child clocks recorded
+   for the barrier are already reset by now). *)
+let tree_gc_complete_down cl node ~fanout ~epoch =
+  let tb = tree_state node in
+  tree_iter_children ~fanout ~nprocs:cl.cfg.Config.nprocs node.id (fun c ->
+      Lrc_core.cast cl ~src:node.id ~dst:c (Msg.Gc_complete { epoch }));
+  tb.tb_gc_done <- 0;
+  tb.tb_self_gc_done <- false;
+  match node.gc_wait with
+  | Some ivar ->
+    node.gc_wait <- None;
+    Proc.Ivar.fill cl.engine ivar ()
+  | None -> failwith "Proto: unexpected gc complete"
+
+(* Combine Gc_done up the tree: forwarded once this node AND every direct
+   child subtree have finished validating. *)
+let tree_gc_maybe_up cl node ~fanout ~epoch =
+  let tb = tree_state node in
+  if
+    tb.tb_self_gc_done
+    && tb.tb_gc_done
+       = tree_children_count ~fanout ~nprocs:cl.cfg.Config.nprocs node.id
+  then
+    if node.id = 0 then tree_gc_complete_down cl node ~fanout ~epoch
+    else
+      Lrc_core.cast cl ~src:node.id ~dst:(tree_parent ~fanout node.id)
+        (Msg.Gc_done { epoch })
+
+(* ------------------------------------------------------------------ *)
+(* Central barrier (the paper's manager at node 0)                    *)
+(* ------------------------------------------------------------------ *)
 
 let barrier_complete cl =
   let mgr = cl.barrier_mgr in
@@ -252,16 +405,20 @@ let barrier_complete cl =
   mgr.gc_requested <- false;
   if gc_round then mgr.gc_done_count <- 0
 
-let handle_barrier_arrive cl ~src ~vc ~intervals ~gc_wanted epoch =
-  let mgr = cl.barrier_mgr in
-  if epoch <> mgr.epoch then
-    failwith
-      (Printf.sprintf "Proto: barrier epoch mismatch (%d vs %d)" epoch
-         mgr.epoch);
-  mgr.arrivals <- (src, vc, intervals, gc_wanted) :: mgr.arrivals;
-  mgr.arrived <- mgr.arrived + 1;
-  if gc_wanted then mgr.gc_requested <- true;
-  if mgr.arrived = cl.cfg.Config.nprocs then barrier_complete cl
+let handle_barrier_arrive cl node ~src ~vc ~intervals ~gc_wanted epoch =
+  match cl.cfg.Config.barrier with
+  | Config.Tree { fanout } ->
+    tree_handle_arrive cl node ~fanout ~src ~vc ~intervals ~gc_wanted epoch
+  | Config.Central ->
+    let mgr = cl.barrier_mgr in
+    if epoch <> mgr.epoch then
+      failwith
+        (Printf.sprintf "Proto: barrier epoch mismatch (%d vs %d)" epoch
+           mgr.epoch);
+    mgr.arrivals <- (src, vc, intervals, gc_wanted) :: mgr.arrivals;
+    mgr.arrived <- mgr.arrived + 1;
+    if gc_wanted then mgr.gc_requested <- true;
+    if mgr.arrived = cl.cfg.Config.nprocs then barrier_complete cl
 
 let handle_barrier_release cl node msg =
   match node.barrier_wait with
@@ -282,17 +439,26 @@ let gc_complete_all cl =
     Proc.Ivar.fill cl.engine ivar ()
   | None -> assert false
 
-let handle_gc_done cl =
-  let mgr = cl.barrier_mgr in
-  mgr.gc_done_count <- mgr.gc_done_count + 1;
-  if mgr.gc_done_count = cl.cfg.Config.nprocs then gc_complete_all cl
+let handle_gc_done cl node epoch =
+  match cl.cfg.Config.barrier with
+  | Config.Tree { fanout } ->
+    let tb = tree_state node in
+    tb.tb_gc_done <- tb.tb_gc_done + 1;
+    tree_gc_maybe_up cl node ~fanout ~epoch
+  | Config.Central ->
+    let mgr = cl.barrier_mgr in
+    mgr.gc_done_count <- mgr.gc_done_count + 1;
+    if mgr.gc_done_count = cl.cfg.Config.nprocs then gc_complete_all cl
 
-let handle_gc_complete cl node =
-  match node.gc_wait with
-  | Some ivar ->
-    node.gc_wait <- None;
-    Proc.Ivar.fill cl.engine ivar ()
-  | None -> failwith "Proto: unexpected gc complete"
+let handle_gc_complete cl node epoch =
+  match cl.cfg.Config.barrier with
+  | Config.Tree { fanout } -> tree_gc_complete_down cl node ~fanout ~epoch
+  | Config.Central -> (
+    match node.gc_wait with
+    | Some ivar ->
+      node.gc_wait <- None;
+      Proc.Ivar.fill cl.engine ivar ()
+    | None -> failwith "Proto: unexpected gc complete")
 
 let barrier cl node =
   let t0 = Engine.now cl.engine in
@@ -314,24 +480,46 @@ let barrier cl node =
   let own_intervals =
     Interval.unseen_by node.last_barrier_vc node.intervals.(node.id)
   in
-  let vc = Vc.copy node.vc in
-  if node.id = 0 then
-    handle_barrier_arrive cl ~src:0 ~vc ~intervals:own_intervals ~gc_wanted
-      epoch
-  else
-    Lrc_core.cast cl ~src:node.id ~dst:0
-      (Msg.Barrier_arrive { epoch; vc; intervals = own_intervals; gc_wanted });
+  (match cl.cfg.Config.barrier with
+  | Config.Central ->
+    let vc = Vc.copy node.vc in
+    if node.id = 0 then
+      handle_barrier_arrive cl node ~src:0 ~vc ~intervals:own_intervals
+        ~gc_wanted epoch
+    else
+      Lrc_core.cast cl ~src:node.id ~dst:0
+        (Msg.Barrier_arrive { epoch; vc; intervals = own_intervals; gc_wanted })
+  | Config.Tree { fanout } ->
+    (* Own arrival: fold our clock into the preallocated subtree minimum
+       (no copy) and forward the combined arrival if the children already
+       all checked in. *)
+    let tb = tree_state node in
+    tree_contribute tb ~epoch ~vc:node.vc ~intervals:own_intervals ~gc_wanted;
+    tb.tb_self_arrived <- true;
+    tree_maybe_forward cl node tb ~fanout);
   (match Proc.Ivar.await ivar with
   | Msg.Barrier_release { intervals; gc_round; _ } ->
     Lrc_core.apply_intervals cl node intervals;
-    node.last_barrier_vc <- Vc.copy node.vc;
+    (match cl.cfg.Config.barrier with
+    | Config.Central -> node.last_barrier_vc <- Vc.copy node.vc
+    | Config.Tree _ ->
+      (* Knowledge is complete now; release the children before the
+         (possibly long) rule-3 scan and GC work below. *)
+      tree_fan_release cl node ~epoch ~gc_round;
+      Vc.blit_into ~src:node.vc ~dst:node.last_barrier_vc);
     rule3_scan cl node;
     if gc_round then begin
       let gc_ivar = Proc.Ivar.create () in
       node.gc_wait <- Some gc_ivar;
       gc_validate cl node;
-      if node.id = 0 then handle_gc_done cl
-      else Lrc_core.cast cl ~src:node.id ~dst:0 (Msg.Gc_done { epoch });
+      (match cl.cfg.Config.barrier with
+      | Config.Central ->
+        if node.id = 0 then handle_gc_done cl node epoch
+        else Lrc_core.cast cl ~src:node.id ~dst:0 (Msg.Gc_done { epoch })
+      | Config.Tree { fanout } ->
+        let tb = tree_state node in
+        tb.tb_self_gc_done <- true;
+        tree_gc_maybe_up cl node ~fanout ~epoch);
       Proc.Ivar.await gc_ivar;
       gc_purge cl node
     end

@@ -34,13 +34,17 @@ val handle_lock_forward :
 
 val handle_lock_grant : cluster -> node -> lock:int -> Interval.t list -> unit
 
+(** Barrier arrival at [node]: the central manager buffers it (one-batch
+    apply once everyone arrived); a tree-barrier node folds it into its
+    combining state and forwards one combined arrival up when its whole
+    subtree has checked in. *)
 val handle_barrier_arrive :
-  cluster -> src:int -> vc:Vc.t -> intervals:Interval.t list ->
+  cluster -> node -> src:int -> vc:Vc.t -> intervals:Interval.t list ->
   gc_wanted:bool -> int -> unit
 
 (** Wake the local barrier waiter with the release message. *)
 val handle_barrier_release : cluster -> node -> Msg.t -> unit
 
-val handle_gc_done : cluster -> unit
+val handle_gc_done : cluster -> node -> int -> unit
 
-val handle_gc_complete : cluster -> node -> unit
+val handle_gc_complete : cluster -> node -> int -> unit

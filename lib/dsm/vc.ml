@@ -23,6 +23,20 @@ let merge_into t other =
     done
   end
 
+let blit_into ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Vc.blit_into: size mismatch";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let min_into t other =
+  if t != other then begin
+    if Array.length t <> Array.length other then
+      invalid_arg "Vc.min_into: size mismatch";
+    for i = 0 to Array.length t - 1 do
+      if other.(i) < t.(i) then t.(i) <- other.(i)
+    done
+  end
+
 let leq a b =
   a == b
   ||
@@ -62,6 +76,18 @@ let order a b =
   end
 
 let size_bytes t = 4 * Array.length t
+
+(* Delta encoding against a clock the receiver is known to share (the
+   sender's last-barrier knowledge): an 8-byte header plus an
+   (index, value) pair per differing component. *)
+let delta_size_bytes ~since t =
+  if Array.length since <> Array.length t then
+    invalid_arg "Vc.delta_size_bytes: size mismatch";
+  let changed = ref 0 in
+  for i = 0 to Array.length t - 1 do
+    if t.(i) <> since.(i) then incr changed
+  done;
+  8 + (8 * !changed)
 
 let equal a b =
   a == b

@@ -23,6 +23,16 @@ val tick : t -> proc:int -> unit
 (** Componentwise maximum, into the first argument. *)
 val merge_into : t -> t -> unit
 
+(** Overwrite [dst] with [src]'s components (no allocation; the clocks
+    must have the same width). *)
+val blit_into : src:t -> dst:t -> unit
+
+(** Componentwise minimum, into the first argument.  The minimum over a
+    set of clocks covers interval [(p, s)] iff every clock in the set
+    does — it is exactly the knowledge shared by a whole barrier subtree,
+    which is what the combining tree sends upward. *)
+val min_into : t -> t -> unit
+
 (** [leq a b] — every component of [a] is at or below [b]:
     "[a] happened before or is [b]". *)
 val leq : t -> t -> bool
@@ -37,6 +47,12 @@ val order : t -> t -> int
 
 (** Wire size in bytes (4 per component). *)
 val size_bytes : t -> int
+
+(** Wire size under delta encoding against [since], a clock the receiver
+    is known to share: 8-byte header + 8 bytes per differing component.
+    Used by the [sparse_vc] cost model with the sender's last-barrier
+    clock as the base. *)
+val delta_size_bytes : since:t -> t -> int
 
 val equal : t -> t -> bool
 

@@ -6,6 +6,10 @@ module Registry = Adsm_apps.Registry
 type suite = {
   scale : Registry.scale;
   nprocs : int;
+  tweak : Config.t -> Config.t;
+      (* configuration post-processing (e.g. a non-default network or
+         topology from the CLI), re-applied by artifacts that make their
+         own dedicated runs *)
   measurements : Runner.measurement list;
 }
 
@@ -19,7 +23,8 @@ let selected_apps = function
         | None -> invalid_arg ("Experiments: unknown application " ^ n))
       names
 
-let collect ?apps ?(scale = Registry.Default) ?(nprocs = 8) ?(jobs = 1) () =
+let collect ?apps ?(scale = Registry.Default) ?(nprocs = 8) ?(jobs = 1)
+    ?(tweak = Fun.id) () =
   let apps = selected_apps apps in
   let cells =
     List.concat_map
@@ -31,10 +36,10 @@ let collect ?apps ?(scale = Registry.Default) ?(nprocs = 8) ?(jobs = 1) () =
      suite is identical for any [jobs]. *)
   let measurements =
     Pool.map ~jobs
-      (fun (app, protocol) -> Runner.run ~app ~protocol ~nprocs ~scale ())
+      (fun (app, protocol) -> Runner.run ~tweak ~app ~protocol ~nprocs ~scale ())
       cells
   in
-  { scale; nprocs; measurements }
+  { scale; nprocs; tweak; measurements }
 
 let find suite ~app ~protocol =
   List.find_opt
@@ -315,7 +320,7 @@ let figure3 suite =
     let entry =
       match Registry.find app with Some e -> e | None -> assert false
     in
-    let tweak cfg = { cfg with Config.gc_threshold_bytes = 131_072 } in
+    let tweak cfg = suite.tweak { cfg with Config.gc_threshold_bytes = 131_072 } in
     let runs =
       List.map
         (fun p ->
@@ -460,8 +465,8 @@ let export_csv suite ~dir =
 
 (* ------------------------------------------------------------------ *)
 
-let run_all ?apps ?scale ?nprocs ?jobs () =
-  let suite = collect ?apps ?scale ?nprocs ?jobs () in
+let run_all ?apps ?scale ?nprocs ?jobs ?tweak () =
+  let suite = collect ?apps ?scale ?nprocs ?jobs ?tweak () in
   String.concat "\n"
     [
       table1 suite;

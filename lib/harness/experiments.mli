@@ -9,6 +9,9 @@
 type suite = {
   scale : Adsm_apps.Registry.scale;
   nprocs : int;
+  tweak : Adsm_dsm.Config.t -> Adsm_dsm.Config.t;
+      (** configuration post-processing (e.g. a non-default network or
+          topology), re-applied by artifacts that make dedicated runs *)
   measurements : Runner.measurement list;
 }
 
@@ -21,6 +24,7 @@ val collect :
   ?scale:Adsm_apps.Registry.scale ->
   ?nprocs:int ->
   ?jobs:int ->
+  ?tweak:(Adsm_dsm.Config.t -> Adsm_dsm.Config.t) ->
   unit ->
   suite
 
@@ -67,5 +71,6 @@ val run_all :
   ?scale:Adsm_apps.Registry.scale ->
   ?nprocs:int ->
   ?jobs:int ->
+  ?tweak:(Adsm_dsm.Config.t -> Adsm_dsm.Config.t) ->
   unit ->
   string

@@ -28,6 +28,7 @@ type measurement = {
   read_faults : int;
   write_faults : int;
   checksum : float;
+  by_kind : (string * (int * int)) list;  (* kind -> (messages, bytes) *)
   live_diff_series : (int * float) list;
   events : int;
   compute_ns : int;
@@ -67,6 +68,7 @@ let run ?(seed = 0x5EEDL) ?(tweak = Fun.id) ?tracer ?recorder
     read_faults = Stats.read_faults stats;
     write_faults = Stats.write_faults stats;
     checksum = result ();
+    by_kind = report.Dsm.by_kind;
     live_diff_series = Series.to_list (Stats.live_diff_series stats);
     events = report.Dsm.events;
     compute_ns = Stats.total_time stats ~category:Stats.Compute;

@@ -25,6 +25,9 @@ type measurement = {
   read_faults : int;
   write_faults : int;
   checksum : float;
+  by_kind : (string * (int * int)) list;
+      (** traffic class -> (messages, bytes); e.g. ["barrier"] for the
+          scaling study's barrier message-count bound *)
   live_diff_series : (int * float) list;
       (** (time_ns, live diff count) samples — the paper's Figure 3 *)
   events : int;

@@ -7,11 +7,16 @@ type monitor = {
 
 type 'msg t = {
   engine : Engine.t;
-  cfg : Netcfg.t;
+  topo : Topology.t;
+  cfg : Netcfg.t;  (** [Topology.base topo], kept unpacked for the hot path *)
   node_count : int;
   handlers : (src:int -> 'msg -> unit) option array;
   tx_free : int array;  (** sender NIC: next instant it can start a send *)
   rx_free : int array;  (** receiver NIC: next instant it can accept data *)
+  up_free : int array;
+      (** per leaf switch: next instant its root-bound uplink channel is
+          free (tree shapes only; [[||]] under [Flat]) *)
+  down_free : int array;  (** per leaf switch: root-to-leaf channel *)
   mutable messages : int;
   mutable payload_bytes : int;
   mutable wire_bytes : int;
@@ -22,15 +27,22 @@ type 'msg t = {
   mutable monitor : monitor option;
 }
 
-let create engine cfg ~nodes =
-  if nodes <= 0 then invalid_arg "Network.create: need at least one node";
+let create_topo engine topo ~nodes =
+  if nodes <= 0 then
+    invalid_arg "Network.create_topo: need at least one node";
+  let switches =
+    if Topology.is_flat topo then 0 else Topology.switch_count topo ~nodes
+  in
   {
     engine;
-    cfg;
+    topo;
+    cfg = Topology.base topo;
     node_count = nodes;
     handlers = Array.make nodes None;
     tx_free = Array.make nodes 0;
     rx_free = Array.make nodes 0;
+    up_free = Array.make switches 0;
+    down_free = Array.make switches 0;
     messages = 0;
     payload_bytes = 0;
     wire_bytes = 0;
@@ -41,11 +53,15 @@ let create engine cfg ~nodes =
     monitor = None;
   }
 
+let create engine cfg ~nodes = create_topo engine (Topology.flat cfg) ~nodes
+
 let set_monitor t monitor = t.monitor <- monitor
 
 let nodes t = t.node_count
 
 let config t = t.cfg
+
+let topology t = t.topo
 
 let set_handler t ~node f =
   if node < 0 || node >= t.node_count then
@@ -74,23 +90,53 @@ let send t ~src ~dst ~bytes ~kind msg =
   | None -> ()
   | Some m -> m.on_send ~now:(Engine.now t.engine) ~src ~dst ~bytes ~kind);
   (* Endpoint-serialized transfer: the payload occupies the sender's NIC,
-     crosses the wire, then occupies the receiver's NIC.  Uncontended this
-     reduces exactly to [Netcfg.one_way_ns]; under contention concurrent
-     transfers into (or out of) one node queue up, which is what limited
-     the paper's SPARC/ATM testbed. *)
+     crosses the fabric, then occupies the receiver's NIC.  On the flat
+     shape, uncontended, this reduces exactly to [Netcfg.one_way_ns];
+     under contention concurrent transfers into (or out of) one node
+     queue up, which is what limited the paper's SPARC/ATM testbed.  On
+     a tree shape the payload additionally traverses switches and — for
+     cross-switch traffic — the two shared uplink channels, each of
+     which serializes contending transfers the same way the NICs do. *)
   let now = Engine.now t.engine in
   let cfg = t.cfg in
   let bytes_ns = (cfg.Netcfg.header_bytes + bytes) * cfg.Netcfg.per_byte_ns in
   let tx_start = max (now + cfg.Netcfg.send_overhead_ns) t.tx_free.(src) in
   let tx_end = tx_start + bytes_ns in
   t.tx_free.(src) <- tx_end;
-  let wire_arrival = tx_end + cfg.Netcfg.wire_latency_ns in
+  let fabric_arrival =
+    match Topology.shape t.topo with
+    | Topology.Flat -> tx_end + cfg.Netcfg.wire_latency_ns
+    | Topology.Tree tr ->
+      let s_src = src / tr.Topology.nodes_per_switch in
+      let s_dst = dst / tr.Topology.nodes_per_switch in
+      let at_src_switch =
+        tx_end + tr.Topology.edge_latency_ns + tr.Topology.switch_ns
+      in
+      if s_src = s_dst then at_src_switch + tr.Topology.edge_latency_ns
+      else begin
+        let up = tr.Topology.uplink in
+        let up_bytes_ns =
+          (cfg.Netcfg.header_bytes + bytes) * up.Topology.per_byte_ns
+        in
+        (* Root-bound channel of the source's leaf switch. *)
+        let up_start = max at_src_switch t.up_free.(s_src) in
+        let up_end = up_start + up_bytes_ns in
+        t.up_free.(s_src) <- up_end;
+        let at_root = up_end + up.Topology.latency_ns + tr.Topology.switch_ns in
+        (* Leaf-bound channel of the destination's switch. *)
+        let down_start = max at_root t.down_free.(s_dst) in
+        let down_end = down_start + up_bytes_ns in
+        t.down_free.(s_dst) <- down_end;
+        down_end + up.Topology.latency_ns + tr.Topology.switch_ns
+        + tr.Topology.edge_latency_ns
+      end
+  in
   (* The receiving NIC is occupied for the payload's transfer time: a
      message queues behind earlier arrivals still being received. *)
-  let rx_done = max wire_arrival (t.rx_free.(dst) + bytes_ns) in
+  let rx_done = max fabric_arrival (t.rx_free.(dst) + bytes_ns) in
   t.rx_free.(dst) <- rx_done;
   let delivery = rx_done + cfg.Netcfg.recv_overhead_ns in
-  Engine.schedule_at t.engine ~time:delivery (fun () ->
+  Engine.schedule_at ~lane:dst t.engine ~time:delivery (fun () ->
       (match t.monitor with
       | None -> ()
       | Some m -> m.on_deliver ~now:delivery ~src ~dst ~bytes ~kind);

@@ -19,7 +19,15 @@ type monitor = {
   on_deliver : now:int -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> unit;
 }
 
+(** A flat network over the given cost model — shorthand for
+    [create_topo] with {!Topology.flat}. *)
 val create : Adsm_sim.Engine.t -> Netcfg.t -> nodes:int -> 'msg t
+
+(** A network over an arbitrary fabric shape.  The [Flat] shape is
+    byte-identical to [create]; tree shapes add switch hops and shared,
+    serializing uplink channels (see {!Topology}).  Deliveries are routed
+    to the destination node's engine lane when the engine has lanes. *)
+val create_topo : Adsm_sim.Engine.t -> Topology.t -> nodes:int -> 'msg t
 
 (** Install or remove the traffic monitor (at most one at a time). *)
 val set_monitor : 'msg t -> monitor option -> unit
@@ -27,6 +35,8 @@ val set_monitor : 'msg t -> monitor option -> unit
 val nodes : 'msg t -> int
 
 val config : 'msg t -> Netcfg.t
+
+val topology : 'msg t -> Topology.t
 
 (** Install the receive handler for [node].  Must be set before any message
     addressed to [node] is delivered. *)

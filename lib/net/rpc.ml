@@ -13,11 +13,11 @@ type 'msg t = {
   handlers : 'msg handler option array;
 }
 
-let create engine cfg ~nodes =
+let create_topo engine topo ~nodes =
   let t =
     {
       engine;
-      net = Network.create engine cfg ~nodes;
+      net = Network.create_topo engine topo ~nodes;
       next_id = 0;
       pending = Hashtbl.create 64;
       handlers = Array.make nodes None;
@@ -48,6 +48,8 @@ let create engine cfg ~nodes =
           | Some h -> h ~src msg None))
   done;
   t
+
+let create engine cfg ~nodes = create_topo engine (Topology.flat cfg) ~nodes
 
 let nodes t = Network.nodes t.net
 

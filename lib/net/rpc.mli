@@ -16,6 +16,9 @@ type 'msg handler = src:int -> 'msg -> 'msg respond option -> unit
 
 val create : Adsm_sim.Engine.t -> Netcfg.t -> nodes:int -> 'msg t
 
+(** Like [create] but over an arbitrary fabric shape (see {!Topology}). *)
+val create_topo : Adsm_sim.Engine.t -> Topology.t -> nodes:int -> 'msg t
+
 val nodes : 'msg t -> int
 
 (** The underlying network (for statistics). *)

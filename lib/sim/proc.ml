@@ -5,7 +5,7 @@ type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
 let suspend f = perform (Suspend f)
 
-let spawn engine f =
+let spawn ?lane engine f =
   let body () =
     match_with f ()
       {
@@ -21,7 +21,7 @@ let spawn engine f =
             | _ -> None);
       }
   in
-  Engine.schedule engine ~delay:0 body
+  Engine.schedule ?lane engine ~delay:0 body
 
 let sleep engine d =
   if d < 0 then invalid_arg "Proc.sleep: negative duration";

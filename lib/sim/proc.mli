@@ -6,10 +6,12 @@
     a time, so process code can freely mutate simulation state without
     locking. *)
 
-(** [spawn engine f] schedules process [f] to start at the current simulated
-    time.  An exception escaping [f] aborts the whole simulation ([run]
-    re-raises it). *)
-val spawn : Engine.t -> (unit -> unit) -> unit
+(** [spawn ?lane engine f] schedules process [f] to start at the current
+    simulated time, on event-queue [lane] when given (see
+    {!Engine.schedule}); the process's later wake-ups inherit the lane of
+    whatever event resumes them.  An exception escaping [f] aborts the
+    whole simulation ([run] re-raises it). *)
+val spawn : ?lane:int -> Engine.t -> (unit -> unit) -> unit
 
 (** [sleep engine d] suspends the calling process for [d] simulated
     nanoseconds.  Must be called from process context. *)

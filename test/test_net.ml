@@ -6,6 +6,7 @@ module Netcfg = Adsm_net.Netcfg
 module Network = Adsm_net.Network
 module Rpc = Adsm_net.Rpc
 module Kind = Adsm_net.Kind
+module Topology = Adsm_net.Topology
 
 (* ------------------------------------------------------------------ *)
 (* Cost model calibration (paper Section 4)                           *)
@@ -195,6 +196,163 @@ let test_uncontended_matches_cost_model () =
     [ 0; 100; 4096; 100_000 ]
 
 (* ------------------------------------------------------------------ *)
+(* Tree topology: per-hop costs and shared-uplink serialization        *)
+(* ------------------------------------------------------------------ *)
+
+(* Explicit hop parameters (not the derived defaults) so each expected
+   arrival time below is a plain sum of named constants. *)
+let tree_uplink = { Topology.latency_ns = 2_000; per_byte_ns = 5 }
+
+let tree_topo =
+  Topology.tree ~nodes_per_switch:2 ~edge_latency_ns:1_000 ~switch_ns:500
+    ~uplink:tree_uplink Netcfg.atm_155
+
+let make_tree_net ?(nodes = 6) () =
+  let e = Engine.create () in
+  let net = Network.create_topo e tree_topo ~nodes in
+  (e, net)
+
+let up_bytes_ns b =
+  (Netcfg.atm_155.Netcfg.header_bytes + b) * tree_uplink.Topology.per_byte_ns
+
+(* Uncontended tree arrival time for a single message on a fresh net. *)
+let arrival_time ~src ~dst ~bytes =
+  let e, net = make_tree_net () in
+  let seen = ref (-1) in
+  Network.set_handler net ~node:dst (fun ~src:_ _ -> seen := Engine.now e);
+  Network.send net ~src ~dst ~bytes ~kind:Kind.Page ();
+  ignore (Engine.run e);
+  !seen
+
+let test_flat_topo_matches_create () =
+  (* [create_topo] with the Flat shape must be byte- and time-identical
+     to the historical [create] path. *)
+  List.iter
+    (fun payload ->
+      let e1, net1 = make_net () in
+      let e2 = Engine.create () in
+      let net2 =
+        Network.create_topo e2 (Topology.flat Netcfg.atm_155) ~nodes:4
+      in
+      let t1 = ref (-1) and t2 = ref (-1) in
+      Network.set_handler net1 ~node:1 (fun ~src:_ _ -> t1 := Engine.now e1);
+      Network.set_handler net2 ~node:1 (fun ~src:_ _ -> t2 := Engine.now e2);
+      Network.send net1 ~src:0 ~dst:1 ~bytes:payload ~kind:Kind.Page ();
+      Network.send net2 ~src:0 ~dst:1 ~bytes:payload ~kind:Kind.Page ();
+      ignore (Engine.run e1);
+      ignore (Engine.run e2);
+      Alcotest.(check int) (Printf.sprintf "%d bytes" payload) !t1 !t2)
+    [ 0; 4096; 100_000 ]
+
+let test_tree_same_switch_cost () =
+  (* Nodes 0 and 1 share leaf switch 0: NIC transfer, edge up, one
+     switch traversal, edge down. *)
+  let cfg = Netcfg.atm_155 in
+  let payload = 4096 in
+  let expect =
+    cfg.Netcfg.send_overhead_ns
+    + bytes_ns cfg payload
+    + 1_000 + 500 + 1_000
+    + cfg.Netcfg.recv_overhead_ns
+  in
+  Alcotest.(check int) "same-switch arrival additive" expect
+    (arrival_time ~src:0 ~dst:1 ~bytes:payload)
+
+let test_tree_cross_switch_cost () =
+  (* Node 0 (switch 0) to node 2 (switch 1): edge, leaf switch, uplink
+     transfer + latency, root switch, downlink transfer + latency,
+     destination leaf switch, edge. *)
+  let cfg = Netcfg.atm_155 in
+  let payload = 4096 in
+  let expect =
+    cfg.Netcfg.send_overhead_ns
+    + bytes_ns cfg payload
+    + 1_000 + 500 (* edge up, source leaf switch *)
+    + up_bytes_ns payload + 2_000 + 500 (* uplink, root switch *)
+    + up_bytes_ns payload + 2_000 + 500 (* downlink, dest leaf switch *)
+    + 1_000 (* edge down *)
+    + cfg.Netcfg.recv_overhead_ns
+  in
+  Alcotest.(check int) "cross-switch arrival additive" expect
+    (arrival_time ~src:0 ~dst:2 ~bytes:payload)
+
+let test_tree_uplink_contention () =
+  (* Nodes 0 and 1 (both on leaf switch 0) send to nodes on two
+     DIFFERENT remote switches at the same instant: distinct sender and
+     receiver NICs, distinct down channels — the only shared resource is
+     switch 0's root-bound uplink, so the second transfer arrives
+     exactly one uplink transfer time after the first. *)
+  let e, net = make_tree_net () in
+  let payload = 4096 in
+  let arrivals = Hashtbl.create 4 in
+  Network.set_handler net ~node:2 (fun ~src:_ _ ->
+      Hashtbl.replace arrivals 2 (Engine.now e));
+  Network.set_handler net ~node:4 (fun ~src:_ _ ->
+      Hashtbl.replace arrivals 4 (Engine.now e));
+  Network.send net ~src:0 ~dst:2 ~bytes:payload ~kind:Kind.Page ();
+  Network.send net ~src:1 ~dst:4 ~bytes:payload ~kind:Kind.Diff ();
+  ignore (Engine.run e);
+  let t_first = Hashtbl.find arrivals 2 and t_second = Hashtbl.find arrivals 4 in
+  Alcotest.(check int) "second delayed by one uplink transfer"
+    (up_bytes_ns payload) (t_second - t_first)
+
+let test_tree_downlink_contention () =
+  (* Senders on two different switches target two different nodes of ONE
+     remote switch: the shared leaf-bound channel of that switch
+     serializes them. *)
+  let e, net = make_tree_net () in
+  let payload = 4096 in
+  let arrivals = Hashtbl.create 4 in
+  Network.set_handler net ~node:4 (fun ~src:_ _ ->
+      Hashtbl.replace arrivals 4 (Engine.now e));
+  Network.set_handler net ~node:5 (fun ~src:_ _ ->
+      Hashtbl.replace arrivals 5 (Engine.now e));
+  Network.send net ~src:0 ~dst:4 ~bytes:payload ~kind:Kind.Page ();
+  Network.send net ~src:2 ~dst:5 ~bytes:payload ~kind:Kind.Diff ();
+  ignore (Engine.run e);
+  let t_first = Hashtbl.find arrivals 4 and t_second = Hashtbl.find arrivals 5 in
+  Alcotest.(check int) "second delayed by one downlink transfer"
+    (up_bytes_ns payload) (t_second - t_first)
+
+let test_tree_same_switch_avoids_uplink () =
+  (* Same-switch traffic must not touch the uplink channels: a transfer
+     between two nodes of switch 0, issued while a huge cross-switch
+     transfer from the same switch occupies its uplink, still arrives at
+     exactly its uncontended time. *)
+  let payload = 4096 in
+  let uncontended = arrival_time ~src:0 ~dst:1 ~bytes:payload in
+  let e, net = make_tree_net () in
+  let seen = ref (-1) in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> seen := Engine.now e);
+  Network.set_handler net ~node:4 (fun ~src:_ _ -> ());
+  Network.send net ~src:1 ~dst:4 ~bytes:1_000_000 ~kind:Kind.Page ();
+  Network.send net ~src:0 ~dst:1 ~bytes:payload ~kind:Kind.Diff ();
+  ignore (Engine.run e);
+  Alcotest.(check int) "unaffected by uplink traffic" uncontended !seen
+
+let test_shape_of_string () =
+  let base = Netcfg.atm_155 in
+  (match Topology.shape_of_string ~base "flat" with
+  | Ok Topology.Flat -> ()
+  | _ -> Alcotest.fail "flat must parse");
+  (match Topology.shape_of_string ~base "tree:8" with
+  | Ok (Topology.Tree t) ->
+    Alcotest.(check int) "radix" 8 t.Topology.nodes_per_switch
+  | _ -> Alcotest.fail "tree:8 must parse");
+  match Topology.shape_of_string ~base "tree:bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tree:bogus must be rejected"
+
+let test_node_speeds () =
+  let t =
+    Topology.with_speeds (Topology.flat Netcfg.atm_155) [| 1.0; 2.0; 0.5 |]
+  in
+  Alcotest.(check (float 0.0)) "node 1" 2.0 (Topology.node_speed t 1);
+  Alcotest.(check (float 0.0)) "wraps modulo" 1.0 (Topology.node_speed t 3);
+  Alcotest.(check (float 0.0)) "homogeneous" 1.0
+    (Topology.node_speed (Topology.flat Netcfg.atm_155) 5)
+
+(* ------------------------------------------------------------------ *)
 (* RPC                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -292,6 +450,23 @@ let () =
             test_disjoint_paths_parallel;
           Alcotest.test_case "uncontended = cost model" `Quick
             test_uncontended_matches_cost_model;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "flat topo = historic create" `Quick
+            test_flat_topo_matches_create;
+          Alcotest.test_case "same-switch hop costs add" `Quick
+            test_tree_same_switch_cost;
+          Alcotest.test_case "cross-switch hop costs add" `Quick
+            test_tree_cross_switch_cost;
+          Alcotest.test_case "shared uplink serializes" `Quick
+            test_tree_uplink_contention;
+          Alcotest.test_case "shared downlink serializes" `Quick
+            test_tree_downlink_contention;
+          Alcotest.test_case "same-switch avoids uplink" `Quick
+            test_tree_same_switch_avoids_uplink;
+          Alcotest.test_case "shape_of_string" `Quick test_shape_of_string;
+          Alcotest.test_case "node speeds" `Quick test_node_speeds;
         ] );
       ( "rpc",
         [

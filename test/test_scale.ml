@@ -1,0 +1,212 @@
+(* Scaling-refactor tests: the combining tree barrier, sharded lock
+   homes, sparse vector-clock accounting and the node-count scaling
+   study must all be pure COST-MODEL changes — every application result
+   stays bit-identical to the central-barrier flat fabric — while the
+   barrier's traffic stays within the combining-tree bound. *)
+
+module Config = Adsm_dsm.Config
+module Dsm = Adsm_dsm.Dsm
+module Registry = Adsm_apps.Registry
+module Runner = Adsm_harness.Runner
+module Scaling = Adsm_harness.Scaling
+
+let run ?(tweak = Fun.id) ~app ~protocol ~nprocs () =
+  let entry =
+    match Registry.find app with
+    | Some e -> e
+    | None -> Alcotest.fail ("unknown app " ^ app)
+  in
+  Runner.run ~tweak ~app:entry ~protocol ~nprocs ~scale:Registry.Tiny ()
+
+let tree_tweak = Scaling.tweak_of_fabric Scaling.Tree_combining
+
+let barrier_msgs (m : Runner.measurement) =
+  match List.assoc_opt "barrier" m.Runner.by_kind with
+  | Some (count, _) -> count
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Tree fabric is checksum-transparent                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every application, both protocol families: the full large-cluster
+   configuration (tree topology + combining barrier + sharded locks +
+   sparse VCs) reproduces the flat/central checksum exactly. *)
+let test_tree_transparent_all_apps () =
+  List.iter
+    (fun app ->
+      List.iter
+        (fun protocol ->
+          let flat = run ~app ~protocol ~nprocs:8 () in
+          let tree = run ~tweak:tree_tweak ~app ~protocol ~nprocs:8 () in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s/%s checksum" app
+               (Config.protocol_name protocol))
+            flat.Runner.checksum tree.Runner.checksum)
+        [ Config.Mw; Config.Wfs ])
+    Registry.names
+
+(* SOR under every protocol, including the adaptive ones. *)
+let test_tree_transparent_all_protocols () =
+  List.iter
+    (fun protocol ->
+      let flat = run ~app:"SOR" ~protocol ~nprocs:8 () in
+      let tree = run ~tweak:tree_tweak ~app:"SOR" ~protocol ~nprocs:8 () in
+      Alcotest.(check (float 0.0))
+        (Config.protocol_name protocol)
+        flat.Runner.checksum tree.Runner.checksum)
+    Config.all_protocols
+
+(* A combining tree uses exactly 2(n-1) barrier messages per round —
+   the same TOTAL as the central barrier (the tree's win is fan-in, not
+   message count), so the two fabrics must agree on it exactly. *)
+let test_barrier_message_parity () =
+  let flat = run ~app:"SOR" ~protocol:Config.Mw ~nprocs:8 () in
+  let tree = run ~tweak:tree_tweak ~app:"SOR" ~protocol:Config.Mw ~nprocs:8 () in
+  Alcotest.(check int) "barrier messages" (barrier_msgs flat)
+    (barrier_msgs tree)
+
+(* The fanout only reshapes the combining tree; results and barrier
+   traffic are unchanged. *)
+let test_fanout_invariance () =
+  let base = run ~app:"SOR" ~protocol:Config.Mw ~nprocs:13 () in
+  List.iter
+    (fun fanout ->
+      let tweak cfg = { cfg with Config.barrier = Config.Tree { fanout } } in
+      let m = run ~tweak ~app:"SOR" ~protocol:Config.Mw ~nprocs:13 () in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "fanout %d checksum" fanout)
+        base.Runner.checksum m.Runner.checksum;
+      Alcotest.(check int)
+        (Printf.sprintf "fanout %d barrier msgs" fanout)
+        (barrier_msgs base) (barrier_msgs m))
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Tree-mode garbage collection                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the GC rounds through the tree (Gc_done combining up,
+   Gc_complete fanning down) by shrinking the trigger threshold, and
+   check the result still matches a central-barrier run under the same
+   threshold. *)
+let test_tree_gc_round () =
+  let low cfg = { cfg with Config.gc_threshold_bytes = 2_048 } in
+  let flat = run ~tweak:low ~app:"SOR" ~protocol:Config.Mw ~nprocs:8 () in
+  let tree =
+    run
+      ~tweak:(fun cfg -> low (tree_tweak cfg))
+      ~app:"SOR" ~protocol:Config.Mw ~nprocs:8 ()
+  in
+  Alcotest.(check bool) "gc actually ran" true (tree.Runner.gc_runs > 0);
+  Alcotest.(check int) "same gc rounds" flat.Runner.gc_runs
+    tree.Runner.gc_runs;
+  Alcotest.(check (float 0.0)) "checksum" flat.Runner.checksum
+    tree.Runner.checksum
+
+(* ------------------------------------------------------------------ *)
+(* Sharded lock homes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Lock-home placement is pure policy: any shard count yields the same
+   result as the historical modulo placement on a lock-heavy program. *)
+let test_sharded_locks_transparent () =
+  let base = run ~app:"Water" ~protocol:Config.Mw ~nprocs:8 () in
+  List.iter
+    (fun shards ->
+      let tweak cfg =
+        { cfg with Config.lock_homes = Config.Sharded shards }
+      in
+      let m = run ~tweak ~app:"Water" ~protocol:Config.Mw ~nprocs:8 () in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%d shards checksum" shards)
+        base.Runner.checksum m.Runner.checksum)
+    [ 1; 2; 4 ]
+
+(* Grant order is FIFO by request arrival at the home, whichever node
+   the placement policy makes the home.  Node 0 grabs the lock and
+   holds it while every other node's request (staggered well past the
+   1 ms message latency) queues up; grants must then follow arrival
+   order exactly. *)
+let test_sharded_lock_fifo () =
+  List.iter
+    (fun lock_homes ->
+      let cfg =
+        { (Config.make ~protocol:Config.Mw ~nprocs:8 ()) with lock_homes }
+      in
+      let t = Dsm.create cfg in
+      let l = Dsm.fresh_lock t in
+      let order = ref [] in
+      ignore
+        (Dsm.run t (fun ctx ->
+             let me = Dsm.me ctx in
+             Dsm.compute ctx (me * 5_000_000);
+             Dsm.lock ctx l;
+             order := me :: !order;
+             (* Hold long enough that every later request queues. *)
+             if me = 0 then Dsm.compute ctx 200_000_000;
+             Dsm.unlock ctx l));
+      Alcotest.(check (list int))
+        (Printf.sprintf "grant order (%s)"
+           (match lock_homes with
+           | Config.Modulo -> "modulo"
+           | Config.Sharded k -> Printf.sprintf "sharded %d" k))
+        (List.init 8 Fun.id) (List.rev !order))
+    [ Config.Modulo; Config.Sharded 1; Config.Sharded 2; Config.Sharded 4;
+      Config.Sharded 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* 256-node completion and the scaling study's own checks              *)
+(* ------------------------------------------------------------------ *)
+
+(* The CI smoke study end-to-end: SOR to 256 nodes on both fabrics.
+   Asserts the study's two hard invariants (fabric checksum equality,
+   barrier traffic within 4 R n log2 n) and the refactor's headline:
+   at 256 nodes the tree fabric beats the flat fabric's serialized
+   barrier fan-in by a wide margin. *)
+let test_smoke_study () =
+  let study = Scaling.collect ~smoke:true ~max_nodes:256 () in
+  Alcotest.(check int) "rows" 16 (List.length study.Scaling.rows);
+  Alcotest.(check (list string)) "fabric checksums agree" []
+    (Scaling.checksum_mismatches study);
+  Alcotest.(check (list string)) "barrier traffic within bound" []
+    (Scaling.barrier_bound_violations study);
+  let time fabric =
+    match
+      List.find_opt
+        (fun r ->
+          r.Scaling.nprocs = 256 && r.Scaling.fabric = fabric
+          && r.Scaling.protocol = Config.Mw)
+        study.Scaling.rows
+    with
+    | Some r -> r.Scaling.time_ns
+    | None -> Alcotest.fail "missing 256-node row"
+  in
+  Alcotest.(check bool) "tree fabric wins at 256 nodes" true
+    (time Scaling.Tree_combining * 10 < time Scaling.Flat_central)
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "tree-fabric",
+        [
+          Alcotest.test_case "transparent for all apps" `Quick
+            test_tree_transparent_all_apps;
+          Alcotest.test_case "transparent for all protocols" `Quick
+            test_tree_transparent_all_protocols;
+          Alcotest.test_case "barrier message parity" `Quick
+            test_barrier_message_parity;
+          Alcotest.test_case "fanout invariance" `Quick test_fanout_invariance;
+          Alcotest.test_case "tree gc round" `Quick test_tree_gc_round;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "sharded homes transparent" `Quick
+            test_sharded_locks_transparent;
+          Alcotest.test_case "fifo grants under any placement" `Quick
+            test_sharded_lock_fifo;
+        ] );
+      ( "study",
+        [ Alcotest.test_case "smoke study to 256 nodes" `Slow test_smoke_study ]
+      );
+    ]

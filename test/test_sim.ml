@@ -102,6 +102,48 @@ let test_heap_random_interleaving () =
     !model;
   Alcotest.(check bool) "both empty" true (Eheap.is_empty h)
 
+(* Lane-split equivalence: a multilane heap must pop the exact global
+   (time, seq) order of a single-lane heap under a randomized push/pop
+   interleaving, no matter which lane absorbs each push.  Times are
+   drawn from a tiny range so cross-lane ties are the common case. *)
+let test_heap_lanes_match_single () =
+  let r = Rng.create 7L in
+  let multi = Eheap.create ~lanes:7 () in
+  let single = Eheap.create () in
+  Alcotest.(check int) "lanes" 7 (Eheap.lanes multi);
+  Alcotest.(check int) "single lane" 1 (Eheap.lanes single);
+  let seq = ref 0 in
+  for _ = 1 to 3_000 do
+    if Rng.int r 3 < 2 then begin
+      let time = Rng.int r 40 in
+      let v = Rng.int r 1_000_000 in
+      Eheap.push ~lane:(v mod 7) multi ~time ~seq:!seq v;
+      Eheap.push single ~time ~seq:!seq v;
+      incr seq
+    end
+    else if Eheap.pop_min multi <> Eheap.pop_min single then
+      Alcotest.fail "lane split changed pop order"
+  done;
+  let rec drain () =
+    match (Eheap.pop_min multi, Eheap.pop_min single) with
+    | None, None -> ()
+    | a, b when a = b -> drain ()
+    | _ -> Alcotest.fail "drain order disagrees"
+  in
+  drain ();
+  Alcotest.(check bool) "both empty" true
+    (Eheap.is_empty multi && Eheap.is_empty single)
+
+let test_heap_min_lane () =
+  let h = Eheap.create ~lanes:4 () in
+  Eheap.push ~lane:3 h ~time:5 ~seq:0 "a";
+  Eheap.push ~lane:1 h ~time:2 ~seq:1 "b";
+  Alcotest.(check int) "min lane" 1 (Eheap.min_lane h);
+  Alcotest.(check int) "min time" 2 (Eheap.min_time_exn h);
+  ignore (Eheap.pop_min h);
+  Alcotest.(check int) "next lane" 3 (Eheap.min_lane h);
+  Alcotest.(check string) "next value" "a" (Eheap.pop_min_exn h)
+
 (* A popped value must become unreachable from the heap: the old
    representation left it live in the vacated slot until a later push
    overwrote it, pinning arbitrarily large closures for the rest of the
@@ -471,6 +513,10 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "random interleaving vs model" `Quick
             test_heap_random_interleaving;
+          Alcotest.test_case "lane split matches single lane" `Quick
+            test_heap_lanes_match_single;
+          Alcotest.test_case "min_lane tracks earliest" `Quick
+            test_heap_min_lane;
           Alcotest.test_case "popped values not retained" `Quick
             test_heap_pop_releases_value;
           Alcotest.test_case "exn variants" `Quick test_heap_exn_variants;
