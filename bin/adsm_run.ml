@@ -33,8 +33,11 @@ let fabric_tweak net topology =
 
 (* --- run one configuration --- *)
 
+let engine_of_par par =
+  if par > 1 then Some (Config.Parallel { domains = par }) else None
+
 let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
-    check net topology =
+    check net topology par =
   match Registry.find app_name with
   | None ->
     Printf.eprintf "unknown application %S; try `adsm_run list'\n" app_name;
@@ -77,8 +80,8 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
       | Ok tracer ->
       let recorder = if check then Recorder.create () else Recorder.disabled in
       let m =
-        Runner.run ?tracer ~recorder ~tweak ~seed:(Int64.of_int seed) ~app
-          ~protocol ~nprocs ~scale ()
+        Runner.run ?tracer ~recorder ~tweak ?engine:(engine_of_par par)
+          ~seed:(Int64.of_int seed) ~app ~protocol ~nprocs ~scale ()
       in
       (match (tracer, trace_file) with
       | Some tracer, Some path ->
@@ -125,23 +128,24 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
 
 (* --- the full experiment suite --- *)
 
-let run_experiments tiny nprocs apps out jobs net topology =
+let run_experiments tiny nprocs apps out jobs net topology par =
   match fabric_tweak net topology with
   | Error msg ->
     Printf.eprintf "bad --topology: %s\n" msg;
     1
   | Ok tweak -> (
     let apps = match apps with [] -> None | l -> Some l in
+    let engine = engine_of_par par in
     match out with
     | None ->
       print_string
         (Experiments.run_all ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs
-           ~tweak ());
+           ~tweak ?engine ());
       0
     | Some dir ->
       let suite =
         Experiments.collect ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs
-          ~tweak ()
+          ~tweak ?engine ()
       in
       let written = Experiments.export_csv suite ~dir in
       List.iter (Printf.printf "wrote %s\n") written;
@@ -219,6 +223,17 @@ let topology_arg =
               the default), $(b,tree), or $(b,tree:N) (2-level switched \
               tree with N nodes per leaf switch).")
 
+let par_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "par" ] ~docv:"N"
+        ~doc:"Run each simulation on the conservative parallel engine \
+              with $(docv) OCaml domains (default 1 = the sequential \
+              engine).  Behavior-neutral: traces, checksums, counters and \
+              oracle streams are byte-identical (see PARALLELISM.md); \
+              only host wall-clock changes.  Avoid oversubscribing the \
+              host when combined with $(b,--jobs).")
+
 let check_arg =
   Arg.(
     value & flag
@@ -232,7 +247,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one application under one protocol")
     Term.(
       const run_one $ app_arg $ protocol_arg $ procs_arg $ tiny_arg $ seed_arg
-      $ trace_arg $ trace_format_arg $ check_arg $ net_arg $ topology_arg)
+      $ trace_arg $ trace_format_arg $ check_arg $ net_arg $ topology_arg
+      $ par_arg)
 
 (* --- oracle-checked workload fuzzing --- *)
 
@@ -356,7 +372,7 @@ let experiments_cmd =
        ~doc:"Regenerate every table and figure of the paper")
     Term.(
       const run_experiments $ tiny_arg $ procs_arg $ apps_arg $ out_arg
-      $ jobs_arg $ net_arg $ topology_arg)
+      $ jobs_arg $ net_arg $ topology_arg $ par_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available applications")
@@ -364,9 +380,9 @@ let list_cmd =
 
 (* --- node-count scaling study --- *)
 
-let run_scaling smoke max_nodes jobs out =
+let run_scaling smoke max_nodes jobs out par =
   let module Scaling = Adsm_harness.Scaling in
-  let study = Scaling.collect ~smoke ~max_nodes ~jobs () in
+  let study = Scaling.collect ~smoke ~max_nodes ~jobs ~par () in
   print_string (Scaling.render study);
   (match out with
   | Some path ->
@@ -415,7 +431,7 @@ let scaling_cmd =
           n-log-n message bound.")
     Term.(
       const run_scaling $ scaling_tiny_arg $ max_nodes_arg $ jobs_arg
-      $ scaling_out_arg)
+      $ scaling_out_arg $ par_arg)
 
 let run_ablations studies jobs =
   let module Ablations = Adsm_harness.Ablations in

@@ -57,6 +57,12 @@ let barrier_of_string s =
 
 type lock_homes = Modulo | Sharded of int
 
+type engine_mode = Sequential | Parallel of { domains : int }
+
+let engine_mode_name = function
+  | Sequential -> "seq"
+  | Parallel { domains } -> Printf.sprintf "par:%d" domains
+
 type t = {
   protocol : protocol;
   nprocs : int;
@@ -81,6 +87,7 @@ type t = {
   lazy_diffing : bool;
   schedule_fuzz : int option;
   mutation : mutation option;
+  engine : engine_mode;
   seed : int64;
 }
 
@@ -110,5 +117,6 @@ let make ?(seed = 0x5EEDL) ~protocol ~nprocs () =
     lazy_diffing = false;
     schedule_fuzz = None;
     mutation = None;
+    engine = Sequential;
     seed;
   }

@@ -72,7 +72,7 @@ let materialize_pending_diff cl node (e : entry) =
       | None -> failwith "Proto: pending diff without its twin"
     in
     let diff =
-      Diff.create ~scratch:cl.diff_scratch ~twin ~current:(frame e) ()
+      Diff.create ~scratch:(State.scratch node) ~twin ~current:(frame e) ()
     in
     Hashtbl.replace node.diffs (e.page, node.id, seq) (vc, diff);
     e.own_diff_seqs <- seq :: e.own_diff_seqs;
@@ -170,7 +170,7 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
   | Some twin ->
     (* MW-mode page: eager twin/diff. *)
     let current = frame e in
-    let diff = Diff.create ~scratch:cl.diff_scratch ~twin ~current () in
+    let diff = Diff.create ~scratch:(State.scratch node) ~twin ~current () in
     charge cl.cfg.Config.diff_create_ns;
     let bytes = Diff.size_bytes diff in
     let modified = Diff.modified_bytes diff in

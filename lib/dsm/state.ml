@@ -102,6 +102,11 @@ type node = {
   mutable tlb : tlb option;
   tb : tree_barrier option;  (* Some iff [cfg.barrier] is [Tree] *)
   rng : Rng.t;
+  mutable diff_scratch : Diff.scratch option;
+      (* lazily allocated per node: diff encoding happens inside the
+         owning node's events, and under the parallel engine nodes on
+         different domains encode concurrently, so the scratch buffer
+         cannot be shared cluster-wide *)
 }
 
 type barrier_manager = {
@@ -126,7 +131,6 @@ type cluster = {
   mutable running : int;
   tracer : Adsm_trace.Tracer.t;
   recorder : Adsm_check.Recorder.t;
-  diff_scratch : Diff.scratch;
 }
 
 let make_entry ~nprocs ~page ~home =
@@ -203,7 +207,16 @@ let make_node ~cfg ~id ~total_pages =
             tb_self_gc_done = false;
           });
     rng = Rng.create (Int64.add cfg.Config.seed (Int64.of_int (id * 7919)));
+    diff_scratch = None;
   }
+
+let scratch node =
+  match node.diff_scratch with
+  | Some s -> s
+  | None ->
+    let s = Diff.make_scratch () in
+    node.diff_scratch <- Some s;
+    s
 
 (* Get-or-create the node's entry for [page].  A lazily-created entry is
    exactly the entry the old eager initialization built: zero-page base,
@@ -282,9 +295,17 @@ let home_of_lock cluster lock =
    so the event payload is never even constructed when tracing is off. *)
 let tracing cluster = Adsm_trace.Tracer.enabled cluster.tracer
 
+(* Trace sinks are shared across every node, so under the parallel engine
+   an in-window emission is journaled and replayed by the inter-window
+   walk — the sink sees the exact global-order stream a sequential run
+   writes.  The timestamp is captured here, at the original call. *)
 let emit cluster ~node event =
-  Adsm_trace.Tracer.emit cluster.tracer ~time:(Engine.now cluster.engine) ~node
-    event
+  let engine = cluster.engine in
+  let time = Engine.now engine in
+  if Engine.deferring engine then
+    Engine.defer engine (fun () ->
+        Adsm_trace.Tracer.emit cluster.tracer ~time ~node event)
+  else Adsm_trace.Tracer.emit cluster.tracer ~time ~node event
 
 (* Same guard pattern for the consistency oracle's observation stream:
      [if checking cl then observe cl ~node (Obs.X { ... })]
@@ -292,5 +313,9 @@ let emit cluster ~node event =
 let checking cluster = Adsm_check.Recorder.enabled cluster.recorder
 
 let observe cluster ~node obs =
-  Adsm_check.Recorder.record cluster.recorder
-    ~time:(Engine.now cluster.engine) ~node obs
+  let engine = cluster.engine in
+  let time = Engine.now engine in
+  if Engine.deferring engine then
+    Engine.defer engine (fun () ->
+        Adsm_check.Recorder.record cluster.recorder ~time ~node obs)
+  else Adsm_check.Recorder.record cluster.recorder ~time ~node obs

@@ -149,6 +149,10 @@ type node = {
   mutable tlb : tlb option;  (** accessor fast-path cache; see {!tlb_reset} *)
   tb : tree_barrier option;  (** [Some] iff [cfg.barrier] is [Tree] *)
   rng : Adsm_sim.Rng.t;
+  mutable diff_scratch : Diff.scratch option;
+      (** lazily allocated working space for {!Diff.create}, per node —
+          nodes on different domains encode diffs concurrently under the
+          parallel engine, so the scratch cannot be cluster-wide *)
 }
 
 (** Barrier manager bookkeeping (lives at node 0). *)
@@ -175,8 +179,6 @@ type cluster = {
   tracer : Adsm_trace.Tracer.t;  (** structured trace emission front-end *)
   recorder : Adsm_check.Recorder.t;
       (** consistency-oracle observation stream front-end *)
-  diff_scratch : Diff.scratch;
-      (** single-domain working space for {!Diff.create} *)
 }
 
 val make_entry : nprocs:int -> page:int -> home:int -> entry
@@ -191,6 +193,9 @@ val entry_of : node -> int -> entry
 (** Iterate over the materialized entries — the only ones that can carry
     any protocol state. *)
 val iter_entries : node -> (entry -> unit) -> unit
+
+(** The node's diff-encoding scratch space, allocated on first use. *)
+val scratch : node -> Diff.scratch
 
 (** Committed contents of a page at this node: the twin while the page is
     dirty, the current data otherwise.  [None] when the node has no copy. *)

@@ -10,6 +10,15 @@ type t
 
 val create : nprocs:int -> unit -> t
 
+(** [set_defer t (Some d)] routes every update to state shared across
+    nodes (scalar counters, the live-diff series, the sharing hashtables,
+    the diff-size list) through [d] — the parallel engine's
+    {!Adsm_sim.Engine.defer}, which replays them in global event order
+    between windows.  Per-node slots ([diff_store], the time breakdown)
+    stay immediate: they are lane-owned and read mid-window (the GC
+    trigger).  [None] (the default) is the unchanged sequential path. *)
+val set_defer : t -> ((unit -> unit) -> unit) option -> unit
+
 val nprocs : t -> int
 
 (* --- twins --- *)

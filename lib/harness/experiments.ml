@@ -10,6 +10,9 @@ type suite = {
       (* configuration post-processing (e.g. a non-default network or
          topology from the CLI), re-applied by artifacts that make their
          own dedicated runs *)
+  engine : Config.engine_mode option;
+      (* event-engine mode for every run (wall-clock only; None = default
+         Sequential), also re-applied by dedicated artifact runs *)
   measurements : Runner.measurement list;
 }
 
@@ -24,7 +27,7 @@ let selected_apps = function
       names
 
 let collect ?apps ?(scale = Registry.Default) ?(nprocs = 8) ?(jobs = 1)
-    ?(tweak = Fun.id) () =
+    ?(tweak = Fun.id) ?engine () =
   let apps = selected_apps apps in
   let cells =
     List.concat_map
@@ -36,10 +39,11 @@ let collect ?apps ?(scale = Registry.Default) ?(nprocs = 8) ?(jobs = 1)
      suite is identical for any [jobs]. *)
   let measurements =
     Pool.map ~jobs
-      (fun (app, protocol) -> Runner.run ~tweak ~app ~protocol ~nprocs ~scale ())
+      (fun (app, protocol) ->
+        Runner.run ~tweak ?engine ~app ~protocol ~nprocs ~scale ())
       cells
   in
-  { scale; nprocs; tweak; measurements }
+  { scale; nprocs; tweak; engine; measurements }
 
 let find suite ~app ~protocol =
   List.find_opt
@@ -325,8 +329,8 @@ let figure3 suite =
       List.map
         (fun p ->
           ( p,
-            Runner.run ~tweak ~app:entry ~protocol:p ~nprocs:suite.nprocs
-              ~scale:suite.scale () ))
+            Runner.run ~tweak ?engine:suite.engine ~app:entry ~protocol:p
+              ~nprocs:suite.nprocs ~scale:suite.scale () ))
         protocols
     in
     let t_end =
@@ -465,8 +469,8 @@ let export_csv suite ~dir =
 
 (* ------------------------------------------------------------------ *)
 
-let run_all ?apps ?scale ?nprocs ?jobs ?tweak () =
-  let suite = collect ?apps ?scale ?nprocs ?jobs ?tweak () in
+let run_all ?apps ?scale ?nprocs ?jobs ?tweak ?engine () =
+  let suite = collect ?apps ?scale ?nprocs ?jobs ?tweak ?engine () in
   String.concat "\n"
     [
       table1 suite;

@@ -37,9 +37,14 @@ type measurement = {
   barrier_time_ns : int;
 }
 
-let run ?(seed = 0x5EEDL) ?(tweak = Fun.id) ?tracer ?recorder
+let run ?(seed = 0x5EEDL) ?(tweak = Fun.id) ?engine ?tracer ?recorder
     ~(app : Registry.entry) ~protocol ~nprocs ~scale () =
   let cfg = tweak (Config.make ~seed ~protocol ~nprocs ()) in
+  (* [engine] is applied after [tweak]: the execution mode is a harness
+     concern (wall-clock only), never part of a study's configuration. *)
+  let cfg =
+    match engine with None -> cfg | Some e -> { cfg with Config.engine = e }
+  in
   let t = Dsm.create cfg in
   let program, result = app.Registry.instantiate scale t in
   let report = Dsm.run ?tracer ?recorder t program in

@@ -40,6 +40,7 @@ type measurement = {
 val run :
   ?seed:int64 ->
   ?tweak:(Adsm_dsm.Config.t -> Adsm_dsm.Config.t) ->
+  ?engine:Adsm_dsm.Config.engine_mode ->
   ?tracer:Adsm_trace.Tracer.t ->
   ?recorder:Adsm_check.Recorder.t ->
   app:Adsm_apps.Registry.entry ->
@@ -49,10 +50,12 @@ val run :
   unit ->
   measurement
 (** [tweak] post-processes the configuration (e.g. a smaller GC threshold
-    for the Figure 3 runs, matching the scaled-down data set); [tracer]
-    receives the structured event stream (the caller closes it);
-    [recorder] captures the consistency oracle's observation stream
-    (validate with {!Adsm_check.Oracle.check} afterwards). *)
+    for the Figure 3 runs, matching the scaled-down data set); [engine]
+    overrides the event-engine execution mode after [tweak] (behavior-
+    neutral — see PARALLELISM.md); [tracer] receives the structured event
+    stream (the caller closes it); [recorder] captures the consistency
+    oracle's observation stream (validate with {!Adsm_check.Oracle.check}
+    afterwards). *)
 
 (** Sequential baseline: one processor under SW (no twins, no diffs, no
     messages), as the paper obtains its Table 1 baselines by stripping

@@ -80,7 +80,13 @@ let tweak_of_fabric fabric cfg =
       sparse_vc = true;
     }
 
-let collect ?(smoke = false) ?(max_nodes = 1024) ?(jobs = 1) () =
+let collect ?(smoke = false) ?(max_nodes = 1024) ?(jobs = 1) ?(par = 1) () =
+  (* [par > 1] runs every cell on the conservative parallel engine —
+     behavior-neutral (same rows, checksums and bounds), host wall-clock
+     only.  Don't combine with [jobs > 1] on a small host. *)
+  let engine =
+    if par > 1 then Some (Config.Parallel { domains = par }) else None
+  in
   let apps = if smoke then smoke_apps else default_apps in
   let protocols = if smoke then smoke_protocols else Config.all_protocols in
   let counts = if smoke then smoke_grid else node_grid in
@@ -106,8 +112,8 @@ let collect ?(smoke = false) ?(max_nodes = 1024) ?(jobs = 1) () =
           | None -> invalid_arg ("Scaling.collect: unknown app " ^ a)
         in
         let m =
-          Runner.run ~tweak:(tweak_of_fabric f) ~app ~protocol:p ~nprocs:n
-            ~scale:Registry.Tiny ()
+          Runner.run ~tweak:(tweak_of_fabric f) ?engine ~app ~protocol:p
+            ~nprocs:n ~scale:Registry.Tiny ()
         in
         {
           app = m.Runner.app;

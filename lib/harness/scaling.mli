@@ -39,8 +39,13 @@ type study = { smoke : bool; max_nodes : int; rows : row list }
     (SOR, MW + WFS, sparse node grid — about a minute of wall clock);
     the full grid costs tens of minutes.  [max_nodes] (default 1024)
     truncates the node grid; IS and Water are additionally capped at 256
-    nodes.  [jobs] fans the independent runs over worker domains. *)
-val collect : ?smoke:bool -> ?max_nodes:int -> ?jobs:int -> unit -> study
+    nodes.  [jobs] fans the independent runs over worker domains.
+    [par] (default 1) runs each cell on the conservative parallel engine
+    with that many domains — behavior-neutral (identical rows, checksums
+    and bounds; see PARALLELISM.md), host wall-clock only; don't combine
+    with [jobs > 1] on a small host. *)
+val collect :
+  ?smoke:bool -> ?max_nodes:int -> ?jobs:int -> ?par:int -> unit -> study
 
 (** Cells where the flat and tree fabrics disagree on the application
     checksum (must be empty: the fabric is a cost model only). *)

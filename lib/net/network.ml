@@ -78,26 +78,27 @@ let count t ~src ~dst ~bytes ~kind =
   t.kind_msgs.(k) <- t.kind_msgs.(k) + 1;
   t.kind_bytes.(k) <- t.kind_bytes.(k) + bytes
 
-let send t ~src ~dst ~bytes ~kind msg =
-  if src < 0 || src >= t.node_count then
-    invalid_arg "Network.send: src out of range";
-  if dst < 0 || dst >= t.node_count then
-    invalid_arg "Network.send: dst out of range";
-  if src = dst then invalid_arg "Network.send: self-send";
-  if bytes < 0 then invalid_arg "Network.send: negative size";
+(* Endpoint-serialized transfer: the payload occupies the sender's NIC,
+   crosses the fabric, then occupies the receiver's NIC.  On the flat
+   shape, uncontended, this reduces exactly to [Netcfg.one_way_ns];
+   under contention concurrent transfers into (or out of) one node
+   queue up, which is what limited the paper's SPARC/ATM testbed.  On
+   a tree shape the payload additionally traverses switches and — for
+   cross-switch traffic — the two shared uplink channels, each of
+   which serializes contending transfers the same way the NICs do.
+
+   [send_now] mutates state shared across every node — the counters and
+   the NIC/uplink contention arrays, whose [max]-then-advance updates
+   depend on the global order of sends.  Under the parallel engine the
+   whole body is therefore deferred: [send] journals it and the
+   inter-window walk replays it at the sending event's position in the
+   global order, so contention resolves exactly as in a sequential run
+   (see PARALLELISM.md).  [now] is captured at the original call site. *)
+let send_now t ~now ~src ~dst ~bytes ~kind msg =
   count t ~src ~dst ~bytes ~kind;
   (match t.monitor with
   | None -> ()
-  | Some m -> m.on_send ~now:(Engine.now t.engine) ~src ~dst ~bytes ~kind);
-  (* Endpoint-serialized transfer: the payload occupies the sender's NIC,
-     crosses the fabric, then occupies the receiver's NIC.  On the flat
-     shape, uncontended, this reduces exactly to [Netcfg.one_way_ns];
-     under contention concurrent transfers into (or out of) one node
-     queue up, which is what limited the paper's SPARC/ATM testbed.  On
-     a tree shape the payload additionally traverses switches and — for
-     cross-switch traffic — the two shared uplink channels, each of
-     which serializes contending transfers the same way the NICs do. *)
-  let now = Engine.now t.engine in
+  | Some m -> m.on_send ~now ~src ~dst ~bytes ~kind);
   let cfg = t.cfg in
   let bytes_ns = (cfg.Netcfg.header_bytes + bytes) * cfg.Netcfg.per_byte_ns in
   let tx_start = max (now + cfg.Netcfg.send_overhead_ns) t.tx_free.(src) in
@@ -139,11 +140,29 @@ let send t ~src ~dst ~bytes ~kind msg =
   Engine.schedule_at ~lane:dst t.engine ~time:delivery (fun () ->
       (match t.monitor with
       | None -> ()
-      | Some m -> m.on_deliver ~now:delivery ~src ~dst ~bytes ~kind);
+      | Some m ->
+        (* The monitor feeds globally ordered sinks (trace files); inside
+           a parallel window its call is deferred to the walk. *)
+        if Engine.deferring t.engine then
+          Engine.defer t.engine (fun () ->
+              m.on_deliver ~now:delivery ~src ~dst ~bytes ~kind)
+        else m.on_deliver ~now:delivery ~src ~dst ~bytes ~kind);
       match t.handlers.(dst) with
       | Some handler -> handler ~src msg
       | None ->
         failwith (Printf.sprintf "Network: node %d has no handler" dst))
+
+let send t ~src ~dst ~bytes ~kind msg =
+  if src < 0 || src >= t.node_count then
+    invalid_arg "Network.send: src out of range";
+  if dst < 0 || dst >= t.node_count then
+    invalid_arg "Network.send: dst out of range";
+  if src = dst then invalid_arg "Network.send: self-send";
+  if bytes < 0 then invalid_arg "Network.send: negative size";
+  let now = Engine.now t.engine in
+  if Engine.deferring t.engine then
+    Engine.defer t.engine (fun () -> send_now t ~now ~src ~dst ~bytes ~kind msg)
+  else send_now t ~now ~src ~dst ~bytes ~kind msg
 
 let total_messages t = t.messages
 

@@ -5,11 +5,19 @@ type 'msg respond = bytes:int -> kind:Kind.t -> 'msg -> unit
 
 type 'msg handler = src:int -> 'msg -> 'msg respond option -> unit
 
+(* Request ids and the pending-reply tables are sharded per caller node:
+   ids are never observable (they ride inside the envelope and cost no
+   wire bytes beyond the fixed header), and a reply is always delivered
+   back to the node that issued the call, so each node can match replies
+   out of its own table.  This keeps every RPC structure lane-owned —
+   under the parallel engine a node's calls and its reply deliveries all
+   execute on that node's lane, so no two domains ever touch the same
+   counter or table (see PARALLELISM.md). *)
 type 'msg t = {
   engine : Engine.t;
   net : 'msg Envelope.t Network.t;
-  mutable next_id : int;
-  pending : (int, 'msg Proc.Ivar.t) Hashtbl.t;
+  next_ids : int array;
+  pendings : (int, 'msg Proc.Ivar.t) Hashtbl.t array;
   handlers : 'msg handler option array;
 }
 
@@ -18,8 +26,8 @@ let create_topo engine topo ~nodes =
     {
       engine;
       net = Network.create_topo engine topo ~nodes;
-      next_id = 0;
-      pending = Hashtbl.create 64;
+      next_ids = Array.make nodes 0;
+      pendings = Array.init nodes (fun _ -> Hashtbl.create 16);
       handlers = Array.make nodes None;
     }
   in
@@ -27,9 +35,10 @@ let create_topo engine topo ~nodes =
     Network.set_handler t.net ~node (fun ~src env ->
         match env with
         | Envelope.Reply (id, msg) -> (
-          match Hashtbl.find_opt t.pending id with
+          let pending = t.pendings.(node) in
+          match Hashtbl.find_opt pending id with
           | Some ivar ->
-            Hashtbl.remove t.pending id;
+            Hashtbl.remove pending id;
             Proc.Ivar.fill t.engine ivar msg
           | None ->
             failwith (Printf.sprintf "Rpc: unexpected reply id %d" id))
@@ -60,10 +69,10 @@ let set_monitor t monitor = Network.set_monitor t.net monitor
 let set_handler t ~node h = t.handlers.(node) <- Some h
 
 let call_async t ~src ~dst ~bytes ~kind msg =
-  let id = t.next_id in
-  t.next_id <- id + 1;
+  let id = t.next_ids.(src) in
+  t.next_ids.(src) <- id + 1;
   let ivar = Proc.Ivar.create () in
-  Hashtbl.replace t.pending id ivar;
+  Hashtbl.replace t.pendings.(src) id ivar;
   Network.send t.net ~src ~dst ~bytes ~kind (Envelope.Request (id, msg));
   ivar
 

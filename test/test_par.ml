@@ -1,0 +1,302 @@
+(* Tests for the conservative parallel engine (see PARALLELISM.md).
+
+   The contract under test is byte-identity: a [Parallel {domains}] run
+   must reproduce the sequential run exactly — measurements, checksums,
+   per-kind traffic counters, JSONL trace bytes, and the consistency
+   oracle's observation stream.  The engine-level model tests drive the
+   raw engine with seeded workloads whose schedules derive from a pure
+   hash (no execution-order-dependent randomness), so the sequential
+   engine is a usable oracle for the parallel merge. *)
+
+module Engine = Adsm_sim.Engine
+module Runner = Adsm_harness.Runner
+module Scaling = Adsm_harness.Scaling
+module Registry = Adsm_apps.Registry
+module Config = Adsm_dsm.Config
+module Trace = Adsm_trace
+module Recorder = Adsm_check.Recorder
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level model tests                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny pure hash (splitmix-style) so every schedule decision in the
+   model workload depends only on (seed, id), never on execution order. *)
+let h seed id k =
+  let z = Int64.of_int ((seed * 0x9E3779B9) + (id * 0x85EBCA6B) + (k * 0xC2B2AE35)) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.shift_right_logical (Int64.logxor z (Int64.shift_right_logical z 31)) 2)
+
+let model_lanes = 8
+
+let model_lookahead = 1_000
+
+(* Run the seeded workload on [engine] and return the execution log in
+   global event order: each event appends [(time, id)] through
+   [Engine.defer], which is exactly the ordering channel the DSM layer
+   uses for stats and traces.  Cross-lane children travel the way the
+   network layer does — a deferred [schedule_at] at [now + lookahead +
+   slack] — while same-lane children may be scheduled directly at any
+   future time, including inside the current safe window. *)
+let model_run engine seed =
+  let log = ref [] in
+  let rec handler id depth () =
+    let tm = Engine.now engine in
+    Engine.defer engine (fun () -> log := (tm, id) :: !log);
+    if depth < 3 then begin
+      let kid k = (id * 7) + k + 1 in
+      (* same-lane child, possibly inside the current window *)
+      Engine.schedule engine
+        ~delay:(h seed id 1 mod (2 * model_lookahead))
+        (handler (kid 1) (depth + 1));
+      (* cross-lane child: journaled, lands at or above the horizon *)
+      let target = h seed id 2 mod model_lanes in
+      let time = tm + model_lookahead + (h seed id 3 mod 500) in
+      Engine.defer engine (fun () ->
+          Engine.schedule_at ~lane:target engine ~time
+            (handler (kid 2) (depth + 1)))
+    end
+  in
+  for lane = 0 to model_lanes - 1 do
+    Engine.schedule_at ~lane engine ~time:(h seed lane 0 mod 500)
+      (handler lane 0)
+  done;
+  let final = Engine.run engine in
+  (final, Engine.events_executed engine, List.rev !log)
+
+let test_merge_model () =
+  (* Seeded workloads: the parallel engine (2, 3 and 4 domains — 3
+     exercises uneven lane partitions) must replay the exact execution
+     log of the sequential engine, event for event. *)
+  for seed = 0 to 9 do
+    let oracle = model_run (Engine.create ~lanes:model_lanes ()) seed in
+    List.iter
+      (fun domains ->
+        let engine =
+          Engine.create ~lanes:model_lanes
+            ~parallel:(domains, model_lookahead) ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "parallel mode on (seed %d, %d domains)" seed domains)
+          true
+          (Engine.is_parallel engine);
+        let ft, ev, log = model_run engine seed in
+        let ft', ev', log' = oracle in
+        let name fmt =
+          Printf.sprintf "seed %d, %d domains: %s" seed domains fmt
+        in
+        Alcotest.(check int) (name "final time") ft' ft;
+        Alcotest.(check int) (name "events executed") ev' ev;
+        Alcotest.(check bool) (name "execution log") true (log = log'))
+      [ 2; 3; 4 ]
+  done
+
+let test_single_lane_oracle () =
+  (* The lane split itself is behavior-neutral: the multi-lane parallel
+     engine must also match a 1-lane engine driven by the same workload
+     (all events in one heap — the original sequential configuration). *)
+  let one_lane seed =
+    (* same workload, with every event forced onto lane 0 *)
+    let engine = Engine.create ~lanes:1 () in
+    let log = ref [] in
+    let rec handler id depth () =
+      let tm = Engine.now engine in
+      Engine.defer engine (fun () -> log := (tm, id) :: !log);
+      if depth < 3 then begin
+        let kid k = (id * 7) + k + 1 in
+        Engine.schedule engine
+          ~delay:(h seed id 1 mod (2 * model_lookahead))
+          (handler (kid 1) (depth + 1));
+        let time = tm + model_lookahead + (h seed id 3 mod 500) in
+        Engine.defer engine (fun () ->
+            Engine.schedule_at engine ~time (handler (kid 2) (depth + 1)))
+      end
+    in
+    for lane = 0 to model_lanes - 1 do
+      Engine.schedule_at engine ~time:(h seed lane 0 mod 500) (handler lane 0)
+    done;
+    let final = Engine.run engine in
+    (final, Engine.events_executed engine, List.rev !log)
+  in
+  for seed = 0 to 4 do
+    let ft, ev, log =
+      model_run (Engine.create ~lanes:model_lanes ~parallel:(4, model_lookahead) ()) seed
+    in
+    let ft', ev', log' = one_lane seed in
+    let name fmt = Printf.sprintf "seed %d: %s" seed fmt in
+    Alcotest.(check int) (name "final time vs 1-lane oracle") ft' ft;
+    Alcotest.(check int) (name "events vs 1-lane oracle") ev' ev;
+    Alcotest.(check bool) (name "log vs 1-lane oracle") true (log = log')
+  done
+
+let test_domains_one_is_sequential () =
+  (* A parallel request of (or clamped to) 1 domain yields the exact
+     sequential engine — not a 1-worker parallel machine. *)
+  let e = Engine.create ~lanes:4 ~parallel:(1, 1_000) () in
+  Alcotest.(check bool) "domains=1 not parallel" false (Engine.is_parallel e);
+  Alcotest.(check int) "domains=1 reports 1" 1 (Engine.parallel_domains e);
+  Alcotest.(check bool) "domains=1 no window" true
+    (Engine.lookahead_window e = None);
+  let e = Engine.create ~lanes:1 ~parallel:(8, 1_000) () in
+  Alcotest.(check bool) "1 lane clamps to sequential" false
+    (Engine.is_parallel e)
+
+let test_fuzz_parallel_rejected () =
+  Alcotest.check_raises "schedule_fuzz + parallel rejected"
+    (Invalid_argument
+       "Engine.create: schedule fuzzing permutes sequence numbers and is \
+        incompatible with the parallel engine") (fun () ->
+      ignore (Engine.create ~schedule_seed:42 ~lanes:4 ~parallel:(2, 1_000) ()))
+
+let test_bad_lookahead_rejected () =
+  Alcotest.check_raises "lookahead 0 rejected"
+    (Invalid_argument "Engine.create: parallel lookahead must be positive")
+    (fun () -> ignore (Engine.create ~lanes:4 ~parallel:(2, 0) ()))
+
+let test_cross_domain_schedule_rejected () =
+  (* Inside a parallel window, scheduling directly onto another domain's
+     lane is a lane-discipline violation the engine must catch: with 2
+     domains, lane 1 belongs to domain 1 while the event runs on lane 0
+     (domain 0). *)
+  let engine = Engine.create ~lanes:4 ~parallel:(2, 1_000) () in
+  Engine.schedule_at ~lane:0 engine ~time:0 (fun () ->
+      Engine.schedule_at ~lane:1 engine ~time:5_000 (fun () -> ()));
+  Alcotest.check_raises "cross-domain schedule rejected"
+    (Invalid_argument
+       "Engine.schedule_at: cross-domain schedule inside a parallel window \
+        (cross-lane effects must go through the network or Engine.defer)")
+    (fun () -> ignore (Engine.run engine))
+
+(* ------------------------------------------------------------------ *)
+(* Full-stack byte identity                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tree_tweak = Scaling.tweak_of_fabric Scaling.Tree_combining
+
+let topologies = [ ("flat", Fun.id); ("tree", tree_tweak) ]
+
+(* Run one cell and capture everything observable: the measurement, the
+   JSONL trace bytes, and the consistency oracle's observation stream. *)
+let observe ?engine ~tweak ~app ~protocol ~nprocs () =
+  let buf = Buffer.create 4096 in
+  let tracer = Trace.Tracer.create [ Trace.Sink.jsonl (Buffer.add_string buf) ] in
+  let recorder = Recorder.create () in
+  let m =
+    Runner.run ~tweak ?engine ~tracer ~recorder ~app ~protocol ~nprocs
+      ~scale:Registry.Tiny ()
+  in
+  Trace.Tracer.close tracer;
+  (m, Buffer.contents buf, Recorder.stream recorder)
+
+let check_identical name ((a, ta, oa) : Runner.measurement * string * _)
+    ((b, tb, ob) : Runner.measurement * string * _) =
+  let ci field get = Alcotest.(check int) (name ^ " " ^ field) (get a) (get b) in
+  ci "time_ns" (fun m -> m.Runner.time_ns);
+  ci "messages" (fun m -> m.Runner.messages);
+  ci "data_bytes" (fun m -> m.Runner.data_bytes);
+  ci "wire_bytes" (fun m -> m.Runner.wire_bytes);
+  ci "own_requests" (fun m -> m.Runner.own_requests);
+  ci "own_refusals" (fun m -> m.Runner.own_refusals);
+  ci "twins_created" (fun m -> m.Runner.twins_created);
+  ci "twin_bytes" (fun m -> m.Runner.twin_bytes);
+  ci "diffs_created" (fun m -> m.Runner.diffs_created);
+  ci "diff_bytes" (fun m -> m.Runner.diff_bytes);
+  ci "gc_runs" (fun m -> m.Runner.gc_runs);
+  ci "mode_switches" (fun m -> m.Runner.mode_switches);
+  ci "shared_pages" (fun m -> m.Runner.shared_pages);
+  ci "pages_written" (fun m -> m.Runner.pages_written);
+  ci "pages_false_shared" (fun m -> m.Runner.pages_false_shared);
+  ci "read_faults" (fun m -> m.Runner.read_faults);
+  ci "write_faults" (fun m -> m.Runner.write_faults);
+  ci "events" (fun m -> m.Runner.events);
+  ci "compute_ns" (fun m -> m.Runner.compute_ns);
+  ci "fault_time_ns" (fun m -> m.Runner.fault_time_ns);
+  ci "lock_time_ns" (fun m -> m.Runner.lock_time_ns);
+  ci "barrier_time_ns" (fun m -> m.Runner.barrier_time_ns);
+  Alcotest.(check (float 0.)) (name ^ " mean_diff_bytes") a.Runner.mean_diff_bytes
+    b.Runner.mean_diff_bytes;
+  Alcotest.(check (float 0.)) (name ^ " checksum") a.Runner.checksum
+    b.Runner.checksum;
+  Alcotest.(check bool) (name ^ " by_kind") true (a.Runner.by_kind = b.Runner.by_kind);
+  Alcotest.(check bool) (name ^ " live_diff_series") true
+    (a.Runner.live_diff_series = b.Runner.live_diff_series);
+  Alcotest.(check string) (name ^ " trace bytes") ta tb;
+  Alcotest.(check bool) (name ^ " oracle observation stream") true (oa = ob)
+
+let check_cell ~app ~protocol ~topo_name ~tweak ~domains =
+  let name =
+    Printf.sprintf "%s/%s/%s/par:%d" app.Registry.name
+      (Config.protocol_name protocol)
+      topo_name domains
+  in
+  let seq = observe ~tweak ~app ~protocol ~nprocs:8 () in
+  let par =
+    observe ~engine:(Config.Parallel { domains }) ~tweak ~app ~protocol
+      ~nprocs:8 ()
+  in
+  check_identical name seq par
+
+let test_byte_identity_grid () =
+  (* Every application under all four protocols, on both fabrics, on 2
+     domains — the engine's widest exposure to protocol behavior. *)
+  List.iter
+    (fun app ->
+      List.iter
+        (fun protocol ->
+          List.iter
+            (fun (topo_name, tweak) ->
+              check_cell ~app ~protocol ~topo_name ~tweak ~domains:2)
+            topologies)
+        Config.all_protocols)
+    Registry.all
+
+let test_domain_counts () =
+  (* Domain-count sweep on the two CI smoke applications: domains=1 must
+     take the exact sequential path, and 4 domains (uneven lanes at
+     8 nodes over the fabric split) must still be identical. *)
+  List.iter
+    (fun app_name ->
+      let app =
+        match Registry.find app_name with
+        | Some a -> a
+        | None -> Alcotest.fail ("unknown app " ^ app_name)
+      in
+      List.iter
+        (fun protocol ->
+          List.iter
+            (fun (topo_name, tweak) ->
+              List.iter
+                (fun domains ->
+                  check_cell ~app ~protocol ~topo_name ~tweak ~domains)
+                [ 1; 4 ])
+            topologies)
+        Config.all_protocols)
+    [ "SOR"; "IS" ]
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "seeded merge model = sequential" `Quick
+            test_merge_model;
+          Alcotest.test_case "parallel = single-lane oracle" `Quick
+            test_single_lane_oracle;
+          Alcotest.test_case "domains=1 is sequential" `Quick
+            test_domains_one_is_sequential;
+          Alcotest.test_case "fuzz + parallel rejected" `Quick
+            test_fuzz_parallel_rejected;
+          Alcotest.test_case "non-positive lookahead rejected" `Quick
+            test_bad_lookahead_rejected;
+          Alcotest.test_case "cross-domain schedule rejected" `Quick
+            test_cross_domain_schedule_rejected;
+        ] );
+      ( "byte-identity",
+        [
+          Alcotest.test_case "domain counts (SOR, IS)" `Quick
+            test_domain_counts;
+          Alcotest.test_case "full grid, both fabrics" `Slow
+            test_byte_identity_grid;
+        ] );
+    ]
