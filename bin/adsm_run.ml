@@ -36,8 +36,20 @@ let fabric_tweak net topology =
 let engine_of_par par =
   if par > 1 then Some (Config.Parallel { domains = par }) else None
 
+(* --faults SPEC shared by `run` and `fuzz`: parse early so a typo is a
+   usage error, not a mid-run exception. *)
+let faults_of_spec ~nprocs = function
+  | None -> Ok None
+  | Some spec -> (
+    match Adsm_net.Fault.of_string spec with
+    | Error msg -> Error (Printf.sprintf "bad --faults: %s" msg)
+    | Ok sched -> (
+      match Adsm_net.Fault.validate ~nprocs sched with
+      | Error msg -> Error (Printf.sprintf "bad --faults: %s" msg)
+      | Ok () -> Ok (Some sched)))
+
 let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
-    check net topology par =
+    check faults_spec net topology par =
   match Registry.find app_name with
   | None ->
     Printf.eprintf "unknown application %S; try `adsm_run list'\n" app_name;
@@ -53,6 +65,11 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
         protocol_name;
       1
     | Some protocol -> (
+      match faults_of_spec ~nprocs faults_spec with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+      | Ok faults -> (
       match fabric_tweak net topology with
       | Error msg ->
         Printf.eprintf "bad --topology: %s\n" msg;
@@ -80,8 +97,9 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
       | Ok tracer ->
       let recorder = if check then Recorder.create () else Recorder.disabled in
       let m =
-        Runner.run ?tracer ~recorder ~tweak ?engine:(engine_of_par par)
-          ~seed:(Int64.of_int seed) ~app ~protocol ~nprocs ~scale ()
+        Runner.run ?tracer ~recorder ~tweak ?faults
+          ?engine:(engine_of_par par) ~seed:(Int64.of_int seed) ~app
+          ~protocol ~nprocs ~scale ()
       in
       (match (tracer, trace_file) with
       | Some tracer, Some path ->
@@ -112,6 +130,10 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
         m.Runner.read_faults m.Runner.write_faults;
       Printf.printf "  GC runs          %d\n" m.Runner.gc_runs;
       Printf.printf "  checksum         %.6f\n" m.Runner.checksum;
+      (match faults with
+      | Some sched ->
+        Printf.printf "  faults           %s\n" (Adsm_net.Fault.to_string sched)
+      | None -> ());
       if not check then 0
       else begin
         let report = Oracle.check ~nprocs (Recorder.stream recorder) in
@@ -124,7 +146,7 @@ let run_one app_name protocol_name nprocs tiny seed trace_file trace_format
             report.Oracle.violations;
           1
         end
-      end)))
+      end))))
 
 (* --- the full experiment suite --- *)
 
@@ -234,6 +256,18 @@ let par_arg =
               only host wall-clock changes.  Avoid oversubscribing the \
               host when combined with $(b,--jobs).")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:"Run under a deterministic fault schedule, e.g. \
+              $(b,crash=1\\@400us:200us;loss=0.05;jitter=2us).  Clauses \
+              (`;'-separated): $(b,crash=N\\@T:D) (node N down at time T \
+              for D), $(b,part=LO-HI\\@F:U) (partition), $(b,loss=P), \
+              $(b,dup=P), $(b,jitter=D), $(b,rto=D); durations take \
+              ns/us/ms suffixes.  See FAULTS.md.")
+
 let check_arg =
   Arg.(
     value & flag
@@ -247,12 +281,12 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one application under one protocol")
     Term.(
       const run_one $ app_arg $ protocol_arg $ procs_arg $ tiny_arg $ seed_arg
-      $ trace_arg $ trace_format_arg $ check_arg $ net_arg $ topology_arg
-      $ par_arg)
+      $ trace_arg $ trace_format_arg $ check_arg $ faults_arg $ net_arg
+      $ topology_arg $ par_arg)
 
 (* --- oracle-checked workload fuzzing --- *)
 
-let run_fuzz protocol_name nprocs seeds seed mutation_name jobs =
+let run_fuzz protocol_name nprocs seeds seed mutation_name faults jobs =
   match Config.protocol_of_string protocol_name with
   | None ->
     Printf.eprintf
@@ -278,7 +312,8 @@ let run_fuzz protocol_name nprocs seeds seed mutation_name jobs =
          back in seed order, and shrinking of any failing seed stays
          sequential down here so its output is deterministic. *)
       let results =
-        Fuzz.sweep ~jobs ?mutation ~protocol ~nprocs ~seed ~count:seeds ()
+        Fuzz.sweep ~jobs ?mutation ~protocol ~faults ~nprocs ~seed
+          ~count:seeds ()
       in
       let failures = ref 0 in
       List.iter
@@ -294,11 +329,13 @@ let run_fuzz protocol_name nprocs seeds seed mutation_name jobs =
             else begin
               incr failures;
               Printf.printf "seed %d: %d violation(s), shrinking...\n" s
-                (List.length o.Fuzz.report.Oracle.violations);
+                (List.length o.Fuzz.report.Oracle.violations
+                + List.length o.Fuzz.report.Oracle.fault_errors);
               let minimal =
                 match
                   Fuzz.shrink_failing ?mutation ~protocol
-                    ~seed:(Int64.of_int s) o.Fuzz.program
+                    ~seed:(Int64.of_int s) ?faults:o.Fuzz.faults
+                    o.Fuzz.program
                 with
                 | Some shrunk -> shrunk
                 | None -> o
@@ -344,8 +381,19 @@ let mutation_arg =
     & info [ "mutation" ] ~docv:"NAME"
         ~doc:"Inject a deliberately broken protocol variant \
               (skip-diff-apply, drop-write-notice, \
-              stale-ownership-grant); the run then $(i,fails) unless the \
-              oracle detects the bug.")
+              stale-ownership-grant, skip-notice-replay, \
+              stale-vc-after-restart); the run then $(i,fails) unless \
+              the oracle detects the bug.  The two recovery mutations \
+              only manifest under crashes — combine with $(b,--faults).")
+
+let fuzz_faults_arg =
+  Arg.(
+    value & flag
+    & info [ "faults" ]
+        ~doc:"Generate a random fault schedule (node crashes, message \
+              loss/duplication/jitter, partitions) alongside each \
+              workload, sized to the workload's own duration; failures \
+              shrink jointly over program and schedule.  See FAULTS.md.")
 
 let fuzz_cmd =
   Cmd.v
@@ -356,7 +404,7 @@ let fuzz_cmd =
           failure to a minimal counterexample")
     Term.(
       const run_fuzz $ protocol_arg $ procs_arg $ seeds_arg $ seed_arg
-      $ mutation_arg $ jobs_arg)
+      $ mutation_arg $ fuzz_faults_arg $ jobs_arg)
 
 let out_arg =
   Arg.(
@@ -469,6 +517,34 @@ let ablations_cmd =
           scaling) and the migratory-detection extension")
     Term.(const run_ablations $ studies_arg $ jobs_arg)
 
+(* --- crash survivability study --- *)
+
+let run_survive tiny nprocs apps jobs =
+  let apps = match apps with [] -> None | l -> Some l in
+  match
+    Experiments.survivability ?apps ~scale:(scale_of_tiny tiny) ~nprocs ~jobs
+      ()
+  with
+  | table ->
+    print_string table;
+    0
+  | exception Invalid_argument msg ->
+    (* A checksum divergence under crashes is the one way this study
+       can fail; surface it as a non-zero exit for CI. *)
+    Printf.eprintf "%s\n" msg;
+    1
+
+let survive_cmd =
+  Cmd.v
+    (Cmd.info "survive"
+       ~doc:
+         "Crash-survivability study (the EXPERIMENTS.md appendix): run \
+          SOR, IS and Water under MW, SW and WFS with 1 and 2 \
+          mid-computation node crashes, verify every checksum against \
+          the fault-free run, and report completion-time and traffic \
+          overheads")
+    Term.(const run_survive $ tiny_arg $ procs_arg $ apps_arg $ jobs_arg)
+
 (* --- cross-protocol verification --- *)
 
 let run_verify app_name tiny nprocs jobs =
@@ -532,7 +608,7 @@ let main =
           reproduction of Amza et al., HPCA 1997")
     [
       run_cmd; experiments_cmd; scaling_cmd; ablations_cmd; verify_cmd;
-      fuzz_cmd; list_cmd;
+      fuzz_cmd; survive_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -17,6 +17,8 @@ type t =
   | Release of { lock : int }
   | Barrier_enter of { epoch : int }
   | Barrier_leave of { epoch : int }
+  | Crash
+  | Restart
 
 (* Stamped in global recording order; the simulator is single-threaded,
    so stream order is the real-time order in which the operations
@@ -30,11 +32,15 @@ let tag = function
   | Release _ -> "release"
   | Barrier_enter _ -> "barrier-enter"
   | Barrier_leave _ -> "barrier-leave"
+  | Crash -> "crash"
+  | Restart -> "restart"
 
 (* The word a memory observation touches, as a (page, offset) pair. *)
 let location = function
   | Read { page; off; _ } | Write { page; off; _ } -> Some (page, off)
-  | Acquire _ | Release _ | Barrier_enter _ | Barrier_leave _ -> None
+  | Acquire _ | Release _ | Barrier_enter _ | Barrier_leave _ | Crash | Restart
+    ->
+    None
 
 let value_string ~width bits =
   if width = 8 then Printf.sprintf "%.17g" (Int64.float_of_bits bits)
@@ -64,6 +70,7 @@ let args = function
   | Acquire { lock } | Release { lock } -> [ ("lock", Json.Int lock) ]
   | Barrier_enter { epoch } | Barrier_leave { epoch } ->
     [ ("epoch", Json.Int epoch) ]
+  | Crash | Restart -> []
 
 let to_json { time; node; obs } =
   Json.Obj
@@ -95,6 +102,8 @@ let of_json json =
       Some
         (if tag = "barrier-enter" then Barrier_enter { epoch }
          else Barrier_leave { epoch })
+    | "crash" -> Some Crash
+    | "restart" -> Some Restart
     | _ -> None
   in
   let* time = int "t" in
@@ -113,5 +122,7 @@ let pp ppf { time; node; obs } =
     | Release { lock } -> Printf.sprintf "release lock %d" lock
     | Barrier_enter { epoch } -> Printf.sprintf "barrier enter (epoch %d)" epoch
     | Barrier_leave { epoch } -> Printf.sprintf "barrier leave (epoch %d)" epoch
+    | Crash -> "crash"
+    | Restart -> "restart"
   in
   Format.fprintf ppf "[node %d @%dns] %s" node time body

@@ -11,6 +11,11 @@ type t =
   | Release of { lock : int }  (** lock release started *)
   | Barrier_enter of { epoch : int }
   | Barrier_leave of { epoch : int }
+  | Crash
+      (** the node fail-stopped (fault injection); volatile protocol
+          state is lost, but the application's causal past is not — a
+          recovered node must still read hb-maximal writes *)
+  | Restart  (** the node completed crash recovery and resumed *)
 
 type stamped = { time : int; node : int; obs : t }
 (** Stamped with simulated time and recorded in global completion

@@ -55,9 +55,14 @@ type report = {
       (** reads with more than one legal value (word-granularity data
           race): accepted leniently, counted for visibility *)
   violations : violation list;  (** oldest first *)
+  fault_errors : string list;
+      (** crash/restart structure violations (oldest first): activity
+          on a crashed node, restart without a crash, a crash never
+          restarted, or a barrier leave whose epoch does not match the
+          node's last enter across a recovery boundary *)
 }
 
-let ok report = report.violations = []
+let ok report = report.violations = [] && report.fault_errors = []
 
 let check ~nprocs (stream : Obs.stamped array) =
   let vcs = Array.init nprocs (fun _ -> Hb.zero ~nprocs) in
@@ -76,11 +81,54 @@ let check ~nprocs (stream : Obs.stamped array) =
   let writes = ref 0 in
   let racy = ref 0 in
   let violations = ref [] in
+  (* Crash/restart structure.  The per-node Hb clock deliberately
+     survives a crash: the application's causal past is durable even
+     though the node's protocol state is not, so a recovered node's
+     reads are checked against the same happens-before as anyone
+     else's — that is the recovery contract. *)
+  let down = Array.make nprocs false in
+  let in_epoch = Array.make nprocs (-1) in
+  let fault_errors = ref [] in
+  let fault_err fmt =
+    Printf.ksprintf (fun s -> fault_errors := s :: !fault_errors) fmt
+  in
   Array.iteri
     (fun index { Obs.node; obs; _ } ->
+      (match obs with
+      | Obs.Crash ->
+        if down.(node) then
+          fault_err "observation #%d: node %d crashed while already down"
+            index node
+        else down.(node) <- true
+      | Obs.Restart ->
+        if not down.(node) then
+          fault_err "observation #%d: node %d restarted without a crash"
+            index node
+        else down.(node) <- false
+      | _ ->
+        if down.(node) then
+          fault_err "observation #%d: %s on crashed node %d" index
+            (Obs.tag obs) node);
+      (match obs with
+      | Obs.Barrier_enter { epoch } ->
+        if in_epoch.(node) <> -1 then
+          fault_err
+            "observation #%d: node %d entered barrier epoch %d while inside \
+             epoch %d"
+            index node epoch in_epoch.(node);
+        in_epoch.(node) <- epoch
+      | Obs.Barrier_leave { epoch } ->
+        if in_epoch.(node) <> epoch then
+          fault_err
+            "observation #%d: node %d left barrier epoch %d but last entered \
+             %d"
+            index node epoch in_epoch.(node);
+        in_epoch.(node) <- -1
+      | _ -> ());
       let vc = vcs.(node) in
       Hb.tick vc ~node;
       match obs with
+      | Obs.Crash | Obs.Restart -> ()
       | Obs.Write { page; off; bits; _ } ->
         incr writes;
         let l = location (page, off) in
@@ -135,6 +183,10 @@ let check ~nprocs (stream : Obs.stamped array) =
         | Some acc -> Hb.join_into ~dst:vc ~src:acc
         | None -> ()))
     stream;
+  Array.iteri
+    (fun node d ->
+      if d then fault_err "node %d still crashed at end of run" node)
+    down;
   {
     nprocs;
     observations = Array.length stream;
@@ -142,6 +194,7 @@ let check ~nprocs (stream : Obs.stamped array) =
     writes = !writes;
     racy_reads = !racy;
     violations = List.rev !violations;
+    fault_errors = List.rev !fault_errors;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -187,6 +240,16 @@ let pp_report ppf r =
   Format.fprintf ppf
     "oracle: %d observations (%d reads, %d writes, %d racy) on %d nodes — %s"
     r.observations r.reads r.writes r.racy_reads r.nprocs
-    (match r.violations with
-    | [] -> "no violations"
-    | vs -> Printf.sprintf "%d VIOLATION(S)" (List.length vs))
+    (match (r.violations, r.fault_errors) with
+    | [], [] -> "no violations"
+    | vs, fs ->
+      String.concat ", "
+        ((match vs with
+         | [] -> []
+         | _ -> [ Printf.sprintf "%d VIOLATION(S)" (List.length vs) ])
+        @
+        match fs with
+        | [] -> []
+        | _ -> [ Printf.sprintf "%d FAULT ERROR(S)" (List.length fs) ]));
+  List.iter (fun e -> Format.fprintf ppf "@.  fault error: %s" e)
+    r.fault_errors

@@ -29,10 +29,20 @@ type report = {
       (** reads with more than one legal value (word-granularity data
           race) — accepted leniently, as LRC allows, but counted *)
   violations : violation list;  (** oldest first *)
+  fault_errors : string list;
+      (** crash/restart structure violations (oldest first): activity on
+          a crashed node, a restart without a crash, a crash never
+          restarted by end of run, or mismatched barrier enter/leave
+          epochs across a recovery boundary.  Empty for fault-free
+          streams.  The per-node happens-before clock survives a crash:
+          the application's causal past is durable even though protocol
+          state is not, so a recovered node's reads face the same
+          hb-maximality requirement as anyone else's. *)
 }
 
 val check : nprocs:int -> Obs.stamped array -> report
 
+(** No read violations and no fault-structure errors. *)
 val ok : report -> bool
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -24,20 +24,33 @@ type mutation =
   | Skip_diff_apply
   | Drop_write_notice
   | Stale_ownership_grant
+  | Skip_notice_replay
+  | Stale_vc_after_restart
 
 let mutation_name = function
   | Skip_diff_apply -> "skip-diff-apply"
   | Drop_write_notice -> "drop-write-notice"
   | Stale_ownership_grant -> "stale-ownership-grant"
+  | Skip_notice_replay -> "skip-notice-replay"
+  | Stale_vc_after_restart -> "stale-vc-after-restart"
 
 let mutation_of_string s =
   match String.lowercase_ascii s with
   | "skip-diff-apply" -> Some Skip_diff_apply
   | "drop-write-notice" -> Some Drop_write_notice
   | "stale-ownership-grant" -> Some Stale_ownership_grant
+  | "skip-notice-replay" -> Some Skip_notice_replay
+  | "stale-vc-after-restart" -> Some Stale_vc_after_restart
   | _ -> None
 
-let all_mutations = [ Skip_diff_apply; Drop_write_notice; Stale_ownership_grant ]
+let all_mutations =
+  [
+    Skip_diff_apply;
+    Drop_write_notice;
+    Stale_ownership_grant;
+    Skip_notice_replay;
+    Stale_vc_after_restart;
+  ]
 
 type barrier = Central | Tree of { fanout : int }
 
@@ -87,6 +100,7 @@ type t = {
   lazy_diffing : bool;
   schedule_fuzz : int option;
   mutation : mutation option;
+  faults : Adsm_net.Fault.schedule option;
   engine : engine_mode;
   seed : int64;
 }
@@ -117,6 +131,7 @@ let make ?(seed = 0x5EEDL) ~protocol ~nprocs () =
     lazy_diffing = false;
     schedule_fuzz = None;
     mutation = None;
+    faults = None;
     engine = Sequential;
     seed;
   }

@@ -40,6 +40,16 @@ type mutation =
       (** ownership grants (SW transfers and adaptive [Own_reply]s)
           carry a stale version, so the new owner's write notices are
           ignored by peers that already hold the previous version *)
+  | Skip_notice_replay
+      (** crash recovery omits both the checkpointed pending write
+          notices and the peer recovery round: writes the crashed node
+          had been told about but never applied are silently forgotten
+          (needs a crash schedule to manifest) *)
+  | Stale_vc_after_restart
+      (** a restarted node keeps its pre-crash vector clock instead of
+          rolling back to the checkpoint VC, so peers believe it has
+          seen intervals whose effects its wiped pages lost (needs a
+          crash schedule to manifest) *)
 
 val mutation_name : mutation -> string
 
@@ -136,6 +146,13 @@ type t = {
   mutation : mutation option;
       (** inject a deliberate protocol bug (testing only; default
           [None]) *)
+  faults : Adsm_net.Fault.schedule option;
+      (** deterministic fault schedule (crashes, message perturbations,
+          partitions — see FAULTS.md).  [None] (the default) is the
+          failure-free cluster, byte-identical to builds without the
+          fault subsystem; [Some Fault.empty] behaves identically.
+          Crash schedules require eager diffing (no [lazy_diffing], no
+          [write_ranges]) and a non-HLRC protocol. *)
   engine : engine_mode;
       (** event-engine execution mode (default [Sequential]); behavior-
           neutral — a [Parallel] run is byte-identical, just faster on a

@@ -55,6 +55,34 @@ let fresh_lock t =
 let run ?(tracer = Adsm_trace.Tracer.disabled)
     ?(recorder = Adsm_check.Recorder.disabled) t app =
   let cfg = t.cfg in
+  (* Fault-schedule gate.  Message faults (loss/dup/jitter/partitions)
+     compose with every configuration; crash schedules additionally need
+     the durable write-behind log of eagerly created diffs (so neither
+     lazy diffing nor write-range logging, both of which keep dirty
+     state outside the diff store at interval close) and a non-HLRC
+     protocol (HLRC flushes diffs to homes and discards them locally, so
+     a crashed home would need replicated-home recovery — out of
+     scope). *)
+  (match cfg.Config.faults with
+  | None -> ()
+  | Some sched ->
+    (match Adsm_net.Fault.validate ~nprocs:cfg.Config.nprocs sched with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Dsm.run: bad fault schedule: " ^ msg));
+    if sched.Adsm_net.Fault.crashes <> [] then begin
+      if cfg.Config.lazy_diffing then
+        invalid_arg
+          "Dsm.run: crash schedules are incompatible with lazy_diffing \
+           (diffs must be durable at interval close)";
+      if cfg.Config.write_ranges then
+        invalid_arg
+          "Dsm.run: crash schedules are incompatible with write_ranges \
+           (logged ranges are volatile until diffed)";
+      if cfg.Config.protocol = Config.Hlrc then
+        invalid_arg
+          "Dsm.run: crash schedules are not supported under HLRC (homes \
+           hold the only diff copies; recovery needs replicated homes)"
+    end);
   (* One event lane per simulated node: heap operations cost
      O(log per-node events) at large clusters.  The lane split never
      changes execution order (see Engine), so small runs stay
@@ -143,6 +171,36 @@ let run ?(tracer = Adsm_trace.Tracer.disabled)
     Rpc.set_handler rpc ~node (fun ~src msg respond ->
         Proto.handle_message cluster ~node ~src msg respond)
   done;
+  (match cfg.Config.faults with
+  | None -> ()
+  | Some sched ->
+    let net = Rpc.network rpc in
+    Network.set_faults net
+      (Some
+         (Adsm_net.Fault.runtime sched ~seed:cfg.Config.seed
+            ~nodes:cfg.Config.nprocs));
+    (* Crash and restart are lane-local events on the affected node: the
+       crash parks subsequent deliveries and marks the node so its next
+       DSM operation boundary fail-stops (Sync.crash_pause); the restart
+       flushes the parked queue and resumes a process suspended in the
+       downtime window. *)
+    List.iter
+      (fun (c : Adsm_net.Fault.crash) ->
+        let n = nodes.(c.Adsm_net.Fault.node) in
+        Engine.schedule_at ~lane:c.Adsm_net.Fault.node engine
+          ~time:c.Adsm_net.Fault.at (fun () ->
+            Network.fault_crash net ~node:c.Adsm_net.Fault.node;
+            n.State.crash_pending <- true;
+            n.State.crash_restart_at <- c.Adsm_net.Fault.at + c.Adsm_net.Fault.downtime);
+        Engine.schedule_at ~lane:c.Adsm_net.Fault.node engine
+          ~time:(c.Adsm_net.Fault.at + c.Adsm_net.Fault.downtime) (fun () ->
+            Network.fault_restart net ~node:c.Adsm_net.Fault.node;
+            match n.State.restart_wait with
+            | Some ivar ->
+              n.State.restart_wait <- None;
+              Proc.Ivar.fill engine ivar ()
+            | None -> ()))
+      sched.Adsm_net.Fault.crashes);
   for id = 0 to cfg.Config.nprocs - 1 do
     Proc.spawn ~lane:id engine (fun () ->
         app { cluster; node = nodes.(id) };
@@ -220,6 +278,7 @@ let me ctx = ctx.node.State.id
 let nprocs ctx = ctx.cluster.State.cfg.Config.nprocs
 
 let compute ctx ns =
+  Proto.pause_if_crashed ctx.cluster ctx.node;
   (* Heterogeneous clusters: node [i] runs compute phases at
      [node_speeds.(i mod len)] times the base speed.  Protocol software
      costs (twinning, diffing, fault handling) stay at the calibrated

@@ -43,6 +43,8 @@ type t =
   | Sw_own_transfer of { page : int; data : Page.t; version : int; committed : int }
   | Hlrc_diff of { page : int; seq : int; vc : Vc.t; diff : Diff.t }
   | Hlrc_fetch of { page : int; need : (int * int) list }
+  | Recover_req of { vc : Vc.t }
+  | Recover_reply of { intervals : Interval.t list }
 
 let size_bytes ?(vc_bytes = Vc.size_bytes) = function
   | Lock_acquire { vc; _ } -> 8 + vc_bytes vc
@@ -71,6 +73,9 @@ let size_bytes ?(vc_bytes = Vc.size_bytes) = function
   | Sw_own_transfer _ -> 12 + Page.size
   | Hlrc_diff { vc; diff; _ } -> 12 + vc_bytes vc + Diff.size_bytes diff
   | Hlrc_fetch { need; _ } -> 8 + (8 * List.length need)
+  | Recover_req { vc } -> 8 + vc_bytes vc
+  | Recover_reply { intervals } ->
+    8 + Interval.size_bytes_list ~vc_bytes intervals
 
 let kind : t -> Adsm_net.Kind.t = function
   | Lock_acquire _ | Lock_forward _ | Lock_grant _ -> Adsm_net.Kind.Lock
@@ -83,6 +88,7 @@ let kind : t -> Adsm_net.Kind.t = function
     Adsm_net.Kind.Own
   | Hlrc_diff _ -> Adsm_net.Kind.Diff
   | Hlrc_fetch _ -> Adsm_net.Kind.Page
+  | Recover_req _ | Recover_reply _ -> Adsm_net.Kind.Recover
 
 let pp ppf t =
   let s =
@@ -118,5 +124,8 @@ let pp ppf t =
       Printf.sprintf "sw-own-transfer(%d v%d)" page version
     | Hlrc_diff { page; seq; _ } -> Printf.sprintf "hlrc-diff(%d #%d)" page seq
     | Hlrc_fetch { page; _ } -> Printf.sprintf "hlrc-fetch(%d)" page
+    | Recover_req _ -> "recover-req"
+    | Recover_reply { intervals } ->
+      Printf.sprintf "recover-reply(x%d)" (List.length intervals)
   in
   Format.pp_print_string ppf s

@@ -73,6 +73,13 @@ type t =
       (** faulting node -> home; [need] lists (proc, seq) modifications the
           reply must already contain — the home defers the reply until its
           copy covers them *)
+  (* Crash recovery (see FAULTS.md). *)
+  | Recover_req of { vc : Vc.t }
+      (** restarted node -> every peer; [vc] is the checkpoint clock it
+          rolled back to *)
+  | Recover_reply of { intervals : Interval.t list }
+      (** peer -> restarted node: every closed interval the peer knows of
+          that [vc] does not cover (same shape as a lock grant) *)
 
 (** Payload size in bytes for the network cost model.  [vc_bytes]
     overrides the cost of every piggybacked vector clock (defaults to

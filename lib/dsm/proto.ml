@@ -30,7 +30,10 @@ let unlock = Sync.unlock
 
 let barrier = Sync.barrier
 
+let pause_if_crashed = Sync.pause_if_crashed
+
 let read_fault cl node (e : entry) =
+  Sync.pause_if_crashed cl node;
   let t0 = Engine.now cl.engine in
   if tracing cl then
     emit cl ~node:node.id (Adsm_trace.Event.Read_fault { page = e.page });
@@ -52,6 +55,7 @@ let update_migratory_score cl node (e : entry) =
     else e.migratory_score <- max 0 (e.migratory_score - 1)
 
 let write_fault cl node (e : entry) =
+  Sync.pause_if_crashed cl node;
   let t0 = Engine.now cl.engine in
   if tracing cl then
     emit cl ~node:node.id (Adsm_trace.Event.Write_fault { page = e.page });
@@ -78,6 +82,9 @@ let handle_message cl ~node:node_id ~src msg respond =
   | Msg.Barrier_release _, None -> Sync.handle_barrier_release cl node msg
   | Msg.Gc_done { epoch }, None -> Sync.handle_gc_done cl node epoch
   | Msg.Gc_complete { epoch }, None -> Sync.handle_gc_complete cl node epoch
+  (* Crash recovery: a restarted peer re-fetching missed intervals. *)
+  | Msg.Recover_req { vc }, Some respond ->
+    Sync.handle_recover_req cl node ~vc respond
   (* Shared paging/ownership requests, served per the protocol's policy. *)
   | Msg.Page_req { page }, Some respond ->
     let (module P : Protocol_intf.PROTOCOL) = Dispatch.for_cluster cl in

@@ -28,6 +28,11 @@ val barrier : State.cluster -> State.node -> unit
     owner write notices).  Exposed for tests and end-of-run flushing. *)
 val end_interval_local : State.cluster -> State.node -> unit
 
+(** Crash-recovery operation-boundary hook (see {!Sync.pause_if_crashed}
+    and FAULTS.md); called by every DSM operation entry point and by
+    [Dsm.compute].  Process context. *)
+val pause_if_crashed : State.cluster -> State.node -> unit
+
 (** Dispatch an incoming protocol message at [node]. *)
 val handle_message :
   State.cluster ->

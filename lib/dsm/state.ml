@@ -76,6 +76,14 @@ type tree_barrier = {
   mutable tb_self_gc_done : bool;
 }
 
+(* Barrier-leave checkpoint for crash recovery (see FAULTS.md): only
+   the rollback clock.  Page contents are re-fetchable from copy
+   holders, own intervals/diffs survive in the write-behind log, and
+   notice lists are rebuilt from the peers' retained interval logs
+   during the recovery round — a checkpointed pending-notice snapshot
+   would be valid only relative to the page copies the crash wipes. *)
+type ckpt = { ck_vc : Vc.t }
+
 type node = {
   id : int;
   nprocs : int;
@@ -107,6 +115,14 @@ type node = {
          owning node's events, and under the parallel engine nodes on
          different domains encode concurrently, so the scratch buffer
          cannot be shared cluster-wide *)
+  (* Crash-recovery state, all inert when [cfg.faults] has no crashes:
+     [crash_pending] is set by the crash event on this node's lane and
+     checked (one bool load) at every DSM operation boundary. *)
+  mutable ckpt : ckpt option;
+  mutable crash_pending : bool;
+  mutable crash_restart_at : int;
+  mutable restart_wait : unit Proc.Ivar.t option;
+  mutable crash_count : int;
 }
 
 type barrier_manager = {
@@ -208,6 +224,11 @@ let make_node ~cfg ~id ~total_pages =
           });
     rng = Rng.create (Int64.add cfg.Config.seed (Int64.of_int (id * 7919)));
     diff_scratch = None;
+    ckpt = None;
+    crash_pending = false;
+    crash_restart_at = 0;
+    restart_wait = None;
+    crash_count = 0;
   }
 
 let scratch node =

@@ -119,6 +119,12 @@ type tree_barrier = {
   mutable tb_self_gc_done : bool;
 }
 
+(** Barrier-leave checkpoint for crash recovery (see FAULTS.md): only
+    the rollback clock.  Notice lists are rebuilt from the peers'
+    retained interval logs during the recovery round, so no page or
+    notice state is copied at checkpoint time. *)
+type ckpt = { ck_vc : Vc.t }
+
 type node = {
   id : int;
   nprocs : int;
@@ -153,6 +159,17 @@ type node = {
       (** lazily allocated working space for {!Diff.create}, per node —
           nodes on different domains encode diffs concurrently under the
           parallel engine, so the scratch cannot be cluster-wide *)
+  mutable ckpt : ckpt option;
+      (** latest barrier-leave checkpoint; [None] until the first
+          barrier (and always [None] without a crash schedule) *)
+  mutable crash_pending : bool;
+      (** set by the crash event; the next DSM operation boundary
+          performs the fail-stop (wipe + recovery) *)
+  mutable crash_restart_at : int;  (** absolute restart instant *)
+  mutable restart_wait : unit Adsm_sim.Proc.Ivar.t option;
+      (** filled by the restart event when the app process is suspended
+          in the downtime window *)
+  mutable crash_count : int;
 }
 
 (** Barrier manager bookkeeping (lives at node 0). *)

@@ -18,6 +18,192 @@ let end_interval_local cl node =
   end_interval cl node ~charge:(fun ns -> Proc.sleep cl.engine ns)
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery (see FAULTS.md)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Failure model: fail-stop at DSM-operation granularity.  A crash event
+   sets [node.crash_pending]; the next operation boundary (page fault,
+   lock, unlock, barrier, compute) performs the actual fail-stop — wipe
+   volatile state, roll back to the barrier checkpoint, sleep out the
+   remaining downtime, run a recovery round — via [crash_pause] below.
+
+   Durability model (what "local stable storage" holds):
+   - the node's own closed intervals and their diffs: a write-behind log
+     flushed at every interval close.  Implementation: own intervals,
+     own diff-store entries and [own_diff_seqs] are simply not wiped;
+   - the committed frame of every page the node is the designated copy
+     holder for ([is_owner], or [owner = self] after an adaptive MW
+     drop): peers' Page/Diff requests parked during the downtime must
+     still be servable after restart;
+   - directory fields (version, owner hint, copyset, mode bits): a
+     page's directory claim survives so no page becomes ownerless.
+   Everything else — non-owned frames, twins, remote diffs, remote
+   interval logs, pending notices, TLB — is volatile and lost.
+
+   The checkpoint, taken at every barrier leave, is tiny: just the VC
+   to roll back to.  Frames need no checkpoint (re-fetched from copy
+   holders on demand), and notice lists are NOT checkpointed — a
+   pending-notice snapshot is only meaningful relative to the page
+   copies it was taken against, and the crash wipes those.  Instead the
+   recovery round below rebuilds each page's notice list from the
+   peers' full retained interval logs, which stay alive while the node
+   is down: no GC round can complete because barriers block on it. *)
+
+let checkpoint cl node =
+  match cl.cfg.Config.faults with
+  | Some { Adsm_net.Fault.crashes = _ :: _; _ } ->
+    node.ckpt <- Some { ck_vc = Vc.copy node.vc }
+  | _ -> ()
+
+(* A peer's view of a restarted node's recovery round: return every
+   closed interval the given (checkpoint) clock does not cover.  No
+   interval close is needed first — the requester's pre-crash VC can
+   only cover closed intervals, never a peer's still-open one. *)
+let handle_recover_req cl node ~vc respond =
+  let intervals = Lrc_core.collect_unseen cl node vc in
+  Lrc_core.respond_msg cl node respond (Msg.Recover_reply { intervals })
+
+(* The fail-stop itself.  Runs in the application process's context at
+   an operation boundary; [node.crash_pending] is already set. *)
+let crash_pause cl node =
+  node.crash_pending <- false;
+  node.crash_count <- node.crash_count + 1;
+  (* Flush the write-behind log: close the interval in progress so the
+     writes already performed are durably diffed and noticed. *)
+  end_interval_local cl node;
+  if checking cl then observe cl ~node:node.id Adsm_check.Obs.Crash;
+  let stash_vc = Vc.copy node.vc in
+  let mutation = cl.cfg.Config.mutation in
+  (* Wipe volatile state.  Pages whose committed frame is durable (we
+     are the designated copy holder) keep everything; all other entries
+     lose frame, twin, permissions, versions, reflected view and
+     notices.  Directory fields survive (durable directory claim). *)
+  iter_entries node (fun (e : entry) ->
+      if not (e.is_owner || e.owner = node.id) then begin
+        e.data <- None;
+        e.has_base <- false;
+        e.perm <- Perm.No_access;
+        e.twin <- None;
+        e.pending_diff <- None;
+        e.dirty <- false;
+        e.notices <- [];
+        e.content_version <- 0;
+        e.committed_version <- 0;
+        Array.fill e.reflected 0 (Array.length e.reflected) 0;
+        Array.fill e.last_notice_vc 0 (Array.length e.last_notice_vc) None
+      end);
+  tlb_reset node;
+  (* Remote diffs and remote interval logs are volatile caches. *)
+  let dropped =
+    Hashtbl.fold
+      (fun ((_, proc, _) as key) _ acc ->
+        if proc <> node.id then key :: acc else acc)
+      node.diffs []
+  in
+  List.iter (Hashtbl.remove node.diffs) dropped;
+  for p = 0 to node.nprocs - 1 do
+    if p <> node.id then node.intervals.(p) <- []
+  done;
+  (* Roll the vector clock back to the checkpoint — except our own
+     component, whose intervals are in the durable log (rolling it back
+     would reuse sequence numbers).  The [Stale_vc_after_restart]
+     mutation rolls the own component back too: the node then reissues
+     already-used sequence numbers, so peers silently drop its
+     post-restart intervals as duplicates. *)
+  let own_seq = Vc.get stash_vc node.id in
+  (match node.ckpt with
+  | Some ck ->
+    Vc.blit_into ~src:ck.ck_vc ~dst:node.vc;
+    Vc.blit_into ~src:ck.ck_vc ~dst:node.last_barrier_vc
+  | None ->
+    for p = 0 to node.nprocs - 1 do
+      Vc.set node.vc p 0;
+      Vc.set node.last_barrier_vc p 0
+    done);
+  if mutation <> Some Config.Stale_vc_after_restart then
+    Vc.set node.vc node.id own_seq;
+  (* Sleep out the rest of the downtime.  If this boundary was reached
+     at or after the scheduled restart (the process was blocked the
+     whole window), the effective downtime is zero but the wipe and
+     recovery above/below still happened. *)
+  if Engine.now cl.engine < node.crash_restart_at then begin
+    let ivar = Proc.Ivar.create () in
+    node.restart_wait <- Some ivar;
+    Proc.Ivar.await ivar
+  end;
+  (* Recovery round: ask every peer for its FULL retained interval log
+     (a zero request clock), not just the intervals our rolled-back
+     clock misses.  The full log is needed because a wiped page's next
+     base copy can come from an arbitrarily stale holder: the notice
+     list must cover every retained write so diffs always chain from
+     whatever base arrives (the zero page is the ultimate fallback
+     base).  Requests to a peer that is itself down park at its network
+     interface and are answered after its restart.
+
+     Replies are merged in three groups, oldest first, after dropping
+     intervals we originated (our own log is durable and complete):
+     - already-covered intervals re-enter the local interval log and
+       have their notices re-applied ([apply_notice] consults the
+       per-entry reflected view, so notices a durable frame already
+       contains are skipped);
+     - not-yet-covered intervals go through the normal
+       [apply_intervals] (which also re-merges the clocks);
+     affected pages end up invalid and re-fetch on demand through the
+     normal validate path.
+
+     The [Skip_notice_replay] mutation skips the rebuild of covered
+     intervals — the classic recovery bug where the restarted node
+     trusts its rolled-back clock to tell it what it is missing. *)
+  begin
+    let vc =
+      if mutation = Some Config.Skip_notice_replay then Vc.copy node.vc
+      else Vc.zero ~nprocs:node.nprocs
+    in
+    let batches = ref [] in
+    for p = node.nprocs - 1 downto 0 do
+      if p <> node.id then begin
+        match Lrc_core.call cl ~src:node.id ~dst:p (Msg.Recover_req { vc }) with
+        | Msg.Recover_reply { intervals } -> batches := intervals :: !batches
+        | _ -> failwith "Proto: unexpected recover reply"
+      end
+    done;
+    (* Several peers may retain the same interval: dedupe by origin. *)
+    let seen = Hashtbl.create 64 in
+    let all =
+      List.filter
+        (fun (iv : Interval.t) ->
+          iv.proc <> node.id
+          &&
+          let key = (iv.proc, iv.seq) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        (List.concat !batches)
+    in
+    let covered, uncovered =
+      List.partition
+        (fun (iv : Interval.t) -> iv.seq <= Vc.get node.vc iv.proc)
+        all
+    in
+    let covered =
+      List.sort (fun (a : Interval.t) b -> Vc.order a.vc b.vc) covered
+    in
+    List.iter
+      (fun (iv : Interval.t) ->
+        node.intervals.(iv.proc) <- iv :: node.intervals.(iv.proc);
+        List.iter (Lrc_core.apply_notice cl node) iv.notices)
+      covered;
+    Lrc_core.apply_intervals cl node uncovered
+  end;
+  if checking cl then observe cl ~node:node.id Adsm_check.Obs.Restart
+
+(* Operation-boundary hook: one predictable-false branch on the
+   fault-free path. *)
+let pause_if_crashed cl node = if node.crash_pending then crash_pause cl node
+
+(* ------------------------------------------------------------------ *)
 (* Locks                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -69,6 +255,7 @@ let handle_lock_grant cl node ~lock intervals =
   | None -> failwith "Proto: unexpected lock grant"
 
 let lock cl node l =
+  pause_if_crashed cl node;
   let t0 = Engine.now cl.engine in
   let ls = lock_state node ~home:(home_of_lock cl l) l in
   if ls.have_token && not ls.held then ls.held <- true
@@ -95,6 +282,7 @@ let lock cl node l =
     ~ns:(Engine.now cl.engine - t0)
 
 let unlock cl node l =
+  pause_if_crashed cl node;
   let ls = lock_state node ~home:(home_of_lock cl l) l in
   if not ls.held then invalid_arg "Dsm.unlock: lock not held";
   if tracing cl then
@@ -461,6 +649,7 @@ let handle_gc_complete cl node epoch =
     | None -> failwith "Proto: unexpected gc complete")
 
 let barrier cl node =
+  pause_if_crashed cl node;
   let t0 = Engine.now cl.engine in
   if tracing cl then
     emit cl ~node:node.id
@@ -524,6 +713,10 @@ let barrier cl node =
       gc_purge cl node
     end
   | _ -> failwith "Proto: unexpected barrier reply");
+  (* Crash-recovery checkpoint: knowledge is barrier-complete and (on a
+     GC round) freshly purged, so the VC plus the still-pending notices
+     are exactly the state a restart must re-establish. *)
+  checkpoint cl node;
   if tracing cl then
     emit cl ~node:node.id (Adsm_trace.Event.Barrier_leave { epoch });
   if checking cl then

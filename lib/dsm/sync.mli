@@ -25,7 +25,26 @@ val unlock : cluster -> node -> int -> unit
     exceeded the threshold. *)
 val barrier : cluster -> node -> unit
 
+(* --- crash recovery (see FAULTS.md) --- *)
+
+(** Operation-boundary hook: if a crash event marked this node
+    ([crash_pending]), perform the fail-stop — close the current
+    interval (write-behind log flush), wipe volatile state, roll back to
+    the barrier checkpoint, sleep out the remaining downtime, and run
+    the peer recovery round.  One predictable-false branch when no
+    crash is pending.  Process context only. *)
+val pause_if_crashed : cluster -> node -> unit
+
+(** Take the barrier-leave checkpoint (no-op unless the run's fault
+    schedule contains crashes). *)
+val checkpoint : cluster -> node -> unit
+
 (* --- message handlers (event context: never block) --- *)
+
+(** A restarted peer asks for every closed interval its checkpoint clock
+    does not cover. *)
+val handle_recover_req :
+  cluster -> node -> vc:Vc.t -> Msg.t Adsm_net.Rpc.respond -> unit
 
 val handle_lock_acquire : cluster -> node -> src:int -> vc:Vc.t -> int -> unit
 

@@ -400,6 +400,79 @@ let breakdown suite =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Survivability study (FAULTS.md; EXPERIMENTS.md appendix)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash schedules are derived per cell from the fault-free duration so
+   the crashes always land mid-computation regardless of application or
+   scale: [count] crashes split the run evenly (nodes 1, 2, ... so the
+   barrier manager at node 0 keeps its simpler fast path exercised by
+   the app suite elsewhere), each with a tenth of the run as downtime. *)
+let survivability_schedule ~count ~nprocs ~duration_ns =
+  let crashes =
+    List.init count (fun i ->
+        {
+          Adsm_net.Fault.node = 1 + (i mod (nprocs - 1));
+          at = duration_ns / (count + 1) * (i + 1);
+          downtime = max 1 (duration_ns / 10);
+        })
+  in
+  { Adsm_net.Fault.empty with Adsm_net.Fault.crashes }
+
+let survivability ?(apps = [ "SOR"; "IS"; "Water" ])
+    ?(scale = Registry.Tiny) ?(nprocs = 8) ?(jobs = 1) () =
+  let apps = selected_apps (Some apps) in
+  let protocols = [ Config.Mw; Config.Sw; Config.Wfs ] in
+  let cells =
+    List.concat_map
+      (fun (app : Registry.entry) ->
+        List.map (fun protocol -> (app, protocol)) protocols)
+      apps
+  in
+  let rows =
+    Pool.map ~jobs
+      (fun ((app : Registry.entry), protocol) ->
+        let base = Runner.run ~app ~protocol ~nprocs ~scale () in
+        List.map
+          (fun count ->
+            let faults =
+              survivability_schedule ~count ~nprocs
+                ~duration_ns:base.Runner.time_ns
+            in
+            let m = Runner.run ~faults ~app ~protocol ~nprocs ~scale () in
+            if m.Runner.checksum <> base.Runner.checksum then
+              invalid_arg
+                (Printf.sprintf
+                   "Experiments: %s/%s checksum diverged under %d crash(es)"
+                   app.Registry.name
+                   (Config.protocol_name protocol)
+                   count);
+            let pct part whole =
+              Printf.sprintf "+%.1f%%"
+                (100. *. float_of_int (part - whole) /. float_of_int whole)
+            in
+            [
+              (if count = 1 then app.Registry.name else "");
+              (if count = 1 then Config.protocol_name protocol else "");
+              string_of_int count;
+              seconds m.Runner.time_ns;
+              pct m.Runner.time_ns base.Runner.time_ns;
+              Tables.thousands m.Runner.messages;
+              pct m.Runner.wire_bytes base.Runner.wire_bytes;
+            ])
+          [ 1; 2 ])
+      cells
+  in
+  Tables.render
+    ~title:
+      "Survivability: completion under node crashes (checksums verified\n\
+       against the fault-free run; overheads relative to it)"
+    ~header:
+      [ "Program"; "Protocol"; "Crashes"; "Time(s)"; "Slowdown"; "Msgs";
+        "Wire" ]
+    (List.concat rows)
+
+(* ------------------------------------------------------------------ *)
 (* CSV export                                                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -72,6 +72,19 @@ val breakdown : suite -> string
 val export_csv : suite -> dir:string -> string list
 (** Returns the paths written. *)
 
+(** "Crashing nodes" appendix (FAULTS.md): completion time and message
+    overhead of SOR/IS/Water under MW, SW and WFS with 1 and 2 node
+    crashes, schedules derived from each cell's fault-free duration so
+    the crashes land mid-run.  Every faulty run's checksum is verified
+    against the fault-free one ([Invalid_argument] on divergence). *)
+val survivability :
+  ?apps:string list ->
+  ?scale:Adsm_apps.Registry.scale ->
+  ?nprocs:int ->
+  ?jobs:int ->
+  unit ->
+  string
+
 (** Everything, in paper order. *)
 val run_all :
   ?apps:string list ->

@@ -9,6 +9,7 @@
 
 module Config = Adsm_dsm.Config
 module Dsm = Adsm_dsm.Dsm
+module Fault = Adsm_net.Fault
 module Registry = Adsm_apps.Registry
 module Rng = Adsm_sim.Rng
 module Obs = Adsm_check.Obs
@@ -18,14 +19,15 @@ module Workload = Adsm_check.Workload
 
 type outcome = {
   program : Workload.program;
+  faults : Fault.schedule option;
   report : Oracle.report;
   stream : Obs.stamped array;
 }
 
-let run_program ?mutation ?(protocol = Config.Mw) ?(seed = 0x5EEDL)
+let run_program ?mutation ?faults ?(protocol = Config.Mw) ?(seed = 0x5EEDL)
     (p : Workload.program) =
   let cfg = Config.make ~seed ~protocol ~nprocs:p.Workload.nprocs () in
-  let cfg = { cfg with Config.mutation } in
+  let cfg = { cfg with Config.mutation; faults } in
   let t = Dsm.create cfg in
   let arr =
     Dsm.alloc_f64 t ~name:"fuzz"
@@ -59,17 +61,39 @@ let run_program ?mutation ?(protocol = Config.Mw) ?(seed = 0x5EEDL)
   in
   ignore (Dsm.run ~recorder t program);
   let stream = Recorder.stream recorder in
-  { program = p; report = Oracle.check ~nprocs:p.Workload.nprocs stream; stream }
+  {
+    program = p;
+    faults;
+    report = Oracle.check ~nprocs:p.Workload.nprocs stream;
+    stream;
+  }
 
 (* A candidate "fails" only if the oracle flags it; a crash (e.g. a
    mutated protocol deadlocking on a reduced program) is a different
-   failure mode and would derail the shrink, so it does not count. *)
-let shrink_failing ?mutation ?protocol ?seed (p : Workload.program) =
-  let try_run q =
-    match run_program ?mutation ?protocol ?seed q with
+   failure mode and would derail the shrink, so it does not count.
+
+   Shrinking is joint over (program, fault schedule): each step first
+   tries to simplify the schedule (drop a crash, zero a probability)
+   under the unchanged program, then to shrink the program under the
+   unchanged schedule, and greedily recurses on the first candidate
+   that still fails.  A counterexample therefore ends up minimal in
+   both dimensions — e.g. the seeded recovery mutations typically
+   shrink to a single crash and a two-node write/read program. *)
+let shrink_failing ?mutation ?protocol ?seed ?faults (p : Workload.program) =
+  let try_run (q, fs) =
+    match run_program ?mutation ?faults:fs ?protocol ?seed q with
     | o when not (Oracle.ok o.report) -> Some o
     | _ -> None
     | exception _ -> None
+  in
+  let candidates (q, fs) =
+    let sched_shrinks =
+      match fs with
+      | None -> Seq.empty
+      | Some s -> Seq.map (fun s' -> (q, Some s')) (Fault.shrink s)
+    in
+    let prog_shrinks = Seq.map (fun q' -> (q', fs)) (Workload.shrink q) in
+    Seq.append sched_shrinks prog_shrinks
   in
   let rec first_failing seq =
     match seq () with
@@ -80,16 +104,29 @@ let shrink_failing ?mutation ?protocol ?seed (p : Workload.program) =
       | None -> first_failing rest)
   in
   let rec go current =
-    match first_failing (Workload.shrink current.program) with
+    match first_failing (candidates (current.program, current.faults)) with
     | Some smaller -> go smaller
     | None -> current
   in
-  match try_run p with None -> None | Some o -> Some (go o)
+  match try_run (p, faults) with None -> None | Some o -> Some (go o)
 
-let fuzz_once ?mutation ?protocol ~nprocs ~seed () =
+(* Fault-mode fuzzing first runs the program clean (no mutation, no
+   faults) to learn its simulated duration, then generates a schedule
+   whose crashes land inside that horizon — a fixed horizon would miss
+   short programs entirely and never exercise recovery. *)
+let fuzz_once ?mutation ?protocol ?(faults = false) ~nprocs ~seed () =
   let rng = Rng.create seed in
   let p = Workload.generate rng (Workload.default_params ~nprocs) in
-  run_program ?mutation ?protocol ~seed p
+  if not faults then run_program ?mutation ?protocol ~seed p
+  else
+    let clean = run_program ?protocol ~seed p in
+    let horizon_ns =
+      let n = Array.length clean.stream in
+      if n = 0 then 1_000_000
+      else max 100_000 clean.stream.(n - 1).Obs.time
+    in
+    let sched = Fault.generate rng ~nprocs ~horizon_ns in
+    run_program ?mutation ~faults:sched ?protocol ~seed p
 
 (* Parallel seed sweep: each seed's generate+run+check is independent, so
    the sweep fans out over a {!Pool} and reports per-seed results in seed
@@ -97,28 +134,43 @@ let fuzz_once ?mutation ?protocol ~nprocs ~seed () =
    [Error] rather than aborting the other seeds — the CLI prints it per
    seed, exactly as the sequential loop did.  Shrinking of failing seeds
    stays with the caller, after the sweep. *)
-let sweep ?(jobs = 1) ?mutation ?protocol ~nprocs ~seed ~count () =
+let sweep ?(jobs = 1) ?mutation ?protocol ?faults ~nprocs ~seed ~count () =
   let seeds = List.init count (fun i -> seed + i) in
   Pool.map ~jobs
     (fun s ->
-      match fuzz_once ?mutation ?protocol ~nprocs ~seed:(Int64.of_int s) () with
+      match
+        fuzz_once ?mutation ?protocol ?faults ~nprocs ~seed:(Int64.of_int s) ()
+      with
       | o -> (s, Ok o)
       | exception e -> (s, Error (Printexc.to_string e)))
     seeds
 
 let counterexample outcome =
-  match outcome.report.Oracle.violations with
-  | [] -> None
-  | v :: _ ->
+  let faults =
+    match outcome.faults with
+    | None -> ""
+    | Some s -> Format.asprintf "@.--- faults ---@.%a@." Fault.pp s
+  in
+  match
+    (outcome.report.Oracle.violations, outcome.report.Oracle.fault_errors)
+  with
+  | v :: _, _ ->
     Some
-      (Format.asprintf "%a@.--- workload ---@.%a"
+      (Format.asprintf "%a@.--- workload ---@.%a%s"
          (fun ppf (stream, v) -> Oracle.pp_counterexample ppf stream v)
-         (outcome.stream, v) Workload.pp outcome.program)
+         (outcome.stream, v) Workload.pp outcome.program faults)
+  | [], _ :: _ ->
+    (* Crash/recovery structure errors have no single anchoring
+       observation, so print the report itself plus the inputs. *)
+    Some
+      (Format.asprintf "%a@.--- workload ---@.%a%s" Oracle.pp_report
+         outcome.report Workload.pp outcome.program faults)
+  | [], [] -> None
 
-let check_app ?seed ?mutation ~(app : Registry.entry) ~protocol ~nprocs
-    ~scale () =
+let check_app ?seed ?mutation ?faults ~(app : Registry.entry) ~protocol
+    ~nprocs ~scale () =
   let recorder = Recorder.create () in
-  let tweak cfg = { cfg with Config.mutation } in
+  let tweak cfg = { cfg with Config.mutation; faults } in
   let (_ : Runner.measurement) =
     Runner.run ?seed ~tweak ~recorder ~app ~protocol ~nprocs ~scale ()
   in

@@ -5,39 +5,55 @@
 
     Lives in the harness (not [lib/check]) because the workload AST is
     deliberately runtime-free — this module is the one place that knows
-    how to execute it under {!Adsm_dsm.Dsm}. *)
+    how to execute it under {!Adsm_dsm.Dsm}.
+
+    Fault mode (FAULTS.md): every entry point optionally takes a fault
+    schedule; [fuzz_once ~faults:true] generates a schedule alongside
+    the program, and {!shrink_failing} shrinks jointly over program and
+    schedule. *)
 
 type outcome = {
   program : Adsm_check.Workload.program;
+  faults : Adsm_net.Fault.schedule option;
+      (** the schedule the run executed under, if any *)
   report : Adsm_check.Oracle.report;
   stream : Adsm_check.Obs.stamped array;
 }
 
 (** Run one workload program under [protocol] (default MW) with the
     oracle recording.  [mutation] injects a deliberate protocol bug
-    (see {!Adsm_dsm.Config.mutation}). *)
+    (see {!Adsm_dsm.Config.mutation}); [faults] runs it under a fault
+    schedule. *)
 val run_program :
   ?mutation:Adsm_dsm.Config.mutation ->
+  ?faults:Adsm_net.Fault.schedule ->
   ?protocol:Adsm_dsm.Config.protocol ->
   ?seed:int64 ->
   Adsm_check.Workload.program ->
   outcome
 
 (** If the program fails the oracle, greedily shrink it to a minimal
-    failing program and return that outcome; [None] if the full program
-    passes.  Candidates that crash instead of failing the oracle are
-    skipped. *)
+    failing (program, schedule) pair and return that outcome; [None] if
+    the full program passes.  Each greedy step first tries schedule
+    simplifications (drop a crash or partition, zero a probability),
+    then program shrinks.  Candidates that crash instead of failing the
+    oracle are skipped. *)
 val shrink_failing :
   ?mutation:Adsm_dsm.Config.mutation ->
   ?protocol:Adsm_dsm.Config.protocol ->
   ?seed:int64 ->
+  ?faults:Adsm_net.Fault.schedule ->
   Adsm_check.Workload.program ->
   outcome option
 
-(** Generate a random workload from [seed] and run it checked. *)
+(** Generate a random workload from [seed] and run it checked.  With
+    [~faults:true] (default false) the program is first run clean to
+    learn its simulated duration, then re-run under a schedule generated
+    from the same seed whose crashes land inside that horizon. *)
 val fuzz_once :
   ?mutation:Adsm_dsm.Config.mutation ->
   ?protocol:Adsm_dsm.Config.protocol ->
+  ?faults:bool ->
   nprocs:int ->
   seed:int64 ->
   unit ->
@@ -48,11 +64,13 @@ val fuzz_once :
     (default 1, fully sequential).  Results come back in seed order; a
     seed whose run raises is reported as [Error] with the exception text
     instead of aborting the sweep.  Used for both plain fuzzing and
-    mutation-detection sweeps (pass [mutation]). *)
+    mutation-detection sweeps (pass [mutation], and [~faults:true] for
+    the recovery mutations, which only manifest under crashes). *)
 val sweep :
   ?jobs:int ->
   ?mutation:Adsm_dsm.Config.mutation ->
   ?protocol:Adsm_dsm.Config.protocol ->
+  ?faults:bool ->
   nprocs:int ->
   seed:int ->
   count:int ->
@@ -60,7 +78,8 @@ val sweep :
   (int * (outcome, string) result) list
 
 (** Human-readable counterexample (first violation's trace window plus
-    the workload program); [None] if the outcome passed. *)
+    the workload program and, in fault mode, the schedule); [None] if
+    the outcome passed. *)
 val counterexample : outcome -> string option
 
 (** Run a registry application with the oracle recording and validate
@@ -68,6 +87,7 @@ val counterexample : outcome -> string option
 val check_app :
   ?seed:int64 ->
   ?mutation:Adsm_dsm.Config.mutation ->
+  ?faults:Adsm_net.Fault.schedule ->
   app:Adsm_apps.Registry.entry ->
   protocol:Adsm_dsm.Config.protocol ->
   nprocs:int ->

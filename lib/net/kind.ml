@@ -1,6 +1,6 @@
-type t = Lock | Barrier | Gc | Page | Diff | Own
+type t = Lock | Barrier | Gc | Page | Diff | Own | Recover
 
-let count = 6
+let count = 7
 
 let index = function
   | Lock -> 0
@@ -9,8 +9,9 @@ let index = function
   | Page -> 3
   | Diff -> 4
   | Own -> 5
+  | Recover -> 6
 
-let all = [ Lock; Barrier; Gc; Page; Diff; Own ]
+let all = [ Lock; Barrier; Gc; Page; Diff; Own; Recover ]
 
 let to_string = function
   | Lock -> "lock"
@@ -19,6 +20,7 @@ let to_string = function
   | Page -> "page"
   | Diff -> "diff"
   | Own -> "own"
+  | Recover -> "recover"
 
 let of_string = function
   | "lock" -> Some Lock
@@ -27,6 +29,7 @@ let of_string = function
   | "page" -> Some Page
   | "diff" -> Some Diff
   | "own" -> Some Own
+  | "recover" -> Some Recover
   | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

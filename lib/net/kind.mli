@@ -14,6 +14,7 @@ type t =
   | Page  (** whole-page requests and copies *)
   | Diff  (** diff requests, replies and HLRC diff flushes *)
   | Own  (** ownership requests, transfers and refusals *)
+  | Recover  (** post-restart interval replay (crash recovery) *)
 
 (** Number of kinds (the counter-array length). *)
 val count : int

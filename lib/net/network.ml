@@ -5,6 +5,16 @@ type monitor = {
   on_deliver : now:int -> src:int -> dst:int -> bytes:int -> kind:Kind.t -> unit;
 }
 
+(* Fault-injection state: the schedule-level runtime (RNG, down flags,
+   counters) plus per-node queues of messages that arrived while their
+   destination was crashed, parked here and handed to the handler when
+   the node restarts.  The queues live in this record (not in
+   [Fault.runtime]) because they hold ['msg] values. *)
+type 'msg faults = {
+  rt : Fault.runtime;
+  parked : (int * 'msg) Queue.t array;  (* per dst: (src, msg), FIFO *)
+}
+
 type 'msg t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -25,6 +35,7 @@ type 'msg t = {
   sent : int array;
   received : int array;
   mutable monitor : monitor option;
+  mutable faults : 'msg faults option;
 }
 
 let create_topo engine topo ~nodes =
@@ -51,11 +62,45 @@ let create_topo engine topo ~nodes =
     sent = Array.make nodes 0;
     received = Array.make nodes 0;
     monitor = None;
+    faults = None;
   }
 
 let create engine cfg ~nodes = create_topo engine (Topology.flat cfg) ~nodes
 
 let set_monitor t monitor = t.monitor <- monitor
+
+let set_faults t rt =
+  t.faults <-
+    Option.map
+      (fun rt ->
+        { rt; parked = Array.init t.node_count (fun _ -> Queue.create ()) })
+      rt
+
+let fault_runtime t = Option.map (fun f -> f.rt) t.faults
+
+(* Mark [node] crashed: subsequent deliveries to it are parked.  Called
+   from a crash event on [node]'s lane; the flag is only read by delivery
+   events on that same lane, so this is lane-local state. *)
+let fault_crash t ~node =
+  match t.faults with
+  | None -> invalid_arg "Network.fault_crash: no fault schedule installed"
+  | Some f -> f.rt.Fault.down.(node) <- true
+
+(* Restart [node]: clear the down flag and hand every parked message to
+   the handler, in arrival order, from the caller's (event) context. *)
+let fault_restart t ~node =
+  match t.faults with
+  | None -> invalid_arg "Network.fault_restart: no fault schedule installed"
+  | Some f ->
+    f.rt.Fault.down.(node) <- false;
+    let q = f.parked.(node) in
+    while not (Queue.is_empty q) do
+      let src, msg = Queue.pop q in
+      match t.handlers.(node) with
+      | Some handler -> handler ~src msg
+      | None ->
+        failwith (Printf.sprintf "Network: node %d has no handler" node)
+    done
 
 let nodes t = t.node_count
 
@@ -132,6 +177,21 @@ let send_now t ~now ~src ~dst ~bytes ~kind msg =
         + tr.Topology.edge_latency_ns
       end
   in
+  (* Fault perturbations (loss retransmits, duplication, jitter,
+     partition holds) delay the fabric crossing and add wire bytes.
+     They land before receiver-NIC serialization, so per-link FIFO
+     order is preserved: rx_done stays strictly monotone per dst. *)
+  let fabric_arrival =
+    match t.faults with
+    | None -> fabric_arrival
+    | Some f ->
+      let arrival, overhead =
+        Fault.perturb f.rt ~now ~arrival:fabric_arrival ~src ~dst
+          ~wire_bytes:(cfg.Netcfg.header_bytes + bytes)
+      in
+      if overhead > 0 then t.wire_bytes <- t.wire_bytes + overhead;
+      arrival
+  in
   (* The receiving NIC is occupied for the payload's transfer time: a
      message queues behind earlier arrivals still being received. *)
   let rx_done = max fabric_arrival (t.rx_free.(dst) + bytes_ns) in
@@ -147,10 +207,16 @@ let send_now t ~now ~src ~dst ~bytes ~kind msg =
           Engine.defer t.engine (fun () ->
               m.on_deliver ~now:delivery ~src ~dst ~bytes ~kind)
         else m.on_deliver ~now:delivery ~src ~dst ~bytes ~kind);
-      match t.handlers.(dst) with
-      | Some handler -> handler ~src msg
-      | None ->
-        failwith (Printf.sprintf "Network: node %d has no handler" dst))
+      match t.faults with
+      | Some f when f.rt.Fault.down.(dst) ->
+        (* Destination is crashed: park the message; [fault_restart]
+           replays the queue in arrival order. *)
+        Queue.add (src, msg) f.parked.(dst)
+      | _ -> (
+        match t.handlers.(dst) with
+        | Some handler -> handler ~src msg
+        | None ->
+          failwith (Printf.sprintf "Network: node %d has no handler" dst)))
 
 let send t ~src ~dst ~bytes ~kind msg =
   if src < 0 || src >= t.node_count then

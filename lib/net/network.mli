@@ -32,6 +32,25 @@ val create_topo : Adsm_sim.Engine.t -> Topology.t -> nodes:int -> 'msg t
 (** Install or remove the traffic monitor (at most one at a time). *)
 val set_monitor : 'msg t -> monitor option -> unit
 
+(** Install fault-injection runtime state ({!Fault.runtime}) built from
+    the run's schedule, or remove it.  With no runtime installed (the
+    default) the delivery path is byte-identical to a fault-free build. *)
+val set_faults : 'msg t -> Fault.runtime option -> unit
+
+(** The installed fault runtime, for reading its counters. *)
+val fault_runtime : 'msg t -> Fault.runtime option
+
+(** Mark [node] crashed: messages addressed to it are parked instead of
+    delivered.  Must be called from an event on [node]'s lane.
+    @raise Invalid_argument if no fault runtime is installed. *)
+val fault_crash : 'msg t -> node:int -> unit
+
+(** Restart [node]: clears the crashed flag and synchronously hands every
+    parked message to its handler in arrival order.  Must be called from
+    an event on [node]'s lane.
+    @raise Invalid_argument if no fault runtime is installed. *)
+val fault_restart : 'msg t -> node:int -> unit
+
 val nodes : 'msg t -> int
 
 val config : 'msg t -> Netcfg.t

@@ -178,12 +178,12 @@ let topologies = [ ("flat", Fun.id); ("tree", tree_tweak) ]
 
 (* Run one cell and capture everything observable: the measurement, the
    JSONL trace bytes, and the consistency oracle's observation stream. *)
-let observe ?engine ~tweak ~app ~protocol ~nprocs () =
+let observe ?engine ?faults ~tweak ~app ~protocol ~nprocs () =
   let buf = Buffer.create 4096 in
   let tracer = Trace.Tracer.create [ Trace.Sink.jsonl (Buffer.add_string buf) ] in
   let recorder = Recorder.create () in
   let m =
-    Runner.run ~tweak ?engine ~tracer ~recorder ~app ~protocol ~nprocs
+    Runner.run ~tweak ?engine ?faults ~tracer ~recorder ~app ~protocol ~nprocs
       ~scale:Registry.Tiny ()
   in
   Trace.Tracer.close tracer;
@@ -274,6 +274,41 @@ let test_domain_counts () =
         Config.all_protocols)
     [ "SOR"; "IS" ]
 
+let test_fault_byte_identity () =
+  (* Fault schedules are part of the deterministic input: the same
+     (app, protocol, seed, schedule) on 2 domains must replay the
+     sequential faulty run exactly — crash timing, retransmissions and
+     recovery traffic included. *)
+  let faults =
+    match
+      Adsm_net.Fault.of_string "crash=1@400us:200us;loss=0.05;jitter=2us"
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun app_name ->
+      let app =
+        match Registry.find app_name with
+        | Some a -> a
+        | None -> Alcotest.fail ("unknown app " ^ app_name)
+      in
+      List.iter
+        (fun protocol ->
+          let name =
+            Printf.sprintf "%s/%s/faults/par:2" app.Registry.name
+              (Config.protocol_name protocol)
+          in
+          let seq = observe ~faults ~tweak:Fun.id ~app ~protocol ~nprocs:8 () in
+          let par =
+            observe
+              ~engine:(Config.Parallel { domains = 2 })
+              ~faults ~tweak:Fun.id ~app ~protocol ~nprocs:8 ()
+          in
+          check_identical name seq par)
+        [ Config.Mw; Config.Wfs ])
+    [ "SOR"; "IS"; "Water" ]
+
 let () =
   Alcotest.run "par"
     [
@@ -298,5 +333,7 @@ let () =
             test_domain_counts;
           Alcotest.test_case "full grid, both fabrics" `Slow
             test_byte_identity_grid;
+          Alcotest.test_case "crash schedules (SOR, IS, Water)" `Quick
+            test_fault_byte_identity;
         ] );
     ]
