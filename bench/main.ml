@@ -17,6 +17,7 @@
 module Config = Adsm_dsm.Config
 module Dsm = Adsm_dsm.Dsm
 module Vc = Adsm_dsm.Vc
+module Interval = Adsm_dsm.Interval
 module Diff = Adsm_dsm.Diff
 module Page = Adsm_mem.Page
 module Eheap = Adsm_sim.Eheap
@@ -64,6 +65,27 @@ let micro_tests () =
     Vc.set vc_a i (i * 3);
     Vc.set vc_b i (23 - i)
   done;
+  (* 1024-wide clocks with distinct sums (the sum cut decides), an
+     epoch-stamped base with a rebased clock two components ahead, and a
+     4096-interval indexed log probed near its tail. *)
+  let vc_big_lo = Vc.zero ~nprocs:1024 and vc_big_hi = Vc.zero ~nprocs:1024 in
+  for i = 0 to 1023 do
+    Vc.set vc_big_lo i i;
+    Vc.set vc_big_hi i (i + 1)
+  done;
+  let epoch_base = Vc.copy vc_big_lo in
+  let vc_rebased = Vc.copy vc_big_lo in
+  Vc.rebase ~epoch:1 vc_rebased ~base:epoch_base;
+  Vc.set vc_rebased 3 2000;
+  Vc.set vc_rebased 700 2000;
+  let big_log = Interval.Log.create () in
+  for i = 1 to 4096 do
+    let vc = Vc.zero ~nprocs:4 in
+    Vc.set vc 0 i;
+    Interval.Log.append big_log (Interval.make ~proc:0 ~vc ~notices:[])
+  done;
+  let log_probe = Vc.zero ~nprocs:4 in
+  Vc.set log_probe 0 4090;
   [
     Test.make ~name:"twin (page copy, 4KB)"
       (Staged.stage (fun () -> ignore (Page.copy twin_full)));
@@ -90,6 +112,23 @@ let micro_tests () =
            ignore (Vc.leq vc_a c && Vc.concurrent vc_a vc_b)));
     Test.make ~name:"vc merge_into (in-place, 8p)"
       (Staged.stage (fun () -> Vc.merge_into vc_a vc_b));
+    (* Large-n summary ops: [leq]/[order] on 1024-wide clocks with
+       distinct cached sums decide without touching the components, and
+       [delta_size_bytes] against a current epoch base counts only the
+       dirty components.  These are the hot comparisons of the 1024-node
+       grid; see DESIGN.md "Large-n data structures". *)
+    Test.make ~name:"vc leq (1024p, sum cut)"
+      (Staged.stage (fun () -> ignore (Vc.leq vc_big_lo vc_big_hi)));
+    Test.make ~name:"vc order (1024p, sum cut)"
+      (Staged.stage (fun () -> ignore (Vc.order vc_big_hi vc_big_lo)));
+    Test.make ~name:"vc delta_size (1024p, epoch)"
+      (Staged.stage (fun () ->
+           ignore (Vc.delta_size_bytes ~since:epoch_base vc_rebased)));
+    Test.make ~name:"log first_after (4k intervals)"
+      (Staged.stage (fun () -> ignore (Interval.Log.first_after big_log 2048)));
+    Test.make ~name:"log unseen_by tail (4k)"
+      (Staged.stage (fun () ->
+           ignore (Interval.Log.unseen_by log_probe ~proc:0 big_log [])));
     Test.make ~name:"event heap push+pop x64"
       (Staged.stage (fun () ->
            let h = Eheap.create () in
@@ -317,7 +356,7 @@ let git_rev () =
 let bench_out = "BENCH_suite.json"
 
 (* Host wall-clock rows for the node-count scaling study's two fabrics:
-   SOR at tiny scale, MW and WFS, 8 -> 256 nodes, flat vs tree.  These
+   SOR at tiny scale, MW and WFS, 8 -> 1024 nodes, flat vs tree.  These
    price what a CI scaling run costs on the host (the flat fabric's
    simulated time explodes with node count, but its host cost grows too:
    every barrier is an O(n) serialized fan-in through node 0's NIC, and
@@ -331,7 +370,7 @@ let scaling_cells =
           List.map
             (fun fabric -> (protocol, nprocs, fabric))
             [ Scaling.Flat_central; Scaling.Tree_combining ])
-        [ 8; 64; 256 ])
+        [ 8; 64; 256; 1024 ])
     [ Config.Mw; Config.Wfs ]
 
 let run_scaling_cell ?engine (protocol, nprocs, fabric) =
@@ -344,6 +383,41 @@ let run_scaling_cell ?engine (protocol, nprocs, fabric) =
   Runner.run
     ~tweak:(Scaling.tweak_of_fabric fabric)
     ?engine ~app ~protocol ~nprocs ~scale:Registry.Tiny ()
+
+(* The full large-cluster grid: every application under all four
+   protocols on both fabrics at 1024 nodes (3D-FFT at its structural
+   64-plane cap — the tiny problem has 64 planes).  Still minutes of
+   host wall even after the large-n work (IS and Water dominate), so
+   the rows regenerate only under [--grid]; the committed artifact
+   carries them. *)
+let grid_nodes = 1024
+
+let grid_cells =
+  let module Scaling = Adsm_harness.Scaling in
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun protocol ->
+          List.map
+            (fun fabric -> (app, protocol, fabric))
+            [ Scaling.Flat_central; Scaling.Tree_combining ])
+        Config.all_protocols)
+    Registry.names
+
+let run_grid_cell (name, protocol, fabric) =
+  let module Scaling = Adsm_harness.Scaling in
+  let app =
+    match Registry.find name with
+    | Some a -> a
+    | None -> failwith ("perf: unknown application " ^ name)
+  in
+  let nprocs =
+    if String.lowercase_ascii name = "3d-fft" then 64 else grid_nodes
+  in
+  ( nprocs,
+    Runner.run
+      ~tweak:(Scaling.tweak_of_fabric fabric)
+      ~app ~protocol ~nprocs ~scale:Registry.Tiny () )
 
 (* Conservative parallel-engine rows (see PARALLELISM.md): each cell is
    the same simulation run twice, on the sequential engine and on the
@@ -369,7 +443,7 @@ let engine_cells =
    the same suite again fanned out over [jobs] worker domains.  The
    parallel pass must reproduce every sequential measurement
    field-for-field — any divergence is a pool bug and fails the run. *)
-let perf ~tiny ~jobs () =
+let perf ~tiny ~jobs ~grid () =
   let scale = if tiny then Registry.Tiny else Registry.Default in
   let nprocs = 8 in
   let apps = Registry.names in
@@ -388,13 +462,24 @@ let perf ~tiny ~jobs () =
   in
   let now = Unix.gettimeofday in
   let seq_t0 = now () in
+  (* Allocation stats ride along with the wall clock: the words
+     allocated by the cell (deltas over the run) plus the process-wide
+     heap high-water mark after it, so allocation diets show up in the
+     artifact trajectory alongside wall_ns. *)
   let timed =
     List.map
       (fun cell ->
+        let g0 = Gc.quick_stat () in
         let t0 = now () in
         let m = run_cell cell in
         let wall_ns = int_of_float ((now () -. t0) *. 1e9) in
-        (cell, m, wall_ns))
+        let g1 = Gc.quick_stat () in
+        let alloc =
+          ( g1.Gc.minor_words -. g0.Gc.minor_words,
+            g1.Gc.major_words -. g0.Gc.major_words,
+            g1.Gc.top_heap_words )
+        in
+        (cell, m, wall_ns, alloc))
       cells
   in
   let seq_wall_ns = int_of_float ((now () -. seq_t0) *. 1e9) in
@@ -403,13 +488,13 @@ let perf ~tiny ~jobs () =
      margin) cannot start last and run alone past the rest of the
      suite. *)
   let wall_of = Hashtbl.create 16 in
-  List.iter (fun (cell, _, w) -> Hashtbl.replace wall_of cell w) timed;
+  List.iter (fun (cell, _, w, _) -> Hashtbl.replace wall_of cell w) timed;
   let weight cell = try Hashtbl.find wall_of cell with Not_found -> 0 in
   let par_t0 = now () in
   let par = Pool.map ~jobs ~weight run_cell cells in
   let par_wall_ns = int_of_float ((now () -. par_t0) *. 1e9) in
   let mismatches =
-    List.filter (fun ((_, m, _), m') -> m <> m') (List.combine timed par)
+    List.filter (fun ((_, m, _, _), m') -> m <> m') (List.combine timed par)
   in
   let speedup = float_of_int seq_wall_ns /. float_of_int (max 1 par_wall_ns) in
   let scaling_timed =
@@ -445,7 +530,46 @@ let perf ~tiny ~jobs () =
   let engine_speedup (_, _, _, s, p) =
     float_of_int s /. float_of_int (max 1 p)
   in
-  let cell_json ((name, protocol), (m : Runner.measurement), wall_ns) m' =
+  let grid_timed =
+    if not grid then []
+    else
+      List.map
+        (fun cell ->
+          let t0 = now () in
+          let nprocs, m = run_grid_cell cell in
+          let wall_ns = int_of_float ((now () -. t0) *. 1e9) in
+          (cell, nprocs, m, wall_ns))
+        grid_cells
+  in
+  let grid_json =
+    if grid_timed = [] then []
+    else
+      [
+        ("grid_nodes", Json.Int grid_nodes);
+        ( "grid",
+          Json.List
+            (List.map
+               (fun ((name, protocol, fabric), nprocs,
+                     (m : Runner.measurement), wall_ns) ->
+                 Json.Obj
+                   [
+                     ("app", Json.String name);
+                     ("protocol", Json.String (Config.protocol_name protocol));
+                     ( "fabric",
+                       Json.String (Adsm_harness.Scaling.fabric_name fabric) );
+                     ("nprocs", Json.Int nprocs);
+                     ("wall_ns", Json.Int wall_ns);
+                     ("sim_time_ns", Json.Int m.Runner.time_ns);
+                     ("events", Json.Int m.Runner.events);
+                     ("messages", Json.Int m.Runner.messages);
+                     ("wire_bytes", Json.Int m.Runner.wire_bytes);
+                     ("checksum", Json.Float m.Runner.checksum);
+                   ])
+               grid_timed) );
+      ]
+  in
+  let cell_json ((name, protocol), (m : Runner.measurement), wall_ns,
+                 (minor_words, major_words, top_heap_words)) m' =
     let secs = float_of_int (max 1 wall_ns) /. 1e9 in
     Json.Obj
       [
@@ -457,13 +581,16 @@ let perf ~tiny ~jobs () =
         ( "ns_per_event",
           Json.Float (float_of_int wall_ns /. float_of_int (max 1 m.Runner.events))
         );
+        ("minor_words", Json.Float minor_words);
+        ("major_words", Json.Float major_words);
+        ("top_heap_words", Json.Int top_heap_words);
         ("checksum", Json.Float m.Runner.checksum);
         ("parallel_identical", Json.Bool (m = m'));
       ]
   in
   let doc =
     Json.Obj
-      [
+      ([
         ("run_id", Json.String (Printf.sprintf "suite-%d" (int_of_float (Unix.time ()))));
         ("git_rev", Json.String (git_rev ()));
         ("scale", Json.String (if tiny then "tiny" else "default"));
@@ -517,6 +644,7 @@ let perf ~tiny ~jobs () =
                    ])
                engine_timed) );
       ]
+      @ grid_json)
   in
   Out_channel.with_open_text bench_out (fun oc ->
       Out_channel.output_string oc (Json.to_string doc);
@@ -528,16 +656,18 @@ let perf ~tiny ~jobs () =
        (List.length cells) nprocs
        (if tiny then "tiny" else "default"));
   Buffer.add_string buf
-    (Printf.sprintf "  %-8s %-8s %12s %12s %14s\n" "app" "protocol" "wall ms"
-       "events" "ns/event");
+    (Printf.sprintf "  %-8s %-8s %12s %12s %14s %10s\n" "app" "protocol"
+       "wall ms" "events" "ns/event" "minor MW");
   List.iter
-    (fun ((name, protocol), (m : Runner.measurement), wall_ns) ->
+    (fun ((name, protocol), (m : Runner.measurement), wall_ns, (minor, _, _))
+    ->
       Buffer.add_string buf
-        (Printf.sprintf "  %-8s %-8s %12.2f %12d %14.1f\n" name
+        (Printf.sprintf "  %-8s %-8s %12.2f %12d %14.1f %10.1f\n" name
            (Config.protocol_name protocol)
            (float_of_int wall_ns /. 1e6)
            m.Runner.events
-           (float_of_int wall_ns /. float_of_int (max 1 m.Runner.events))))
+           (float_of_int wall_ns /. float_of_int (max 1 m.Runner.events))
+           (minor /. 1e6)))
     timed;
   Buffer.add_string buf
     (Printf.sprintf
@@ -582,6 +712,27 @@ let perf ~tiny ~jobs () =
            (engine_speedup row)
            (if m = m' then "yes" else "NO")))
     engine_timed;
+  if grid_timed <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  full %d-node grid (tiny scale; 3D-FFT at its structural 64 cap):\n"
+         grid_nodes);
+    Buffer.add_string buf
+      (Printf.sprintf "  %-8s %-8s %-6s %6s %12s %14s %12s\n" "app" "protocol"
+         "fabric" "nodes" "wall ms" "sim ms" "messages");
+    List.iter
+      (fun ((name, protocol, fabric), nprocs, (m : Runner.measurement),
+            wall_ns) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-8s %-8s %-6s %6d %12.2f %14.1f %12d\n" name
+             (Config.protocol_name protocol)
+             (Adsm_harness.Scaling.fabric_name fabric)
+             nprocs
+             (float_of_int wall_ns /. 1e6)
+             (float_of_int m.Runner.time_ns /. 1e6)
+             m.Runner.messages))
+      grid_timed
+  end;
   Buffer.add_string buf
     (if mismatches = [] then
        Printf.sprintf "  parallel run identical to sequential; wrote %s\n"
@@ -638,9 +789,9 @@ let perf ~tiny ~jobs () =
 (* Paper artifact regeneration                                        *)
 (* ------------------------------------------------------------------ *)
 
-let artifacts ~tiny ~jobs suite =
+let artifacts ~tiny ~jobs ~grid suite =
   [
-    ("perf", fun () -> perf ~tiny ~jobs ());
+    ("perf", fun () -> perf ~tiny ~jobs ~grid ());
     ("table1", fun () -> Experiments.table1 suite);
     ("table2", fun () -> Experiments.table2 suite);
     ("fig1", fun () -> Experiments.figure1 ());
@@ -656,6 +807,9 @@ let artifacts ~tiny ~jobs suite =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let tiny = List.mem "--tiny" args in
+  (* `--grid`: regenerate the perf artifact's full 1024-node grid rows
+     (minutes of wall; the committed artifact carries them). *)
+  let grid = List.mem "--grid" args in
   (* `--jobs N` (or `-j N`): worker domains for the suite collection and
      the perf artifact's parallel pass.  Default: all cores. *)
   let jobs =
@@ -672,7 +826,7 @@ let () =
   let selected =
     let rec strip = function
       | ("--jobs" | "-j") :: _ :: rest -> strip rest
-      | a :: rest when a = "--tiny" || a = "micro" -> strip rest
+      | a :: rest when a = "--tiny" || a = "--grid" || a = "micro" -> strip rest
       | a :: rest -> a :: strip rest
       | [] -> []
     in
@@ -692,5 +846,5 @@ let () =
         print_endline (render ());
         print_newline ()
       end)
-    (artifacts ~tiny ~jobs suite);
+    (artifacts ~tiny ~jobs ~grid suite);
   if want_micro then run_micro ()

@@ -428,9 +428,18 @@ let list_cmd =
 
 (* --- node-count scaling study --- *)
 
-let run_scaling smoke max_nodes jobs out par =
+let run_scaling smoke max_nodes jobs out par apps =
   let module Scaling = Adsm_harness.Scaling in
-  let study = Scaling.collect ~smoke ~max_nodes ~jobs ~par () in
+  let apps =
+    match apps with
+    | None -> None
+    | Some s ->
+      Some
+        (List.filter
+           (fun a -> a <> "")
+           (String.split_on_char ',' s))
+  in
+  let study = Scaling.collect ~smoke ~max_nodes ~jobs ~par ?apps () in
   print_string (Scaling.render study);
   (match out with
   | Some path ->
@@ -449,8 +458,16 @@ let max_nodes_arg =
   Arg.(
     value & opt int 1024
     & info [ "max-nodes" ] ~docv:"N"
-        ~doc:"Truncate the node grid at $(docv) simulated nodes (IS and \
-              Water are additionally capped at 256; see EXPERIMENTS.md).")
+        ~doc:"Truncate the node grid at $(docv) simulated nodes (3D-FFT \
+              is structurally capped at 64; see EXPERIMENTS.md).")
+
+let scaling_apps_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "apps" ] ~docv:"A,B"
+        ~doc:"Sweep only these comma-separated applications (default: \
+              all eight; with $(b,--tiny), SOR).")
 
 let scaling_out_arg =
   Arg.(
@@ -463,9 +480,9 @@ let scaling_tiny_arg =
   Arg.(
     value & flag
     & info [ "tiny" ]
-        ~doc:"Smoke subset (SOR, MW + WFS, sparse node grid): about a \
-              minute of wall clock, used by CI.  The full grid costs \
-              tens of minutes.")
+        ~doc:"Smoke subset (SOR, MW + WFS, sparse node grid): seconds \
+              of wall clock, used by CI.  The full grid costs minutes, \
+              dominated by IS and Water at 512+ nodes.")
 
 let scaling_cmd =
   Cmd.v
@@ -479,7 +496,7 @@ let scaling_cmd =
           n-log-n message bound.")
     Term.(
       const run_scaling $ scaling_tiny_arg $ max_nodes_arg $ jobs_arg
-      $ scaling_out_arg $ par_arg)
+      $ scaling_out_arg $ par_arg $ scaling_apps_arg)
 
 let run_ablations studies jobs =
   let module Ablations = Adsm_harness.Ablations in

@@ -9,6 +9,9 @@ type t = {
   seq : int;  (** [Vc.get vc proc] — this interval's own index *)
   vc : Vc.t;
   notices : Notice.t list;
+  mutable wn_bytes : int;
+      (** cached notice-bytes total, [-1] until first sized (the notice
+          list is immutable; construct through {!make}) *)
 }
 
 val make : proc:int -> vc:Vc.t -> notices:Notice.t list -> t
@@ -23,5 +26,38 @@ val size_bytes_list : ?vc_bytes:(Vc.t -> int) -> t list -> int
 (** Intervals of [intervals] not yet covered by [vc] (i.e. with
     [seq > Vc.get vc proc]). *)
 val unseen_by : Vc.t -> t list -> t list
+
+(** Array-backed, clock-indexed per-processor interval log.  Appends are
+    strictly ascending in [seq] (asserted), so coverage queries binary
+    search on the observer's clock component instead of filtering a
+    list; GC/crash truncation resets the length in place and keeps the
+    capacity. *)
+module Log : sig
+  type interval := t
+
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  (** [get l i] — the [i]-th oldest retained interval. *)
+  val get : t -> int -> interval
+
+  (** Append; [iv.seq] must exceed the last logged seq (asserted). *)
+  val append : t -> interval -> unit
+
+  (** Drop every logged interval, keeping the capacity. *)
+  val clear : t -> unit
+
+  (** Index of the first logged interval with [seq > s] ([length] if
+      none). *)
+  val first_after : t -> int -> int
+
+  (** [unseen_by vc ~proc l acc] — prepend (newest first) every logged
+      interval not covered by [vc] onto [acc]; [proc] is the log
+      owner, whose clock component is the search key. *)
+  val unseen_by : Vc.t -> proc:int -> t -> interval list -> interval list
+end
 
 val pp : Format.formatter -> t -> unit

@@ -116,7 +116,7 @@ let store_diff _cl node (e : entry) ~seq ~vc diff =
    single-writer page the node owned while writing (it may have transferred
    ownership away mid-interval under SW).  Emits an owner write notice. *)
 let close_owned cl node (e : entry) ~seq =
-  e.reflected.(node.id) <- seq;
+  reflected_set e ~nprocs:node.nprocs node.id seq;
   e.committed_version <- e.version;
   if e.content_version < e.version then e.content_version <- e.version;
   if cl.cfg.Config.nprocs > 1 && e.is_owner then begin
@@ -163,7 +163,7 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
        materializes it before re-twinning. *)
     assert (e.pending_diff = None);
     e.pending_diff <- Some (seq, vc);
-    e.reflected.(node.id) <- seq;
+    reflected_set e ~nprocs:node.nprocs node.id seq;
     e.perm <- Perm.Read_only;
     tlb_reset node;
     None
@@ -184,7 +184,7 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
     sink cl node e ~seq ~vc diff;
     e.twin <- None;
     Stats.twin_freed cl.stats ~node:node.id;
-    e.reflected.(node.id) <- seq;
+    reflected_set e ~nprocs:node.nprocs node.id seq;
     e.perm <- Perm.Read_only;
     tlb_reset node;
     wg_measure modified;
@@ -208,7 +208,7 @@ let close_page_default ?(allow_lazy = true) ?(measure = false)
     e.log_writes <- false;
     e.logged_ranges <- [];
     e.logged_count <- 0;
-    e.reflected.(node.id) <- seq;
+    reflected_set e ~nprocs:node.nprocs node.id seq;
     e.perm <- Perm.Read_only;
     tlb_reset node;
     wg_measure modified;
@@ -241,7 +241,7 @@ let end_interval cl (module P : Protocol_intf.PROTOCOL) node ~charge =
         assert e.dirty;
         e.dirty <- false;
         Stats.note_write cl.stats ~page;
-        e.last_notice_vc.(node.id) <- Some vc_snapshot;
+        set_last_notice node e node.id vc_snapshot;
         let version =
           P.close_page cl node e ~seq ~vc:vc_snapshot ~charge:charge_later
         in
@@ -260,7 +260,7 @@ let end_interval cl (module P : Protocol_intf.PROTOCOL) node ~charge =
     let ival =
       Interval.make ~proc:node.id ~vc:node.vc ~notices:(List.rev !notices)
     in
-    node.intervals.(node.id) <- ival :: node.intervals.(node.id)
+    Interval.Log.append node.intervals.(node.id) ival
   end;
   if !total_cost > 0 then charge !total_cost
 
@@ -269,15 +269,36 @@ let end_interval cl (module P : Protocol_intf.PROTOCOL) node ~charge =
 (* ------------------------------------------------------------------ *)
 
 let note_concurrent_writers cl node (e : entry) (n : Notice.t) =
-  (* Plain loop: this runs once per notice per node, and [Array.iteri]'s
-     closure allocation showed up in profiles. *)
-  let last = e.last_notice_vc in
-  for q = 0 to Array.length last - 1 do
-    match last.(q) with
-    | Some v when q <> n.proc && Vc.concurrent v n.vc ->
+  (* Both effects of a detected concurrent writer are idempotent — the
+     stats note is a set insert, and flipping an already-active fs mode
+     is a no-op — so once the page's false sharing is committed to the
+     stats AND (for adaptive protocols) this entry's fs mode is already
+     active, the sweep can have no observable effect: skip it.  Under
+     deferred stats the membership answer may lag the insert, which only
+     means a few more no-op sweeps before the skip kicks in. *)
+  if
+    (not (Stats.page_false_shared cl.stats ~page:n.page))
+    || (Mode.adaptive cl && not e.fs_active)
+  then
+    (* Plain loop over the entry's sparse writer map: only pages' actual
+       writers occupy slots — the former dense scan walked all [nprocs]
+       components per notice, an O(nprocs^2) term per barrier at large
+       clusters. *)
+    for i = 0 to e.nw_len - 1 do
+    let q = e.nw_procs.(i) in
+    (* O(1) concurrency via the transitive-clock invariant (see
+       [Notice.covers]): [q]'s recorded snapshot [m] has [m.(q)] = the
+       seq of [q]'s writing interval, so coverage either way is one
+       component read. *)
+    let m = e.nw_vcs.(i) in
+    if
+      q <> n.proc
+      && Vc.get n.vc q < Vc.get m q
+      && Vc.get m n.proc < n.seq
+    then begin
       Stats.note_false_sharing cl.stats ~page:n.page;
       if Mode.adaptive cl then Mode.set_fs_active cl ~node:node.id e true
-    | Some _ | None -> ()
+    end
   done
 
 (* Is notice [n]'s modification still missing from this node's copy?
@@ -288,13 +309,13 @@ let notice_relevant node (e : entry) (n : Notice.t) =
   &&
   match n.version with
   | Some v -> v > e.content_version
-  | None -> n.seq > e.reflected.(n.proc)
+  | None -> n.seq > reflected_get e n.proc
 
-let apply_notice cl node (n : Notice.t) =
+let apply_notice ?(replay = false) cl node (n : Notice.t) =
   let e = entry_of node n.page in
   Stats.note_write cl.stats ~page:n.page;
   note_concurrent_writers cl node e n;
-  e.last_notice_vc.(n.proc) <- Some n.vc;
+  set_last_notice node e n.proc n.vc;
   if notice_relevant node e n then begin
     (match n.version with
     | Some v ->
@@ -313,8 +334,10 @@ let apply_notice cl node (n : Notice.t) =
          writes count as secondary notices here: an owner notice concurrent
          with them does NOT end the false sharing. *)
       let own_concurrent =
-        match e.last_notice_vc.(node.id) with
-        | Some v -> Vc.concurrent v n.vc
+        match last_notice node e node.id with
+        | Some v ->
+          Vc.get n.vc node.id < Vc.get v node.id
+          && Vc.get v n.proc < n.seq
         | None -> false
       in
       if
@@ -322,12 +345,17 @@ let apply_notice cl node (n : Notice.t) =
         && not
              (List.exists
                 (fun (m : Notice.t) ->
-                  m.proc <> n.proc && Vc.concurrent m.vc n.vc)
+                  m.proc <> n.proc && Notice.concurrent m n)
                 e.notices)
       then Mode.set_fs_active cl ~node:node.id e false
     | None -> ());
-    if not (List.exists (Notice.same_write n) e.notices) then
-      e.notices <- n :: e.notices;
+    (* Steady state cannot deliver a pending notice twice: a notice
+       belongs to exactly one interval, and the freshness guard applies
+       each interval at most once per node.  Only crash-recovery replay
+       ([replay]) re-walks intervals a durable page may already hold
+       pending notices from — the duplicate scan is confined to it. *)
+    if (not replay) || not (List.exists (Notice.same_write n) e.notices)
+    then e.notices <- n :: e.notices;
     if Perm.allows_read e.perm then begin
       e.perm <- Perm.No_access;
       tlb_reset node
@@ -336,7 +364,7 @@ let apply_notice cl node (n : Notice.t) =
 
 (* Apply intervals received on a lock grant or barrier release, oldest
    first; duplicates (already covered by our vector clock) are skipped. *)
-let apply_intervals cl node ivals =
+let apply_intervals ?(replay = false) cl node ivals =
   let fresh =
     List.filter
       (fun (iv : Interval.t) -> iv.seq > Vc.get node.vc iv.proc)
@@ -347,20 +375,31 @@ let apply_intervals cl node ivals =
   in
   let apply (iv : Interval.t) =
     if iv.seq > Vc.get node.vc iv.proc then begin
-      node.intervals.(iv.proc) <- iv :: node.intervals.(iv.proc);
-      List.iter (apply_notice cl node) iv.notices;
-      Vc.merge_into node.vc iv.vc
+      Interval.Log.append node.intervals.(iv.proc) iv;
+      List.iter (apply_notice ~replay cl node) iv.notices;
+      (* The full clock merge reduces to advancing the sender component.
+         Interval chains are transitively complete: a dependency of [iv]
+         — [p]'s interval [iv.vc.(p)] — is either already covered here
+         (its retention site GC'd it only once every node covered it) or
+         rides the same chain with a dominated timestamp, hence was just
+         applied ([Vc.order] extends happened-before).  Either way every
+         component of [iv.vc] except [iv.proc]'s is at or below ours by
+         the time [iv] applies, and that one is exactly [iv.seq]. *)
+      Vc.set node.vc iv.proc iv.seq
     end
   in
   List.iter apply fresh
 
 (* All intervals this node knows that [vc] does not cover. *)
 let collect_unseen cl node vc =
-  let parts =
-    List.init cl.cfg.Config.nprocs (fun p ->
-        Interval.unseen_by vc node.intervals.(p))
-  in
-  List.concat parts
+  (* Walk the per-processor logs newest-proc-last so the accumulated
+     list keeps each log's newest-first orientation; every consumer
+     sorts by [Vc.order] before applying, so only the SET matters. *)
+  let acc = ref [] in
+  for p = cl.cfg.Config.nprocs - 1 downto 0 do
+    acc := Interval.Log.unseen_by vc ~proc:p node.intervals.(p) !acc
+  done;
+  !acc
 
 (* ------------------------------------------------------------------ *)
 (* Page validation (access-miss side)                                 *)
@@ -398,7 +437,7 @@ let fetch_and_apply_diffs cl node (e : entry) =
      the timestamp order. *)
   materialize_now cl node e;
   let own_missing =
-    List.filter (fun seq -> seq > e.reflected.(node.id)) e.own_diff_seqs
+    List.filter (fun seq -> seq > reflected_get e node.id) e.own_diff_seqs
   in
   if plain <> [] || own_missing <> [] then begin
     (* Group the missing diffs by their writer. *)
@@ -475,7 +514,7 @@ let fetch_and_apply_diffs cl node (e : entry) =
         if tracing cl then
           emit cl ~node:node.id
             (Adsm_trace.Event.Diff_apply { page = e.page; writer = proc; seq });
-        if seq > e.reflected.(proc) then e.reflected.(proc) <- seq)
+        if seq > reflected_get e proc then reflected_set e ~nprocs:node.nprocs proc seq)
       to_apply
   end;
   e.notices <- []
@@ -578,7 +617,7 @@ let mw_write_path cl node (e : entry) =
 
 let serve_page cl node ~src page respond =
   let e = entry_of node page in
-  e.copyset.(src) <- true;
+  copyset_add e ~nprocs:node.nprocs src;
   match committed_copy e with
   | None ->
     failwith
@@ -597,7 +636,7 @@ let serve_page cl node ~src page respond =
            data = Page.copy copy;
            version = e.version;
            committed = e.committed_version;
-           reflected = Array.copy e.reflected;
+           reflected = reflected_copy e ~nprocs:node.nprocs;
          })
 
 (* Serve a diff request.  [rule1] enables the adaptive protocols' copyset
@@ -613,13 +652,11 @@ let serve_diffs ?(rule1 = false) cl node ~src ~page ~seqs ~sees_sw respond =
     else fun ~bytes ~kind msg ->
       Engine.schedule cl.engine ~delay (fun () -> respond ~bytes ~kind msg)
   in
-  e.copyset.(src) <- true;
-  e.fs_view.(src) <- sees_sw;
+  copyset_add e ~nprocs:node.nprocs src;
+  fs_view_set e ~nprocs:node.nprocs src sees_sw;
   if rule1 then begin
     let all_sw = ref true in
-    Array.iteri
-      (fun q in_set -> if in_set && not e.fs_view.(q) then all_sw := false)
-      e.copyset;
+    copyset_iter e (fun q -> if not (fs_view_get e q) then all_sw := false);
     if !all_sw then Mode.set_fs_active cl ~node:node.id e false
   end;
   let diffs =

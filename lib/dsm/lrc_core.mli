@@ -58,11 +58,15 @@ val end_interval :
 
 (* --- notice application (acquire side) --- *)
 
-val apply_notice : cluster -> node -> Notice.t -> unit
+(** [replay] marks crash-recovery replay of retained intervals — the
+    only path that can re-deliver a notice a durable page already holds
+    pending, and hence the only one that pays the duplicate scan. *)
+val apply_notice : ?replay:bool -> cluster -> node -> Notice.t -> unit
 
 (** Apply intervals received on a lock grant or barrier release, oldest
     first; duplicates (already covered by our vector clock) are skipped. *)
-val apply_intervals : cluster -> node -> Interval.t list -> unit
+val apply_intervals :
+  ?replay:bool -> cluster -> node -> Interval.t list -> unit
 
 (** All intervals this node knows that [vc] does not cover. *)
 val collect_unseen : cluster -> node -> Vc.t -> Interval.t list

@@ -8,7 +8,20 @@ type t = {
 
 let is_owner t = t.version <> None
 
-let covers ~by t = Vc.leq t.vc by.vc
+(* Coverage through the transitive-clock invariant.  A notice's [vc] is
+   the writer's clock snapshot at the close of interval [(proc, seq)],
+   so [vc.(proc) = seq]; and every clock in the system is built by
+   merging whole interval vcs, so a clock whose [proc] component reaches
+   [seq] has merged that snapshot (or a later, dominating one — a
+   node's clock only grows).  [t.vc <= by.vc] therefore collapses to one
+   component read instead of an O(nprocs) scan — the dominant cost of
+   the false-sharing checks at large n. *)
+let covers ~by t = Vc.get by.vc t.proc >= t.seq
+
+(* Neither write saw the other: [concurrent t.vc u.vc], through the same
+   invariant. *)
+let concurrent t u =
+  Vc.get u.vc t.proc < t.seq && Vc.get t.vc u.proc < u.seq
 
 let same_write a b = a.proc = b.proc && a.seq = b.seq && a.page = b.page
 

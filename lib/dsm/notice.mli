@@ -17,8 +17,15 @@ type t = {
 val is_owner : t -> bool
 
 (** [covers ~by n]: [n]'s modifications are reflected in the page copy
-    described by owner notice [by] (i.e. [n.vc <= by.vc]). *)
+    described by owner notice [by] (i.e. [n.vc <= by.vc]).  Computed in
+    O(1) through the transitive-clock invariant: [by.vc]'s [n.proc]
+    component reaches [n.seq] iff [by]'s writer had merged [n]'s
+    interval snapshot (or a later, dominating one). *)
 val covers : by:t -> t -> bool
+
+(** Neither write saw the other ([Vc.concurrent n.vc m.vc]), in O(1)
+    through the same invariant. *)
+val concurrent : t -> t -> bool
 
 (** Same (proc, seq, page): the same modification record. *)
 val same_write : t -> t -> bool

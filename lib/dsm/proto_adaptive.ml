@@ -177,7 +177,7 @@ let handle_diff_req cl node ~src ~page ~seqs ~sees_sw respond =
    never forwarded. *)
 let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
   let e = entry_of node page in
-  e.copyset.(src) <- true;
+  copyset_add e ~nprocs:node.nprocs src;
   let committed () =
     if want_data then Option.map Page.copy (committed_copy e) else None
   in
@@ -190,7 +190,7 @@ let handle_own_req cl node ~src ~page ~version:v_req ~want_data respond =
            version = v;
            committed = e.committed_version;
            data;
-           reflected = Array.copy e.reflected;
+           reflected = reflected_copy e ~nprocs:node.nprocs;
          })
   in
   (* Mutation seam (testing only): grants carry a stale version, so the

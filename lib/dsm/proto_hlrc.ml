@@ -23,7 +23,7 @@ let flush_to_home cl node (e : entry) ~seq ~vc diff =
    master copy; emit a plain notice and re-protect so the next interval's
    writes are detected. *)
 let close_home cl node (e : entry) ~seq =
-  e.reflected.(node.id) <- seq;
+  reflected_set e ~nprocs:node.nprocs node.id seq;
   if cl.cfg.Config.nprocs > 1 then begin
     e.perm <- Perm.Read_only;
     tlb_reset node
@@ -46,7 +46,7 @@ let hlrc_validate cl node (e : entry) =
          until they have all been applied. *)
       let covered () =
         List.for_all
-          (fun (n : Notice.t) -> e.reflected.(n.proc) >= n.seq)
+          (fun (n : Notice.t) -> reflected_get e n.proc >= n.seq)
           pending
       in
       while not (covered ()) do
@@ -64,8 +64,8 @@ let hlrc_validate cl node (e : entry) =
           let prev = Option.value ~default:0 (Hashtbl.find_opt need n.proc) in
           if n.seq > prev then Hashtbl.replace need n.proc n.seq)
         pending;
-      if e.reflected.(node.id) > 0 then
-        Hashtbl.replace need node.id e.reflected.(node.id);
+      if reflected_get e node.id > 0 then
+        Hashtbl.replace need node.id (reflected_get e node.id);
       let need = Hashtbl.fold (fun q s acc -> (q, s) :: acc) need [] in
       (match
          Lrc_core.call cl ~src:node.id ~dst:home
@@ -90,7 +90,7 @@ let write_fault cl node (e : entry) =
 (* --- home-side handlers (event context) --- *)
 
 let hlrc_covered (e : entry) need =
-  List.for_all (fun (q, seq) -> e.reflected.(q) >= seq) need
+  List.for_all (fun (q, seq) -> reflected_get e q >= seq) need
 
 let hlrc_reply_now cl node (e : entry) respond =
   Lrc_core.respond_msg cl node respond
@@ -100,7 +100,7 @@ let hlrc_reply_now cl node (e : entry) respond =
          data = Page.copy (frame e);
          version = 0;
          committed = 0;
-         reflected = Array.copy e.reflected;
+         reflected = reflected_copy e ~nprocs:node.nprocs;
        })
 
 (* A diff arrived at this home: apply it to the master copy and release
@@ -111,7 +111,7 @@ let handle_hlrc_diff cl node ~src ~page ~seq diff =
   if tracing cl then
     emit cl ~node:node.id
       (Adsm_trace.Event.Diff_apply { page; writer = src; seq });
-  if seq > e.reflected.(src) then e.reflected.(src) <- seq;
+  if seq > reflected_get e src then reflected_set e ~nprocs:node.nprocs src seq;
   let ready, still_waiting =
     List.partition
       (fun (p, need, _) -> p = page && hlrc_covered e need)

@@ -24,9 +24,21 @@ type entry = {
   mutable dirty : bool;
   mutable notices : Notice.t list;
   mutable reflected : int array;
-  mutable last_notice_vc : Vc.t option array;
-  fs_view : bool array;
-  copyset : bool array;
+      (* [[||]] is the all-zeros view: entries materialize the dense
+         per-processor array only once a nonzero sequence is recorded
+         (or a fetched copy installs one).  Most of a large cluster's
+         entries are read-only touches that never leave the sentinel,
+         so per-entry metadata stays O(active sharers), not O(nprocs). *)
+  mutable nw_procs : int array;
+      (* Sparse "last notice per writer" map, replacing the former dense
+         [Vc.t option array]: parallel arrays of writer ids and their
+         latest notice clocks, [nw_len] slots live.  Pages have few
+         writers, so lookups scan a handful of slots instead of
+         indexing (and allocating) an O(nprocs) table per entry. *)
+  mutable nw_vcs : Vc.t array;
+  mutable nw_len : int;
+  mutable fs_view : bool array;  (* [[||]] = all [true] *)
+  mutable copyset : bool array;  (* [[||]] = all [false] *)
   mutable own_diff_seqs : int list;
   mutable sw_home_hint : int;
   mutable pending_own : (int * int) list;
@@ -96,7 +108,11 @@ type node = {
          notices, dirty flag or diffs, so every whole-array scan
          (rule 3, GC validation/purge, post-run checks) is a no-op on it:
          laziness is observationally identical to the old eager array. *)
-  intervals : Interval.t list array;
+  intervals : Interval.Log.t array;
+  nw_idx : (int, int) Hashtbl.t;
+      (* (page * nprocs + proc) -> slot in that entry's [nw_procs] /
+         [nw_vcs] arrays: O(1) last-notice lookup without a dense
+         per-entry table.  Per-node, so one table serves all entries. *)
   mutable dirty_pages : int list;
   diffs : (int * int * int, Vc.t * Diff.t) Hashtbl.t;
   locks : (int, lock_state) Hashtbl.t;
@@ -149,7 +165,7 @@ type cluster = {
   recorder : Adsm_check.Recorder.t;
 }
 
-let make_entry ~nprocs ~page ~home =
+let make_entry ~nprocs:_ ~page ~home =
   {
     page;
     (* Every node starts with a zero-filled valid read-only copy, as if the
@@ -171,10 +187,12 @@ let make_entry ~nprocs ~page ~home =
     drop_at_release = false;
     dirty = false;
     notices = [];
-    reflected = Array.make nprocs 0;
-    last_notice_vc = Array.make nprocs None;
-    fs_view = Array.make nprocs true;
-    copyset = Array.make nprocs false;
+    reflected = [||];
+    nw_procs = [||];
+    nw_vcs = [||];
+    nw_len = 0;
+    fs_view = [||];
+    copyset = [||];
     own_diff_seqs = [];
     sw_home_hint = home;
     pending_own = [];
@@ -186,14 +204,95 @@ let make_entry ~nprocs ~page ~home =
     logged_count = 0;
   }
 
+(* --- sparse entry-metadata accessors ------------------------------- *)
+(* All of these preserve the dense semantics exactly; the sentinel
+   representations above are materialized only when a value deviates
+   from the initial one. *)
+
+let reflected_get (e : entry) q =
+  if Array.length e.reflected = 0 then 0 else e.reflected.(q)
+
+(* Dense view, materializing: for whole-array fills and wire copies
+   (message [reflected] fields stay dense — their wire size is part of
+   the byte accounting and must not depend on the representation). *)
+let reflected_rw (e : entry) ~nprocs =
+  if Array.length e.reflected = 0 then e.reflected <- Array.make nprocs 0;
+  e.reflected
+
+let reflected_set (e : entry) ~nprocs q v =
+  if v <> 0 || Array.length e.reflected > 0 then (reflected_rw e ~nprocs).(q) <- v
+
+let reflected_copy (e : entry) ~nprocs =
+  if Array.length e.reflected = 0 then Array.make nprocs 0
+  else Array.copy e.reflected
+
+let reflected_reset (e : entry) = e.reflected <- [||]
+
+let nw_key node (e : entry) q = (e.page * node.nprocs) + q
+
+let last_notice node (e : entry) q =
+  match Hashtbl.find_opt node.nw_idx (nw_key node e q) with
+  | Some i -> Some e.nw_vcs.(i)
+  | None -> None
+
+let set_last_notice node (e : entry) q vc =
+  match Hashtbl.find_opt node.nw_idx (nw_key node e q) with
+  | Some i -> e.nw_vcs.(i) <- vc
+  | None ->
+    if e.nw_len = Array.length e.nw_procs then begin
+      let cap = max 4 (2 * e.nw_len) in
+      let procs = Array.make cap 0 and vcs = Array.make cap vc in
+      Array.blit e.nw_procs 0 procs 0 e.nw_len;
+      Array.blit e.nw_vcs 0 vcs 0 e.nw_len;
+      e.nw_procs <- procs;
+      e.nw_vcs <- vcs
+    end;
+    e.nw_procs.(e.nw_len) <- q;
+    e.nw_vcs.(e.nw_len) <- vc;
+    Hashtbl.replace node.nw_idx (nw_key node e q) e.nw_len;
+    e.nw_len <- e.nw_len + 1
+
+let clear_last_notices node (e : entry) =
+  for i = 0 to e.nw_len - 1 do
+    Hashtbl.remove node.nw_idx (nw_key node e e.nw_procs.(i))
+  done;
+  e.nw_procs <- [||];
+  e.nw_vcs <- [||];
+  e.nw_len <- 0
+
+let fs_view_get (e : entry) q =
+  Array.length e.fs_view = 0 || e.fs_view.(q)
+
+let fs_view_set (e : entry) ~nprocs q v =
+  if (not v) || Array.length e.fs_view > 0 then begin
+    if Array.length e.fs_view = 0 then e.fs_view <- Array.make nprocs true;
+    e.fs_view.(q) <- v
+  end
+
+let copyset_add (e : entry) ~nprocs q =
+  if Array.length e.copyset = 0 then e.copyset <- Array.make nprocs false;
+  e.copyset.(q) <- true
+
+(* Iterate the members of the (approximate) copyset. *)
+let copyset_iter (e : entry) f =
+  Array.iteri (fun q in_set -> if in_set then f q) e.copyset
+
 let make_node ~cfg ~id ~total_pages =
   let nprocs = cfg.Config.nprocs in
+  let vc = Vc.zero ~nprocs in
+  let last_barrier_vc = Vc.zero ~nprocs in
+  (* Both zero: the precondition of [Vc.rebase] (equal contents) holds,
+     and pre-first-barrier sparse-VC accounting gets the fast path.
+     Epoch 0 = the all-zeros snapshot every node starts from (barrier
+     completions stamp from 1 up). *)
+  Vc.rebase vc ~base:last_barrier_vc ~epoch:0;
   {
     id;
     nprocs;
-    vc = Vc.zero ~nprocs;
+    vc;
     pages = Array.make total_pages None;
-    intervals = Array.make nprocs [];
+    intervals = Array.init nprocs (fun _ -> Interval.Log.create ());
+    nw_idx = Hashtbl.create 64;
     dirty_pages = [];
     diffs = Hashtbl.create 256;
     locks = Hashtbl.create 16;
@@ -201,7 +300,7 @@ let make_node ~cfg ~id ~total_pages =
     own_waits = Hashtbl.create 16;
     barrier_wait = None;
     gc_wait = None;
-    last_barrier_vc = Vc.zero ~nprocs;
+    last_barrier_vc;
     barrier_epoch = 0;
     hlrc_waiting = [];
     tlb = None;

@@ -39,14 +39,22 @@ type entry = {
   mutable notices : Notice.t list;  (** pending (unapplied) write notices *)
   mutable reflected : int array;
       (** per processor: highest interval seq whose modifications are
-          reflected in the committed local copy *)
-  mutable last_notice_vc : Vc.t option array;
-      (** per processor: timestamp of the latest notice seen (for
-          write-write false-sharing detection) *)
-  fs_view : bool array;  (** per processor: piggybacked "I see this page as
-                             SW" flags (WFS rule 1) *)
-  copyset : bool array;  (** approximate copyset: processors that requested
-                             this page or its diffs from us *)
+          reflected in the committed local copy.  [[||]] is the all-zeros
+          sentinel — use {!reflected_get}/{!reflected_set}; the dense
+          array materializes only once a nonzero seq is recorded, so
+          entry metadata scales with active sharers, not cluster size *)
+  mutable nw_procs : int array;
+      (** sparse "latest notice timestamp per writer" map (write-write
+          false-sharing detection), replacing a dense [Vc.t option array]:
+        parallel arrays of writer ids / clocks, [nw_len] live slots *)
+  mutable nw_vcs : Vc.t array;
+  mutable nw_len : int;
+  mutable fs_view : bool array;
+      (** per processor: piggybacked "I see this page as SW" flags (WFS
+          rule 1); [[||]] = all [true] *)
+  mutable copyset : bool array;
+      (** approximate copyset: processors that requested this page or its
+          diffs from us; [[||]] = all [false] *)
   mutable own_diff_seqs : int list;
       (** interval seqs of live diffs this node created for the page (for
           re-merging own modifications over a fetched base copy, and the MW
@@ -135,7 +143,11 @@ type node = {
           eager allocation would be O(pages x nprocs) words per node.
           Untouched pages hold no protocol state, so lazy creation is
           observationally identical. *)
-  intervals : Interval.t list array;  (** per processor, newest first *)
+  intervals : Interval.Log.t array;
+      (** per processor, ascending seq (see {!Interval.Log}) *)
+  nw_idx : (int, int) Hashtbl.t;
+      (** (page * nprocs + proc) -> slot in the entry's last-notice
+          arrays; see {!last_notice} *)
   mutable dirty_pages : int list;  (** pages written this interval *)
   diffs : (int * int * int, Vc.t * Diff.t) Hashtbl.t;
       (** (page, proc, seq) -> (interval timestamp, diff) *)
@@ -199,6 +211,44 @@ type cluster = {
 }
 
 val make_entry : nprocs:int -> page:int -> home:int -> entry
+
+(** {2 Sparse entry-metadata accessors}
+
+    Dense semantics over the sentinel representations above; the dense
+    arrays materialize only when a value first deviates from its initial
+    one ({!reflected_rw} and message construction excepted, where a dense
+    array is part of the wire-size accounting). *)
+
+val reflected_get : entry -> int -> int
+
+(** Dense, materializing view of [reflected] (whole-array fills). *)
+val reflected_rw : entry -> nprocs:int -> int array
+
+val reflected_set : entry -> nprocs:int -> int -> int -> unit
+
+(** Dense copy for a message's [reflected] field (always [nprocs] long —
+    its length is part of the wire-byte accounting). *)
+val reflected_copy : entry -> nprocs:int -> int array
+
+(** Back to the all-zeros sentinel (crash wipe / GC drop). *)
+val reflected_reset : entry -> unit
+
+(** Latest notice clock recorded for writer [q], if any.  O(1) through
+    the owning node's [nw_idx] slot index. *)
+val last_notice : node -> entry -> int -> Vc.t option
+
+val set_last_notice : node -> entry -> int -> Vc.t -> unit
+
+val clear_last_notices : node -> entry -> unit
+
+val fs_view_get : entry -> int -> bool
+
+val fs_view_set : entry -> nprocs:int -> int -> bool -> unit
+
+val copyset_add : entry -> nprocs:int -> int -> unit
+
+(** Iterate the members of the (approximate) copyset. *)
+val copyset_iter : entry -> (int -> unit) -> unit
 
 val make_node : cfg:Config.t -> id:int -> total_pages:int -> node
 

@@ -195,6 +195,11 @@ let note_false_sharing t ~page =
 
 let pages_written t = Hashtbl.length t.writers
 
+(* Committed membership only: under deferred stats a pending insert is
+   invisible here, so callers using this to skip idempotent re-noting
+   merely re-note until the flush — never the other way round. *)
+let page_false_shared t ~page = Hashtbl.mem t.false_shared page
+
 let pages_false_shared t = Hashtbl.length t.false_shared
 
 let false_shared_fraction t =

@@ -93,6 +93,11 @@ val note_false_sharing : t -> page:int -> unit
 val pages_written : t -> int
 (** Pages with at least one recorded writer. *)
 
+(** Has [note_false_sharing] for this page been committed?  Under
+    deferred stats, pending notes are not yet visible — a [false] answer
+    may lag, a [true] answer is definitive. *)
+val page_false_shared : t -> page:int -> bool
+
 val pages_false_shared : t -> int
 
 val false_shared_fraction : t -> float

@@ -89,8 +89,8 @@ let crash_pause cl node =
         e.notices <- [];
         e.content_version <- 0;
         e.committed_version <- 0;
-        Array.fill e.reflected 0 (Array.length e.reflected) 0;
-        Array.fill e.last_notice_vc 0 (Array.length e.last_notice_vc) None
+        reflected_reset e;
+        clear_last_notices node e
       end);
   tlb_reset node;
   (* Remote diffs and remote interval logs are volatile caches. *)
@@ -102,7 +102,7 @@ let crash_pause cl node =
   in
   List.iter (Hashtbl.remove node.diffs) dropped;
   for p = 0 to node.nprocs - 1 do
-    if p <> node.id then node.intervals.(p) <- []
+    if p <> node.id then Interval.Log.clear node.intervals.(p)
   done;
   (* Roll the vector clock back to the checkpoint — except our own
      component, whose intervals are in the durable log (rolling it back
@@ -160,9 +160,12 @@ let crash_pause cl node =
       else Vc.zero ~nprocs:node.nprocs
     in
     let batches = ref [] in
+    (* One request record serves every peer: the payload is immutable
+       and the network never retains it past delivery. *)
+    let req = Msg.Recover_req { vc } in
     for p = node.nprocs - 1 downto 0 do
       if p <> node.id then begin
-        match Lrc_core.call cl ~src:node.id ~dst:p (Msg.Recover_req { vc }) with
+        match Lrc_core.call cl ~src:node.id ~dst:p req with
         | Msg.Recover_reply { intervals } -> batches := intervals :: !batches
         | _ -> failwith "Proto: unexpected recover reply"
       end
@@ -192,10 +195,10 @@ let crash_pause cl node =
     in
     List.iter
       (fun (iv : Interval.t) ->
-        node.intervals.(iv.proc) <- iv :: node.intervals.(iv.proc);
-        List.iter (Lrc_core.apply_notice cl node) iv.notices)
+        Interval.Log.append node.intervals.(iv.proc) iv;
+        List.iter (Lrc_core.apply_notice ~replay:true cl node) iv.notices)
       covered;
-    Lrc_core.apply_intervals cl node uncovered
+    Lrc_core.apply_intervals ~replay:true cl node uncovered
   end;
   if checking cl then observe cl ~node:node.id Adsm_check.Obs.Restart
 
@@ -314,8 +317,12 @@ let rule3_scan cl node =
                 Notice.same_write n m || Notice.covers ~by:n m)
               notices
             &&
-            match e.last_notice_vc.(node.id) with
-            | Some own -> Vc.leq own n.vc
+            match last_notice node e node.id with
+            | Some own ->
+              (* [own.(id)] is the seq of this node's latest writing
+                 interval on the page: O(1) coverage (see
+                 [Notice.covers]). *)
+              Vc.get n.vc node.id >= Vc.get own node.id
             | None -> true
           in
           if List.exists dominates notices then
@@ -354,9 +361,10 @@ let gc_validate cl node =
         e.perm <- Perm.Read_only;
         e.content_version <- e.version;
         e.committed_version <- e.version;
-        Array.iteri
-          (fun q _ -> e.reflected.(q) <- Vc.get node.vc q)
-          e.reflected
+        let r = reflected_rw e ~nprocs:node.nprocs in
+        for q = 0 to Array.length r - 1 do
+          r.(q) <- Vc.get node.vc q
+        done
       end
       else begin
         let hint = gc_fetch_hint pending e.owner in
@@ -368,7 +376,7 @@ let gc_validate cl node =
         e.notices <- [];
         e.content_version <- 0;
         e.committed_version <- 0;
-        Array.fill e.reflected 0 (Array.length e.reflected) 0;
+        reflected_reset e;
         if P.gc_retarget_owner_on_drop then e.owner <- hint
       end)
 
@@ -401,7 +409,7 @@ let gc_purge cl node =
       | None -> ());
   (* Interval logs are globally known at this point; drop them so grants
      stay small.  Vector clocks keep the ordering information. *)
-  Array.iteri (fun p _ -> node.intervals.(p) <- []) node.intervals
+  Array.iter Interval.Log.clear node.intervals
 
 (* ------------------------------------------------------------------ *)
 (* Tree (combining) barrier                                           *)
@@ -531,8 +539,9 @@ let tree_fan_release cl node ~epoch ~gc_round =
    for the barrier are already reset by now). *)
 let tree_gc_complete_down cl node ~fanout ~epoch =
   let tb = tree_state node in
+  let msg = Msg.Gc_complete { epoch } in
   tree_iter_children ~fanout ~nprocs:cl.cfg.Config.nprocs node.id (fun c ->
-      Lrc_core.cast cl ~src:node.id ~dst:c (Msg.Gc_complete { epoch }));
+      Lrc_core.cast cl ~src:node.id ~dst:c msg);
   tb.tb_gc_done <- 0;
   tb.tb_self_gc_done <- false;
   match node.gc_wait with
@@ -616,9 +625,11 @@ let handle_barrier_release cl node msg =
   | None -> failwith "Proto: unexpected barrier release"
 
 let gc_complete_all cl =
+  (* One record fanned to every node — the broadcast reuses the same
+     immutable message instead of allocating n-1 copies. *)
+  let msg = Msg.Gc_complete { epoch = cl.barrier_mgr.epoch } in
   for p = 1 to cl.cfg.Config.nprocs - 1 do
-    Lrc_core.cast cl ~src:0 ~dst:p
-      (Msg.Gc_complete { epoch = cl.barrier_mgr.epoch })
+    Lrc_core.cast cl ~src:0 ~dst:p msg
   done;
   let manager = cl.nodes.(0) in
   match manager.gc_wait with
@@ -667,7 +678,8 @@ let barrier cl node =
   let epoch = node.barrier_epoch in
   node.barrier_epoch <- epoch + 1;
   let own_intervals =
-    Interval.unseen_by node.last_barrier_vc node.intervals.(node.id)
+    Interval.Log.unseen_by node.last_barrier_vc ~proc:node.id
+      node.intervals.(node.id) []
   in
   (match cl.cfg.Config.barrier with
   | Config.Central ->
@@ -696,6 +708,16 @@ let barrier cl node =
          (possibly long) rule-3 scan and GC work below. *)
       tree_fan_release cl node ~epoch ~gc_round;
       Vc.blit_into ~src:node.vc ~dst:node.last_barrier_vc);
+    (* The clock now equals the refreshed last-barrier snapshot: rebase
+       so the sparse-VC wire accounting of everything piggybacking this
+       clock (or copies of it — intervals, arrivals, acquires) counts
+       only post-barrier components instead of scanning all [nprocs].
+       Every node completing this barrier holds the same supremum, so
+       stamp the snapshot with the epoch number ([epoch + 1], keeping 0
+       for the initial all-zeros stamp of [make_node]): clocks relayed
+       between nodes stay delta-comparable against the receiver's own
+       snapshot of the same epoch. *)
+    Vc.rebase node.vc ~base:node.last_barrier_vc ~epoch:(epoch + 1);
     rule3_scan cl node;
     if gc_round then begin
       let gc_ivar = Proc.Ivar.create () in

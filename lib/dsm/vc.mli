@@ -33,6 +33,24 @@ val blit_into : src:t -> dst:t -> unit
     which is what the combining tree sends upward. *)
 val min_into : t -> t -> unit
 
+(** Record [base] as the clock's delta base and clear its
+    dirty-component set: from here on, {!delta_size_bytes} against
+    exactly [base] (same clock, unchanged) counts only components
+    touched since this call.  PRECONDITION: the clock's components must
+    equal [base]'s at the time of the call (true at every call site —
+    the base is a just-taken snapshot of the clock).  Copies inherit the
+    base, so interval snapshots taken from a rebased clock keep the fast
+    path against the origin's last-barrier knowledge.
+
+    [epoch >= 0] additionally stamps [base] as the epoch-[epoch]
+    snapshot.  PRECONDITION: all clocks stamped with the same epoch
+    number (across all nodes of the cluster) have identical components —
+    true for barrier-completion snapshots, which all equal the global
+    supremum of the epoch.  The stamp extends the delta/merge/leq fast
+    paths across nodes: a clock based on THIS node's epoch-[e] snapshot
+    is delta-comparable against ANOTHER node's epoch-[e] snapshot. *)
+val rebase : ?epoch:int -> t -> base:t -> unit
+
 (** [leq a b] — every component of [a] is at or below [b]:
     "[a] happened before or is [b]". *)
 val leq : t -> t -> bool
@@ -44,6 +62,9 @@ val concurrent : t -> t -> bool
     timestamp order": componentwise-dominated first, concurrent vectors
     tie-broken by (sum, lexicographic). *)
 val order : t -> t -> int
+
+(** Cached component sum (maintained incrementally by every mutator). *)
+val sum : t -> int
 
 (** Wire size in bytes (4 per component). *)
 val size_bytes : t -> int

@@ -5,9 +5,12 @@
    vector-clock accounting).
 
    Everything runs at tiny scale: this study varies the CLUSTER, not the
-   problem size, and the full grid already costs tens of minutes at 1024
-   nodes.  SOR sweeps the whole grid; IS and Water are capped at 256
-   nodes (their tiny runs cost minutes beyond that, see EXPERIMENTS.md).
+   problem size.  Every app sweeps the whole grid to 1024 nodes — the
+   large-n hot-path work (summarized clocks, indexed interval logs, O(1)
+   notice coverage) brought the worst cells from minutes to seconds, see
+   EXPERIMENTS.md.  The one exception is structural, not a cost cap:
+   3D-FFT's tiny problem has 64 planes, so it cannot spread over more
+   than 64 nodes.
 
    Two properties are checked over the collected rows and surfaced to the
    CLI (and CI) as hard failures:
@@ -47,22 +50,36 @@ type study = { smoke : bool; max_nodes : int; rows : row list }
 
 let node_grid = [ 8; 16; 32; 64; 128; 256; 512; 1024 ]
 
-(* IS and Water at tiny scale cost minutes of wall clock per run beyond
-   256 nodes; SOR stays cheap through 1024. *)
-let heavy_cap = 256
-
+(* Structural limits only: 3D-FFT's tiny problem has 64 planes and
+   cannot occupy more nodes than that.  Cost is no longer a reason to
+   cap — the former 256-node cap on IS and Water is gone. *)
 let app_cap name =
-  if String.lowercase_ascii name = "sor" then max_int else heavy_cap
+  if String.lowercase_ascii name = "3d-fft" then 64 else max_int
 
-let default_apps = [ "SOR"; "IS"; "Water" ]
+let default_apps =
+  [ "SOR"; "IS"; "Water"; "3D-FFT"; "TSP"; "Shallow"; "Barnes"; "ILINK" ]
+
+(* Rough host-cost weight of a cell, for dispatch order only: the
+   lock-chain apps (IS, Water) do work superlinear in n, ILINK moves the
+   most diff bytes; everything else is light.  Wrong weights cost a
+   little wall clock, never correctness. *)
+let cell_weight (app, _protocol, n, _fabric) =
+  let factor =
+    match String.lowercase_ascii app with
+    | "is" | "water" -> 40
+    | "ilink" -> 10
+    | _ -> 1
+  in
+  factor * n * n
 
 (* The CI smoke subset: one cheap app, the two protocol families, a
-   sparse node grid.  Completes in about a minute. *)
+   sparse node grid.  Seconds of wall clock; the 1024 entry only fires
+   when the caller raises [max_nodes] past 256 (the CI large-n cell). *)
 let smoke_apps = [ "SOR" ]
 
 let smoke_protocols = [ Config.Mw; Config.Wfs ]
 
-let smoke_grid = [ 8; 32; 128; 256 ]
+let smoke_grid = [ 8; 32; 128; 256; 1024 ]
 
 (* The large-cluster configuration under test: a 2-level switched tree
    (32 nodes per leaf switch), the combining barrier, lock homes sharded
@@ -80,14 +97,27 @@ let tweak_of_fabric fabric cfg =
       sparse_vc = true;
     }
 
-let collect ?(smoke = false) ?(max_nodes = 1024) ?(jobs = 1) ?(par = 1) () =
+let collect ?(smoke = false) ?(max_nodes = 1024) ?(jobs = 1) ?(par = 1) ?apps
+    () =
   (* [par > 1] runs every cell on the conservative parallel engine —
      behavior-neutral (same rows, checksums and bounds), host wall-clock
-     only.  Don't combine with [jobs > 1] on a small host. *)
+     only.  Don't combine with [jobs > 1] on a small host.  [apps]
+     restricts the sweep to the named applications (CI smoke, local
+     iteration). *)
   let engine =
     if par > 1 then Some (Config.Parallel { domains = par }) else None
   in
-  let apps = if smoke then smoke_apps else default_apps in
+  let apps =
+    match apps with
+    | Some l ->
+      List.iter
+        (fun a ->
+          if Registry.find a = None then
+            invalid_arg ("Scaling.collect: unknown app " ^ a))
+        l;
+      l
+    | None -> if smoke then smoke_apps else default_apps
+  in
   let protocols = if smoke then smoke_protocols else Config.all_protocols in
   let counts = if smoke then smoke_grid else node_grid in
   let cells =
@@ -103,35 +133,52 @@ let collect ?(smoke = false) ?(max_nodes = 1024) ?(jobs = 1) ?(par = 1) () =
           protocols)
       apps
   in
-  let rows =
-    Pool.map ~jobs
-      (fun (a, p, n, f) ->
-        let app =
-          match Registry.find a with
-          | Some e -> e
-          | None -> invalid_arg ("Scaling.collect: unknown app " ^ a)
-        in
-        let m =
-          Runner.run ~tweak:(tweak_of_fabric f) ?engine ~app ~protocol:p
-            ~nprocs:n ~scale:Registry.Tiny ()
-        in
-        {
-          app = m.Runner.app;
-          protocol = p;
-          nprocs = n;
-          fabric = f;
-          time_ns = m.Runner.time_ns;
-          speedup = Runner.speedup m;
-          messages = m.Runner.messages;
-          barrier_msgs =
-            (match List.assoc_opt "barrier" m.Runner.by_kind with
-            | Some (count, _) -> count
-            | None -> 0);
-          wire_bytes = m.Runner.wire_bytes;
-          checksum = m.Runner.checksum;
-        })
-      cells
+  let run_cell (a, p, n, f) =
+    let app =
+      match Registry.find a with
+      | Some e -> e
+      | None -> invalid_arg ("Scaling.collect: unknown app " ^ a)
+    in
+    let m =
+      Runner.run ~tweak:(tweak_of_fabric f) ?engine ~app ~protocol:p ~nprocs:n
+        ~scale:Registry.Tiny ()
+    in
+    {
+      app = m.Runner.app;
+      protocol = p;
+      nprocs = n;
+      fabric = f;
+      time_ns = m.Runner.time_ns;
+      speedup = Runner.speedup m;
+      messages = m.Runner.messages;
+      barrier_msgs =
+        (match List.assoc_opt "barrier" m.Runner.by_kind with
+        | Some (count, _) -> count
+        | None -> 0);
+      wire_bytes = m.Runner.wire_bytes;
+      checksum = m.Runner.checksum;
+    }
   in
+  (* Dispatch heaviest-first so a trailing 1024-node cell cannot
+     serialize the tail of a [jobs > 1] sweep, then scatter the results
+     back into grid order — the artifact's row order is stable whatever
+     the dispatch order. *)
+  let cell_arr = Array.of_list cells in
+  let order = Array.init (Array.length cell_arr) Fun.id in
+  Array.sort
+    (fun i j ->
+      let c =
+        Int.compare (cell_weight cell_arr.(j)) (cell_weight cell_arr.(i))
+      in
+      if c <> 0 then c else Int.compare i j)
+    order;
+  let dispatched =
+    Pool.map ~jobs run_cell
+      (Array.to_list (Array.map (fun i -> cell_arr.(i)) order))
+  in
+  let out = Array.make (Array.length cell_arr) None in
+  List.iteri (fun k r -> out.(order.(k)) <- Some r) dispatched;
+  let rows = Array.to_list (Array.map Option.get out) in
   { smoke; max_nodes; rows }
 
 (* ------------------------------------------------------------------ *)

@@ -36,16 +36,26 @@ type row = {
 type study = { smoke : bool; max_nodes : int; rows : row list }
 
 (** Run the grid.  [smoke] (default false) restricts to the CI subset
-    (SOR, MW + WFS, sparse node grid — about a minute of wall clock);
-    the full grid costs tens of minutes.  [max_nodes] (default 1024)
-    truncates the node grid; IS and Water are additionally capped at 256
-    nodes.  [jobs] fans the independent runs over worker domains.
-    [par] (default 1) runs each cell on the conservative parallel engine
-    with that many domains — behavior-neutral (identical rows, checksums
-    and bounds; see PARALLELISM.md), host wall-clock only; don't combine
-    with [jobs > 1] on a small host. *)
+    (SOR, MW + WFS, sparse node grid — about a minute of wall clock).
+    [max_nodes] (default 1024) truncates the node grid; every app sweeps
+    the full grid except 3D-FFT, structurally capped at 64 nodes (its
+    tiny problem has 64 planes).  [jobs] fans the independent runs over
+    worker domains, dispatched heaviest-cell-first; the returned rows
+    are in grid order regardless.  [par] (default 1) runs each cell on
+    the conservative parallel engine with that many domains —
+    behavior-neutral (identical rows, checksums and bounds; see
+    PARALLELISM.md), host wall-clock only; don't combine with
+    [jobs > 1] on a small host.  [apps] restricts the sweep to the named
+    applications (any case), overriding the [smoke]/default app list.
+    @raise Invalid_argument on an unknown app name. *)
 val collect :
-  ?smoke:bool -> ?max_nodes:int -> ?jobs:int -> ?par:int -> unit -> study
+  ?smoke:bool ->
+  ?max_nodes:int ->
+  ?jobs:int ->
+  ?par:int ->
+  ?apps:string list ->
+  unit ->
+  study
 
 (** Cells where the flat and tree fabrics disagree on the application
     checksum (must be empty: the fabric is a cost model only). *)

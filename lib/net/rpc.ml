@@ -19,6 +19,9 @@ type 'msg t = {
   next_ids : int array;
   pendings : (int, 'msg Proc.Ivar.t) Hashtbl.t array;
   handlers : 'msg handler option array;
+  pool : 'msg Envelope.pool option;
+      (* envelope free pool; [None] under the parallel engine, where
+         envelopes cross domains and a shared free list would race *)
 }
 
 let create_topo engine topo ~nodes =
@@ -29,12 +32,21 @@ let create_topo engine topo ~nodes =
       next_ids = Array.make nodes 0;
       pendings = Array.init nodes (fun _ -> Hashtbl.create 16);
       handlers = Array.make nodes None;
+      pool =
+        (if Engine.is_parallel engine then None
+         else Some (Envelope.create_pool ()));
     }
   in
   for node = 0 to nodes - 1 do
     Network.set_handler t.net ~node (fun ~src env ->
-        match env with
-        | Envelope.Reply (id, msg) -> (
+        (* Extract everything, then release: a recycled envelope may be
+           overwritten by any send the handler makes. *)
+        let tag = env.Envelope.tag in
+        let id = env.Envelope.id in
+        let msg = env.Envelope.payload in
+        Envelope.release t.pool env;
+        match tag with
+        | Envelope.Reply -> (
           let pending = t.pendings.(node) in
           match Hashtbl.find_opt pending id with
           | Some ivar ->
@@ -42,16 +54,16 @@ let create_topo engine topo ~nodes =
             Proc.Ivar.fill t.engine ivar msg
           | None ->
             failwith (Printf.sprintf "Rpc: unexpected reply id %d" id))
-        | Envelope.Request (id, msg) -> (
+        | Envelope.Request -> (
           match t.handlers.(node) with
           | None -> failwith (Printf.sprintf "Rpc: node %d has no handler" node)
           | Some h ->
             let respond ~bytes ~kind reply =
               Network.send t.net ~src:node ~dst:src ~bytes ~kind
-                (Envelope.Reply (id, reply))
+                (Envelope.make t.pool Envelope.Reply ~id reply)
             in
             h ~src msg (Some respond))
-        | Envelope.Oneway msg -> (
+        | Envelope.Oneway -> (
           match t.handlers.(node) with
           | None -> failwith (Printf.sprintf "Rpc: node %d has no handler" node)
           | Some h -> h ~src msg None))
@@ -73,11 +85,13 @@ let call_async t ~src ~dst ~bytes ~kind msg =
   t.next_ids.(src) <- id + 1;
   let ivar = Proc.Ivar.create () in
   Hashtbl.replace t.pendings.(src) id ivar;
-  Network.send t.net ~src ~dst ~bytes ~kind (Envelope.Request (id, msg));
+  Network.send t.net ~src ~dst ~bytes ~kind
+    (Envelope.make t.pool Envelope.Request ~id msg);
   ivar
 
 let call t ~src ~dst ~bytes ~kind msg =
   Proc.Ivar.await (call_async t ~src ~dst ~bytes ~kind msg)
 
 let cast t ~src ~dst ~bytes ~kind msg =
-  Network.send t.net ~src ~dst ~bytes ~kind (Envelope.Oneway msg)
+  Network.send t.net ~src ~dst ~bytes ~kind
+    (Envelope.make t.pool Envelope.Oneway ~id:0 msg)

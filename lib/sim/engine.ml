@@ -5,9 +5,10 @@
      in global (time, seq) order.  This path is allocation-free per
      event and byte-identical to every release since PR 4.
 
-   - Parallel (conservative, safe-horizon): lanes are partitioned
-     round-robin over OCaml 5 domains (lane l belongs to domain
-     [l mod domains]).  Execution alternates between two phases:
+   - Parallel (conservative, safe-horizon): lanes are partitioned over
+     OCaml 5 domains — round-robin initially, then rebalanced by cost
+     (see "Load balancing" below).  Execution alternates between two
+     phases:
 
        window  Every domain executes its own lanes' events up to a
                global safe horizon H = T_min + lookahead, where T_min
@@ -38,7 +39,29 @@
      pre-window seq is smaller than every seq assigned during the walk;
      and the walk's merge therefore reproduces the global sequential
      order, making the replayed seq assignment, clock, probe stream and
-     deferred side effects identical to the sequential engine's. *)
+     deferred side effects identical to the sequential engine's.
+
+     Load balancing.  The lane->domain assignment is DATA, not a
+     formula: [p_lane_dom]/[p_lane_local] map a global lane to its
+     owning domain and its index in that domain's heap, and each domain
+     counts the events it executes per lane.  Between windows — a full
+     quiescence point: the workers are parked on the phase condition,
+     every pending event sits in some domain's main heap with its final
+     (time, seq) key, and no provisional children survive the walk —
+     the coordinator periodically repartitions the lanes across domains
+     by LPT (longest processing time first) on the accumulated costs
+     and migrates the pending events into the new owners' heaps.  The
+     keys never change, and the walk merges by (time, seq) regardless
+     of which domain executed what, so the assignment is invisible to
+     the simulation: it only moves wall-clock work between threads.
+
+     Handshake batching.  A window in which at most one domain has any
+     event below the horizon (the common shape for lock-chain phases,
+     which serialize by construction) is executed by the coordinator
+     thread directly on the active domain's state — no broadcast, no
+     condition-variable round trip.  Consecutive such windows therefore
+     run back-to-back on one thread at sequential-engine cost instead
+     of paying a coordinator handshake each. *)
 
 type jitem =
   | Jdef of (unit -> unit)  (* deferred side effect, replayed in the walk *)
@@ -68,13 +91,15 @@ let dummy_xev =
   { x_time = 0; x_lane = 0; x_seq = 0; x_pev = None; x_journal = [] }
 
 (* Per-domain state.  The main heap holds events with final sequence
-   numbers; only the coordinator thread pushes into it (setup and walk)
-   and only the owning domain pops from it (windows) — the phase
-   handshake orders the two.  Lane l of the engine is lane [l / domains]
-   of the owning domain's heap. *)
+   numbers; only the coordinator thread pushes into it (setup, walk and
+   repartition) and only the owning domain pops from it (windows) — the
+   phase handshake orders the two.  [d_lanes] maps the heap's local
+   lane indices back to global lanes; it and [d_main] are replaced
+   together when the coordinator repartitions. *)
 type dstate = {
   d_index : int;
-  d_main : (unit -> unit) Eheap.t;
+  mutable d_main : (unit -> unit) Eheap.t;
+  mutable d_lanes : int array;  (* local lane index -> global lane *)
   d_kids : pev Eheap.t;  (* same-window children, keyed (time, d_prov) *)
   mutable d_prov : int;  (* domain-local provisional counter, per window *)
   mutable d_exec : xev array;  (* window execution log, read by the walk *)
@@ -85,6 +110,9 @@ type par = {
   p_domains : int;
   p_lookahead : int;
   p_dstates : dstate array;
+  p_lane_dom : int array;  (* global lane -> owning domain *)
+  p_lane_local : int array;  (* global lane -> local index in that domain *)
+  p_lane_cost : int array;  (* events executed per lane since last decay *)
   p_mutex : Mutex.t;
   p_start : Condition.t;  (* coordinator -> workers: window open *)
   p_done : Condition.t;  (* workers -> coordinator: window complete *)
@@ -94,6 +122,9 @@ type par = {
   mutable p_stop : bool;
   mutable p_in_walk : bool;
   mutable p_exn : (exn * Printexc.raw_backtrace) option;
+  mutable p_windows : int;  (* windows since the last repartition check *)
+  mutable p_reparts : int;  (* repartitions performed *)
+  mutable p_batched : int;  (* windows run without a coordinator handshake *)
 }
 
 (* Window execution context, domain-local.  Present in a domain's DLS
@@ -133,9 +164,12 @@ let mix64 seed z =
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   Int64.to_int (Int64.shift_right_logical z 2)
 
-(* Lanes are dealt round-robin: domain of lane l is l mod domains, and
-   l is lane l / domains of that domain's heap. *)
-let domain_of_lane p lane = lane mod p.p_domains
+(* The lane->domain assignment is table-driven; [create] deals the
+   lanes round-robin (domain of lane l is l mod domains) and the
+   repartitioner rewrites the tables later. *)
+let domain_of_lane p lane = p.p_lane_dom.(lane)
+
+let local_of_lane p lane = p.p_lane_local.(lane)
 
 let local_lanes ~lanes ~domains index =
   if lanes <= index then 1 else ((lanes - index - 1) / domains) + 1
@@ -168,15 +202,20 @@ let create ?schedule_seed ?(lanes = 1) ?parallel () =
             p_lookahead = lookahead;
             p_dstates =
               Array.init domains (fun i ->
+                  let nlocal = local_lanes ~lanes ~domains i in
                   {
                     d_index = i;
-                    d_main =
-                      Eheap.create ~lanes:(local_lanes ~lanes ~domains i) ();
+                    d_main = Eheap.create ~lanes:nlocal ();
+                    d_lanes =
+                      Array.init nlocal (fun j -> (j * domains) + i);
                     d_kids = Eheap.create ();
                     d_prov = 0;
                     d_exec = [||];
                     d_exec_len = 0;
                   });
+            p_lane_dom = Array.init lanes (fun l -> l mod domains);
+            p_lane_local = Array.init lanes (fun l -> l / domains);
+            p_lane_cost = Array.make lanes 0;
             p_mutex = Mutex.create ();
             p_start = Condition.create ();
             p_done = Condition.create ();
@@ -186,6 +225,9 @@ let create ?schedule_seed ?(lanes = 1) ?parallel () =
             p_stop = false;
             p_in_walk = false;
             p_exn = None;
+            p_windows = 0;
+            p_reparts = 0;
+            p_batched = 0;
           }
       end
   in
@@ -300,7 +342,7 @@ let[@inline never] schedule_par ?lane t p ~time f =
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     let ds = p.p_dstates.(domain_of_lane p lane) in
-    Eheap.push ~lane:(lane / p.p_domains) ds.d_main ~time ~seq f
+    Eheap.push ~lane:(local_of_lane p lane) ds.d_main ~time ~seq f
 
 let schedule_at ?lane t ~time f =
   match t.par with
@@ -408,9 +450,10 @@ let exec_window t p ds =
             match Eheap.pop_min ds.d_main with
             | None -> assert false
             | Some (time, seq, f) ->
-              let lane = (local * w.w_domains) + ds.d_index in
+              let lane = ds.d_lanes.(local) in
               w.w_clock <- time;
               w.w_lane <- lane;
+              p.p_lane_cost.(lane) <- p.p_lane_cost.(lane) + 1;
               f ();
               push_exec ds
                 {
@@ -428,6 +471,7 @@ let exec_window t p ds =
               pev.pv_ran <- true;
               w.w_clock <- time;
               w.w_lane <- pev.pv_lane;
+              p.p_lane_cost.(pev.pv_lane) <- p.p_lane_cost.(pev.pv_lane) + 1;
               pev.pv_fn ();
               push_exec ds
                 {
@@ -500,7 +544,7 @@ let walk t p cursors =
             if not pv.pv_ran then begin
               let target = p.p_dstates.(domain_of_lane p pv.pv_lane) in
               Eheap.push
-                ~lane:(pv.pv_lane / p.p_domains)
+                ~lane:(local_of_lane p pv.pv_lane)
                 target.d_main ~time:pv.pv_time ~seq pv.pv_fn
             end
           | Jdef f -> f ())
@@ -518,6 +562,96 @@ let walk t p cursors =
         failwith "Engine: window left same-window children unexecuted")
     ds;
   p.p_in_walk <- false
+
+(* How many windows between repartition checks, and how lopsided the
+   per-domain costs must be before a repartition is worth the event
+   migration (max domain cost > 1.25x the mean). *)
+let repart_interval = 64
+
+let imbalanced dom_cost total nd = 4 * nd * Array.fold_left max 0 dom_cost > 5 * total
+
+(* Repartition the lanes across domains by LPT on the accumulated
+   per-lane costs, at full quiescence (between windows: workers parked,
+   every pending event in a main heap under its final (time, seq) key,
+   child heaps empty).  The events migrate to their lanes' new owners
+   with their keys intact, so the walk's (time, seq) merge — and hence
+   the simulation — is unchanged; only the wall-clock distribution of
+   work moves.  Costs are halved afterwards so the balance tracks
+   recent behavior rather than the whole run. *)
+let repartition t p =
+  let lanes = t.lane_count in
+  let nd = p.p_domains in
+  let dom_cost = Array.make nd 0 in
+  for l = 0 to lanes - 1 do
+    dom_cost.(p.p_lane_dom.(l)) <- dom_cost.(p.p_lane_dom.(l)) + p.p_lane_cost.(l)
+  done;
+  let total = Array.fold_left ( + ) 0 dom_cost in
+  if total > 0 && imbalanced dom_cost total nd then begin
+    (* LPT: heaviest lane first, each to the least-loaded domain
+       (ties to the lowest index — fully deterministic).  Idle lanes
+       count as 1 so they still spread across domains. *)
+    let order = Array.init lanes Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = Int.compare p.p_lane_cost.(b) p.p_lane_cost.(a) in
+        if c <> 0 then c else Int.compare a b)
+      order;
+    let load = Array.make nd 0 in
+    let counts = Array.make nd 0 in
+    let new_dom = Array.make lanes 0 in
+    let new_local = Array.make lanes 0 in
+    Array.iter
+      (fun l ->
+        let best = ref 0 in
+        for d = 1 to nd - 1 do
+          if load.(d) < load.(!best) then best := d
+        done;
+        let d = !best in
+        new_dom.(l) <- d;
+        new_local.(l) <- counts.(d);
+        counts.(d) <- counts.(d) + 1;
+        load.(d) <- load.(d) + max 1 p.p_lane_cost.(l))
+      order;
+    (* Rebuild each domain's heap and lane table, migrating pending
+       events under their existing keys. *)
+    let new_heaps =
+      Array.init nd (fun d -> Eheap.create ~lanes:(max 1 counts.(d)) ())
+    in
+    let new_tables =
+      Array.init nd (fun d -> Array.make (max 1 counts.(d)) 0)
+    in
+    for l = 0 to lanes - 1 do
+      new_tables.(new_dom.(l)).(new_local.(l)) <- l
+    done;
+    Array.iter
+      (fun ds ->
+        let rec drain () =
+          if not (Eheap.is_empty ds.d_main) then begin
+            let local = Eheap.min_lane ds.d_main in
+            match Eheap.pop_min ds.d_main with
+            | None -> assert false
+            | Some (time, seq, f) ->
+              let l = ds.d_lanes.(local) in
+              Eheap.push ~lane:new_local.(l)
+                new_heaps.(new_dom.(l))
+                ~time ~seq f;
+              drain ()
+          end
+        in
+        drain ())
+      p.p_dstates;
+    Array.iteri
+      (fun d ds ->
+        ds.d_main <- new_heaps.(d);
+        ds.d_lanes <- new_tables.(d))
+      p.p_dstates;
+    Array.blit new_dom 0 p.p_lane_dom 0 lanes;
+    Array.blit new_local 0 p.p_lane_local 0 lanes;
+    p.p_reparts <- p.p_reparts + 1
+  end;
+  for l = 0 to lanes - 1 do
+    p.p_lane_cost.(l) <- p.p_lane_cost.(l) / 2
+  done
 
 let record_exn p exn =
   let bt = Printexc.get_raw_backtrace () in
@@ -575,24 +709,53 @@ let run_par t p =
     let t_min = next_window_start () in
     if t_min < max_int then begin
       p.p_horizon <- t_min + p.p_lookahead;
-      Mutex.lock p.p_mutex;
-      p.p_epoch <- p.p_epoch + 1;
-      p.p_pending <- nd - 1;
-      Condition.broadcast p.p_start;
-      Mutex.unlock p.p_mutex;
-      (* The coordinator doubles as domain 0's worker. *)
-      (try exec_window t p p.p_dstates.(0) with exn -> record_exn p exn);
-      Mutex.lock p.p_mutex;
-      while p.p_pending > 0 do
-        Condition.wait p.p_done p.p_mutex
-      done;
-      Mutex.unlock p.p_mutex;
+      (* Which domains have any event below the horizon?  When at most
+         one does, skip the coordinator handshake entirely and run that
+         domain's window on this thread — the parked workers would have
+         found nothing to execute, and the next real handshake's mutex
+         publishes our writes to them. *)
+      let active = ref 0 in
+      let active_d = ref 0 in
+      Array.iter
+        (fun s ->
+          if
+            (not (Eheap.is_empty s.d_main))
+            && Eheap.min_time_exn s.d_main < p.p_horizon
+          then begin
+            incr active;
+            active_d := s.d_index
+          end)
+        p.p_dstates;
+      if !active <= 1 then begin
+        p.p_batched <- p.p_batched + 1;
+        (try exec_window t p p.p_dstates.(!active_d)
+         with exn -> record_exn p exn)
+      end
+      else begin
+        Mutex.lock p.p_mutex;
+        p.p_epoch <- p.p_epoch + 1;
+        p.p_pending <- nd - 1;
+        Condition.broadcast p.p_start;
+        Mutex.unlock p.p_mutex;
+        (* The coordinator doubles as domain 0's worker. *)
+        (try exec_window t p p.p_dstates.(0) with exn -> record_exn p exn);
+        Mutex.lock p.p_mutex;
+        while p.p_pending > 0 do
+          Condition.wait p.p_done p.p_mutex
+        done;
+        Mutex.unlock p.p_mutex
+      end;
       (match p.p_exn with
       | Some (exn, bt) ->
         stop_workers ();
         Printexc.raise_with_backtrace exn bt
       | None -> ());
       walk t p cursors;
+      p.p_windows <- p.p_windows + 1;
+      if p.p_windows >= repart_interval then begin
+        p.p_windows <- 0;
+        repartition t p
+      end;
       windows ()
     end
   in
@@ -607,6 +770,10 @@ let run_par t p =
 let run t = match t.par with None -> run_seq t | Some p -> run_par t p
 
 let events_executed t = t.executed
+
+let repartitions t = match t.par with None -> 0 | Some p -> p.p_reparts
+
+let batched_windows t = match t.par with None -> 0 | Some p -> p.p_batched
 
 let ns x = x
 let us x = x * 1_000

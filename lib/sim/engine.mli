@@ -9,15 +9,18 @@
 
     - {b sequential} (the default): one thread drains the heap in global
       [(time, seq)] order;
-    - {b parallel} ([?parallel] below): lanes are partitioned round-robin
-      over OCaml 5 domains (lane [l] belongs to domain [l mod domains]) and
+    - {b parallel} ([?parallel] below): lanes are partitioned over OCaml 5
+      domains (round-robin initially, then LPT-rebalanced from per-lane
+      executed-event costs at inter-window quiescence points) and
       executed conservatively in safe-horizon windows derived from a static
       lookahead (the minimum cross-lane influence delay, e.g.
       {!Adsm_net.Topology.lookahead_ns}).  Between windows a single-threaded
       walk merges the domains' execution logs back into global [(time, seq)]
       order and replays journaled cross-lane effects, so sequence numbers,
       clock values, probes, and deferred side effects are assigned exactly
-      as the sequential engine would. *)
+      as the sequential engine would.  The lane->domain assignment and the
+      handshake batching of single-active-domain windows move wall-clock
+      work between threads but never change the simulation. *)
 
 type t
 
@@ -101,6 +104,15 @@ val run : t -> int
 
 (** Number of events executed so far. *)
 val events_executed : t -> int
+
+(** Times the parallel engine LPT-repartitioned lanes across domains
+    (0 on the sequential engine). *)
+val repartitions : t -> int
+
+(** Parallel windows executed entirely on the coordinator thread because
+    at most one domain had events below the horizon — each saved a full
+    broadcast/wait handshake (0 on the sequential engine). *)
+val batched_windows : t -> int
 
 (** [set_probe t (Some f)] arranges for [f ~time ~executed] to run just
     before each event fires; [set_probe t None] removes it.  The probe

@@ -1,0 +1,245 @@
+(* Randomized model tests for the large-n data structures.
+
+   The summarized vector clock (cached sum, dirty-component tracking,
+   epoch-stamped bases, per-epoch delta caches) and the array-backed
+   interval log both exist to skip dense rescans; correctness means
+   every observable agrees with the naive implementation they replaced.
+   Seeded op sequences drive the real structure and a naive reference
+   through the same mutations — honoring the documented preconditions
+   (rebase on a just-taken snapshot, equal components per epoch stamp,
+   strictly ascending log appends) — and compare every query. *)
+
+module Vc = Adsm_dsm.Vc
+module Interval = Adsm_dsm.Interval
+
+(* ------------------------------------------------------------------ *)
+(* Naive vector-clock reference: a plain int array, rescanned fully    *)
+(* ------------------------------------------------------------------ *)
+
+let width = 16
+
+let nnodes = 5
+
+let nsum = Array.fold_left ( + ) 0
+
+let nleq a b =
+  let ok = ref true in
+  Array.iteri (fun i av -> if av > b.(i) then ok := false) a;
+  !ok
+
+(* Historical total order: dominated-first, concurrent clocks broken by
+   (sum, lexicographic) — which collapses to (sum, lexicographic). *)
+let norder a b =
+  let c = Int.compare (nsum a) (nsum b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i = Array.length a then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let ndelta ~since a =
+  let changed = ref 0 in
+  Array.iteri (fun i av -> if av <> since.(i) then incr changed) a;
+  8 + (8 * !changed)
+
+let sign c = compare c 0
+
+let check_pair step i j vc nv vc' nv' =
+  let name fmt = Printf.sprintf "step %d, clocks (%d,%d): %s" step i j fmt in
+  if Vc.leq vc vc' <> nleq nv nv' then Alcotest.fail (name "leq");
+  if Vc.leq vc' vc <> nleq nv' nv then Alcotest.fail (name "leq (flipped)");
+  if Vc.equal vc vc' <> (nv = nv') then Alcotest.fail (name "equal");
+  if Vc.concurrent vc vc' <> ((not (nleq nv nv')) && not (nleq nv' nv)) then
+    Alcotest.fail (name "concurrent");
+  if sign (Vc.order vc vc') <> sign (norder nv nv') then
+    Alcotest.fail (name "order sign");
+  if Vc.order vc vc' = 0 && nv <> nv' then Alcotest.fail (name "order zero")
+
+let check_node step i vc nv =
+  let name fmt = Printf.sprintf "step %d, clock %d: %s" step i fmt in
+  for p = 0 to width - 1 do
+    if Vc.get vc p <> nv.(p) then
+      Alcotest.failf "%s" (name (Printf.sprintf "component %d" p))
+  done;
+  if Vc.sum vc <> nsum nv then Alcotest.fail (name "sum");
+  if Vc.size_bytes vc <> 4 * width then Alcotest.fail (name "size_bytes")
+
+let test_vc_model () =
+  for seed = 0 to 9 do
+    let rs = Random.State.make [| 0xADC0; seed |] in
+    let vcs = Array.init nnodes (fun _ -> Vc.zero ~nprocs:width) in
+    let nvs = Array.init nnodes (fun _ -> Array.make width 0) in
+    (* Pool of rebase snapshots, each frozen at creation; delta queries
+       pick arbitrary (clock, base) pairs to exercise the same-base,
+       same-epoch and cold paths alike. *)
+    let bases = ref [ (Vc.zero ~nprocs:width, Array.make width 0) ] in
+    let push_base b nb =
+      bases :=
+        (b, nb)
+        :: (if List.length !bases > 8 then List.filteri (fun k _ -> k < 7) !bases
+            else !bases)
+    in
+    let epoch = ref 0 in
+    for step = 1 to 300 do
+      let i = Random.State.int rs nnodes in
+      let j = Random.State.int rs nnodes in
+      (match Random.State.int rs 12 with
+      | 0 | 1 ->
+        (* set: usually a bump, occasionally a decrease (the API is
+           generic even though the protocol only ever moves forward) *)
+        let p = Random.State.int rs width in
+        let cur = nvs.(i).(p) in
+        let v =
+          if Random.State.int rs 10 = 0 then max 0 (cur - Random.State.int rs 3)
+          else cur + 1 + Random.State.int rs 4
+        in
+        Vc.set vcs.(i) p v;
+        nvs.(i).(p) <- v
+      | 2 | 3 | 4 ->
+        let p = Random.State.int rs width in
+        Vc.tick vcs.(i) ~proc:p;
+        nvs.(i).(p) <- nvs.(i).(p) + 1
+      | 5 | 6 ->
+        Vc.merge_into vcs.(i) vcs.(j);
+        Array.iteri (fun p v -> nvs.(i).(p) <- max nvs.(i).(p) v) nvs.(j)
+      | 7 ->
+        Vc.min_into vcs.(i) vcs.(j);
+        Array.iteri (fun p v -> nvs.(i).(p) <- min nvs.(i).(p) v) nvs.(j)
+      | 8 ->
+        Vc.blit_into ~src:vcs.(j) ~dst:vcs.(i);
+        Array.blit nvs.(j) 0 nvs.(i) 0 width
+      | 9 ->
+        vcs.(i) <- Vc.copy vcs.(j);
+        nvs.(i) <- Array.copy nvs.(j)
+      | 10 ->
+        (* plain rebase: snapshot then rebase, per the precondition *)
+        let b = Vc.copy vcs.(i) in
+        Vc.rebase vcs.(i) ~base:b;
+        push_base b (Array.copy nvs.(i))
+      | _ ->
+        (* barrier: every clock becomes the global supremum, then takes
+           an epoch-stamped snapshot — the one legitimate way to stamp
+           the same epoch on every node *)
+        let sup = Vc.copy vcs.(0) in
+        Array.iter (fun vc -> Vc.merge_into sup vc) vcs;
+        let nsup = Array.make width 0 in
+        Array.iter
+          (fun nv -> Array.iteri (fun p v -> nsup.(p) <- max nsup.(p) v) nv)
+          nvs;
+        Array.iteri
+          (fun k vc ->
+            Vc.blit_into ~src:sup ~dst:vc;
+            Array.blit nsup 0 nvs.(k) 0 width;
+            let b = Vc.copy vc in
+            Vc.rebase ~epoch:!epoch vc ~base:b;
+            push_base b (Array.copy nsup))
+          vcs;
+        incr epoch);
+      for a = 0 to nnodes - 1 do
+        check_node step a vcs.(a) nvs.(a);
+        for b = 0 to nnodes - 1 do
+          check_pair step a b vcs.(a) nvs.(a) vcs.(b) nvs.(b)
+        done;
+        (* delta against another live clock (cold path) *)
+        let d = Vc.delta_size_bytes ~since:vcs.(j) vcs.(a) in
+        if d <> ndelta ~since:nvs.(j) nvs.(a) then
+          Alcotest.failf "step %d: delta clock %d since clock %d" step a j;
+        (* delta against pooled snapshots (same-base / same-epoch /
+           cross-node-epoch fast paths, depending on provenance) *)
+        List.iteri
+          (fun k (bvc, bnv) ->
+            let d = Vc.delta_size_bytes ~since:bvc vcs.(a) in
+            if d <> ndelta ~since:bnv nvs.(a) then
+              Alcotest.failf "step %d: delta clock %d since base %d" step a k)
+          !bases
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Naive interval-log reference: a plain list, filtered fully          *)
+(* ------------------------------------------------------------------ *)
+
+let owner = 1
+
+let make_iv seq =
+  let vc = Vc.zero ~nprocs:4 in
+  Vc.set vc owner seq;
+  Interval.make ~proc:owner ~vc ~notices:[]
+
+let seqs = List.map (fun (iv : Interval.t) -> iv.Interval.seq)
+
+let test_log_model () =
+  for seed = 0 to 9 do
+    let rs = Random.State.make [| 0x106; seed |] in
+    let log = Interval.Log.create () in
+    let naive = ref [] (* oldest first, like the log's index order *) in
+    let last_seq = ref 0 in
+    for step = 1 to 400 do
+      (match Random.State.int rs 8 with
+      | 0 ->
+        (* GC/crash truncation: drop everything, keep appending above
+           the old seqs (the protocol never reuses a sequence number) *)
+        Interval.Log.clear log;
+        naive := []
+      | 1 | 2 | 3 | 4 | 5 ->
+        (* strictly ascending appends, with gaps *)
+        let seq = !last_seq + 1 + Random.State.int rs 3 in
+        last_seq := seq;
+        let iv = make_iv seq in
+        Interval.Log.append log iv;
+        naive := !naive @ [ iv ]
+      | _ -> ());
+      let name fmt = Printf.sprintf "seed %d, step %d: %s" seed step fmt in
+      let n = List.length !naive in
+      if Interval.Log.length log <> n then Alcotest.fail (name "length");
+      if n > 0 then begin
+        let k = Random.State.int rs n in
+        if (Interval.Log.get log k).Interval.seq
+           <> (List.nth !naive k).Interval.seq
+        then Alcotest.fail (name "get")
+      end;
+      (* coverage queries across the whole seq range, including exact
+         hits, gap values, 0 and past-the-end *)
+      let s = Random.State.int rs (!last_seq + 2) in
+      let expected_idx =
+        let rec go k = function
+          | [] -> n
+          | (iv : Interval.t) :: tl -> if iv.Interval.seq > s then k else go (k + 1) tl
+        in
+        go 0 !naive
+      in
+      if Interval.Log.first_after log s <> expected_idx then
+        Alcotest.fail (name (Printf.sprintf "first_after %d" s));
+      let vc = Vc.zero ~nprocs:4 in
+      Vc.set vc owner s;
+      let expected =
+        (* prepended onto the accumulator walking oldest-first, so the
+           result comes out newest-first — the orientation the old list
+           representation produced *)
+        List.rev
+          (List.filter (fun (iv : Interval.t) -> iv.Interval.seq > s) !naive)
+      in
+      if seqs (Interval.Log.unseen_by vc ~proc:owner log []) <> seqs expected
+      then Alcotest.fail (name (Printf.sprintf "unseen_by %d" s));
+      let acc = [ make_iv (!last_seq + 100) ] in
+      if seqs (Interval.Log.unseen_by vc ~proc:owner log acc)
+         <> seqs (expected @ acc)
+      then Alcotest.fail (name (Printf.sprintf "unseen_by %d with acc" s))
+    done
+  done
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "vc",
+        [ Alcotest.test_case "summarized vs naive (seeded)" `Quick test_vc_model ]
+      );
+      ( "interval-log",
+        [ Alcotest.test_case "indexed vs naive (seeded)" `Quick test_log_model ]
+      );
+    ]

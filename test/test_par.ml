@@ -130,6 +130,69 @@ let test_single_lane_oracle () =
     Alcotest.(check bool) (name "log vs 1-lane oracle") true (log = log')
   done
 
+let test_repartition_model () =
+  (* The LPT repartitioner must actually fire under skewed per-lane load
+     sustained over many windows — and be invisible: lane-to-domain
+     assignment is a wall-clock concern only, so the execution log must
+     still replay the sequential engine event for event. *)
+  let lanes = 8 in
+  let lookahead = 100 in
+  let rounds = 300 in
+  let run engine =
+    let log = ref [] in
+    let rec tick lane k () =
+      let tm = Engine.now engine in
+      Engine.defer engine (fun () -> log := (tm, lane, k) :: !log);
+      if k < rounds then begin
+        (* lanes 0 and 1 carry ~9x the load of the rest *)
+        if lane < 2 then
+          for j = 1 to 8 do
+            Engine.schedule engine
+              ~delay:(j * 7 mod lookahead)
+              (fun () ->
+                let t' = Engine.now engine in
+                Engine.defer engine (fun () -> log := (t', lane, -j) :: !log))
+          done;
+        Engine.schedule engine ~delay:lookahead (tick lane (k + 1))
+      end
+    in
+    for lane = 0 to lanes - 1 do
+      Engine.schedule_at ~lane engine ~time:lane (tick lane 0)
+    done;
+    let final = Engine.run engine in
+    (final, Engine.events_executed engine, List.rev !log)
+  in
+  let oracle = run (Engine.create ~lanes ()) in
+  let engine = Engine.create ~lanes ~parallel:(4, lookahead) () in
+  let res = run engine in
+  Alcotest.(check bool) "skewed-load log = sequential" true (res = oracle);
+  Alcotest.(check bool) "repartitions happened" true
+    (Engine.repartitions engine > 0);
+  Alcotest.(check int) "sequential engine never repartitions" 0
+    (Engine.repartitions (Engine.create ~lanes ()))
+
+let test_batched_single_domain () =
+  (* All load on one lane: every window has at most one active domain
+     and runs on the coordinator without a handshake — and that batched
+     path must replay the sequential engine exactly. *)
+  let run engine =
+    let log = ref [] in
+    let rec tick k () =
+      let tm = Engine.now engine in
+      Engine.defer engine (fun () -> log := (tm, k) :: !log);
+      if k < 50 then Engine.schedule engine ~delay:100 (tick (k + 1))
+    in
+    Engine.schedule_at ~lane:0 engine ~time:0 (tick 0);
+    let final = Engine.run engine in
+    (final, Engine.events_executed engine, List.rev !log)
+  in
+  let oracle = run (Engine.create ~lanes:4 ()) in
+  let engine = Engine.create ~lanes:4 ~parallel:(2, 100) () in
+  let res = run engine in
+  Alcotest.(check bool) "single-domain log = sequential" true (res = oracle);
+  Alcotest.(check bool) "windows were batched" true
+    (Engine.batched_windows engine > 0)
+
 let test_domains_one_is_sequential () =
   (* A parallel request of (or clamped to) 1 domain yields the exact
      sequential engine — not a 1-worker parallel machine. *)
@@ -318,6 +381,10 @@ let () =
             test_merge_model;
           Alcotest.test_case "parallel = single-lane oracle" `Quick
             test_single_lane_oracle;
+          Alcotest.test_case "LPT repartition is invisible" `Quick
+            test_repartition_model;
+          Alcotest.test_case "batched single-domain windows" `Quick
+            test_batched_single_domain;
           Alcotest.test_case "domains=1 is sequential" `Quick
             test_domains_one_is_sequential;
           Alcotest.test_case "fuzz + parallel rejected" `Quick

@@ -10,13 +10,13 @@ module Registry = Adsm_apps.Registry
 module Runner = Adsm_harness.Runner
 module Scaling = Adsm_harness.Scaling
 
-let run ?(tweak = Fun.id) ~app ~protocol ~nprocs () =
+let run ?(tweak = Fun.id) ?engine ~app ~protocol ~nprocs () =
   let entry =
     match Registry.find app with
     | Some e -> e
     | None -> Alcotest.fail ("unknown app " ^ app)
   in
-  Runner.run ~tweak ~app:entry ~protocol ~nprocs ~scale:Registry.Tiny ()
+  Runner.run ~tweak ?engine ~app:entry ~protocol ~nprocs ~scale:Registry.Tiny ()
 
 let tree_tweak = Scaling.tweak_of_fabric Scaling.Tree_combining
 
@@ -185,6 +185,36 @@ let test_smoke_study () =
   Alcotest.(check bool) "tree fabric wins at 256 nodes" true
     (time Scaling.Tree_combining * 10 < time Scaling.Flat_central)
 
+(* The large-n fast paths (summarized clocks, indexed interval logs,
+   repartitioned domains, pooled envelopes) are all behavior-neutral
+   claims; pin them where they actually bite — 512 and 1024 nodes —
+   by requiring full measurement identity between the sequential and
+   2-domain engines on both fabrics, and checksum identity between the
+   fabrics themselves. *)
+let test_large_n_byte_identity () =
+  List.iter
+    (fun nprocs ->
+      let name fmt = Printf.sprintf "SOR/%d nodes: %s" nprocs fmt in
+      let flat = run ~app:"SOR" ~protocol:Config.Mw ~nprocs () in
+      let tree =
+        run ~tweak:tree_tweak ~app:"SOR" ~protocol:Config.Mw ~nprocs ()
+      in
+      Alcotest.(check (float 0.0))
+        (name "flat vs tree checksum")
+        flat.Runner.checksum tree.Runner.checksum;
+      List.iter
+        (fun (fabric, tweak, (base : Runner.measurement)) ->
+          let par =
+            run ~tweak
+              ~engine:(Config.Parallel { domains = 2 })
+              ~app:"SOR" ~protocol:Config.Mw ~nprocs ()
+          in
+          Alcotest.(check bool)
+            (name (fabric ^ " seq vs par:2 measurement"))
+            true (par = base))
+        [ ("flat", Fun.id, flat); ("tree", tree_tweak, tree) ])
+    [ 512; 1024 ]
+
 let () =
   Alcotest.run "scale"
     [
@@ -207,6 +237,9 @@ let () =
             test_sharded_lock_fifo;
         ] );
       ( "study",
-        [ Alcotest.test_case "smoke study to 256 nodes" `Slow test_smoke_study ]
-      );
+        [
+          Alcotest.test_case "smoke study to 256 nodes" `Slow test_smoke_study;
+          Alcotest.test_case "byte identity at 512/1024 nodes" `Slow
+            test_large_n_byte_identity;
+        ] );
     ]
